@@ -1,0 +1,161 @@
+// Ablation: how the conversion-function class limits aggregation
+// distribution (paper Table 2 / section 4.2.2).
+//
+// The same SUM/AVG workload runs with a multiplicative pair (distributes:
+// per-tenant partials, T+1 conversions), a linear pair (distributes via the
+// Appendix-B weighted construction) and an equality-only pair (does not
+// distribute: o3 degenerates to o2, conversions stay per-row).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include <map>
+
+#include "common/rng.h"
+#include "mt/mtbase.h"
+#include "mth/runner.h"
+
+namespace {
+
+using namespace mtbase;  // NOLINT
+
+struct AblationEnv {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<mt::Middleware> mw;
+  std::unique_ptr<mt::Session> session;
+};
+
+/// Build a measurements table whose value column uses the given conversion
+/// class. All three pairs share the same meta tables so values line up.
+std::unique_ptr<AblationEnv> Setup(mt::ConversionClass cls, int64_t tenants,
+                                   int64_t rows_per_tenant) {
+  auto env = std::make_unique<AblationEnv>();
+  env->db = std::make_unique<engine::Database>(engine::DbmsProfile::kSystemC);
+  env->mw = std::make_unique<mt::Middleware>(env->db.get());
+  auto must = [](const Status& st) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "ablation setup: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  };
+  must(env->db
+           ->ExecuteScript(R"(
+    CREATE TABLE Tenant (T_tenant_key INTEGER NOT NULL, T_unit_key INTEGER NOT NULL);
+    CREATE TABLE UnitTransform (UT_unit_key INTEGER NOT NULL,
+      UT_scale DECIMAL(15,6) NOT NULL, UT_inv_scale DECIMAL(15,6) NOT NULL,
+      UT_offset DECIMAL(15,6) NOT NULL);
+    CREATE FUNCTION mulToU (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+      AS 'SELECT UT_scale*$1 FROM Tenant, UnitTransform WHERE T_tenant_key = $2 AND T_unit_key = UT_unit_key' LANGUAGE SQL IMMUTABLE;
+    CREATE FUNCTION mulFromU (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+      AS 'SELECT UT_inv_scale*$1 FROM Tenant, UnitTransform WHERE T_tenant_key = $2 AND T_unit_key = UT_unit_key' LANGUAGE SQL IMMUTABLE;
+    CREATE FUNCTION linToU (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+      AS 'SELECT UT_scale*$1 + UT_offset FROM Tenant, UnitTransform WHERE T_tenant_key = $2 AND T_unit_key = UT_unit_key' LANGUAGE SQL IMMUTABLE;
+    CREATE FUNCTION linFromU (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+      AS 'SELECT UT_inv_scale*($1 - UT_offset) FROM Tenant, UnitTransform WHERE T_tenant_key = $2 AND T_unit_key = UT_unit_key' LANGUAGE SQL IMMUTABLE;
+    CREATE FUNCTION eqToU (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+      AS 'SELECT UT_scale*$1 FROM Tenant, UnitTransform WHERE T_tenant_key = $2 AND T_unit_key = UT_unit_key' LANGUAGE SQL IMMUTABLE;
+    CREATE FUNCTION eqFromU (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+      AS 'SELECT UT_inv_scale*$1 FROM Tenant, UnitTransform WHERE T_tenant_key = $2 AND T_unit_key = UT_unit_key' LANGUAGE SQL IMMUTABLE;
+  )")
+           .status());
+  const char* to_fn = cls == mt::ConversionClass::kMultiplicative ? "mulToU"
+                      : cls == mt::ConversionClass::kLinear       ? "linToU"
+                                                                  : "eqToU";
+  const char* from_fn = cls == mt::ConversionClass::kMultiplicative
+                            ? "mulFromU"
+                        : cls == mt::ConversionClass::kLinear ? "linFromU"
+                                                              : "eqFromU";
+  mt::ConversionPair pair;
+  pair.name = "unit";
+  pair.to_universal = to_fn;
+  pair.from_universal = from_fn;
+  pair.cls = cls;
+  must(env->mw->conversions()->Register(pair));
+
+  mt::Session modeller(env->mw.get(), 1);
+  std::string ddl =
+      "CREATE TABLE measurements SPECIFIC (m_id INTEGER NOT NULL SPECIFIC, "
+      "m_value DECIMAL(15,2) NOT NULL CONVERTIBLE @" +
+      std::string(to_fn) + " @" + from_fn +
+      ", m_bucket INTEGER NOT NULL COMPARABLE)";
+  must(modeller.Execute(ddl).status());
+
+  engine::Table* tenant_meta = env->db->catalog()->FindTable("Tenant");
+  engine::Table* units = env->db->catalog()->FindTable("UnitTransform");
+  engine::Table* data = env->db->catalog()->FindTable("measurements");
+  Rng rng(7);
+  for (int64_t u = 0; u < 4; ++u) {
+    // scale in {1,2,4,8}, inv exact, offset u*10.
+    int64_t scale = 1 << u;
+    (void)units->Insert({Value::Int(u), Value::Dec(Decimal(scale, 0)),
+                         Value::Dec(Decimal(1000000 / scale, 6)),
+                         Value::Dec(Decimal(u * 10, 0))});
+  }
+  for (int64_t t = 1; t <= tenants; ++t) {
+    env->mw->RegisterTenant(t);
+    env->mw->privileges()->Grant(t, "", mt::Privilege::kRead,
+                                 mt::kPublicGrantee);
+    (void)tenant_meta->Insert({Value::Int(t), Value::Int((t - 1) % 4)});
+    for (int64_t i = 0; i < rows_per_tenant; ++i) {
+      (void)data->Insert({Value::Int(t), Value::Int(i),
+                          Value::Dec(Decimal(rng.Uniform(100, 99999), 2)),
+                          Value::Int(rng.Uniform(0, 9))});
+    }
+  }
+  env->session = std::make_unique<mt::Session>(env->mw.get(), 1);
+  (void)env->session->Execute("SET SCOPE = \"IN ()\"");
+  return env;
+}
+
+constexpr const char* kWorkload =
+    "SELECT m_bucket, SUM(m_value) AS total, AVG(m_value) AS mean, COUNT(*) "
+    "AS cnt FROM measurements GROUP BY m_bucket ORDER BY m_bucket";
+
+void BM_AggregationDistribution(benchmark::State& state) {
+  auto cls = static_cast<mt::ConversionClass>(state.range(0));
+  auto level = static_cast<mt::OptLevel>(state.range(1));
+  static std::map<int, std::unique_ptr<AblationEnv>> cache;
+  auto& env = cache[static_cast<int>(cls)];
+  if (!env) env = Setup(cls, /*tenants=*/8, /*rows_per_tenant=*/2000);
+  uint64_t conversions = 0;
+  for (auto _ : state) {
+    auto run = mth::RunMthQuery(env->session.get(), kWorkload, level);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    conversions = run.value().stats.udf_calls;
+  }
+  state.counters["udf_calls"] =
+      benchmark::Counter(static_cast<double>(conversions));
+}
+
+void RegisterAblation() {
+  for (auto cls :
+       {mt::ConversionClass::kMultiplicative, mt::ConversionClass::kLinear,
+        mt::ConversionClass::kEqualityOnly}) {
+    for (auto level : {mt::OptLevel::kCanonical, mt::OptLevel::kO3,
+                       mt::OptLevel::kO4}) {
+      const char* cls_name =
+          cls == mt::ConversionClass::kMultiplicative ? "multiplicative"
+          : cls == mt::ConversionClass::kLinear       ? "linear"
+                                                      : "equality-only";
+      std::string name = std::string("BM_AggregationDistribution/") +
+                         cls_name + "/" + mt::OptLevelName(level);
+      benchmark::RegisterBenchmark(name.c_str(), BM_AggregationDistribution)
+          ->Args({static_cast<int>(cls), static_cast<int>(level)})
+          ->Iterations(3)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

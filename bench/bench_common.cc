@@ -1,0 +1,281 @@
+#include "bench/bench_common.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mth/runner.h"
+
+namespace mtbase {
+namespace bench {
+
+namespace {
+
+using mth::MthConfig;
+using mth::MthEnvironment;
+
+// Three timed runs per cell (the paper repeats runs until times converge,
+// section 6.2); google-benchmark reports the mean.
+constexpr int kTableIterations = 3;
+
+constexpr mt::OptLevel kLevels[] = {
+    mt::OptLevel::kCanonical, mt::OptLevel::kO1,        mt::OptLevel::kO2,
+    mt::OptLevel::kO3,        mt::OptLevel::kO4,        mt::OptLevel::kInlineOnly,
+};
+
+/// Collects per-benchmark wall times keyed by benchmark name.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(std::map<std::string, double>* out) : out_(out) {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      // real_accumulated_time is in seconds, independent of the display unit.
+      double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1;
+      (*out_)[run.benchmark_name()] = run.real_accumulated_time / iters;
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  std::map<std::string, double>* out_;
+};
+
+std::string Fmt(double seconds) {
+  char buf[32];
+  if (seconds <= 0) {
+    std::snprintf(buf, sizeof(buf), "-");
+  } else if (seconds < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.4f", seconds);
+  } else if (seconds < 10) {
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : def;
+}
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : def;
+}
+
+int RunTableBench(int argc, char** argv, const TableSpec& spec) {
+  double sf = EnvDouble("MTH_SF", 0.005);
+  int64_t tenants = EnvInt("MTH_TENANTS", 10);
+
+  MthConfig cfg;
+  cfg.scale_factor = sf;
+  cfg.num_tenants = tenants;
+  cfg.distribution = MthConfig::Distribution::kUniform;
+  auto env_r = mth::SetupEnvironment(cfg, spec.profile, /*with_baseline=*/false);
+  if (!env_r.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 env_r.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<MthEnvironment> env = std::move(env_r).value();
+
+  // Baseline database: the paper compares single-tenant datasets against
+  // TPC-H at sf/10 and D = all against TPC-H at sf (section 6.2).
+  MthConfig base_cfg = cfg;
+  if (spec.dataset != TableSpec::Dataset::kAll) base_cfg.scale_factor = sf / 10;
+  auto base_data = mth::GenerateData(base_cfg);
+  if (!base_data.ok()) return 1;
+  engine::Database baseline(spec.profile);
+  if (!mth::LoadTpch(&baseline, base_data.value()).ok()) return 1;
+
+  mt::Session session = env->OpenSession(1);
+  std::string scope;
+  switch (spec.dataset) {
+    case TableSpec::Dataset::kOwn:
+      scope = "IN (1)";
+      break;
+    case TableSpec::Dataset::kOther:
+      scope = "IN (2)";
+      break;
+    case TableSpec::Dataset::kAll:
+      scope = "IN ()";
+      break;
+  }
+  if (!session.Execute("SET SCOPE = \"" + scope + "\"").ok()) return 1;
+
+  auto queries = mth::MthQueries(sf);
+  // Untimed warmup so allocator/first-touch effects do not pollute the first
+  // timed cells.
+  (void)mth::RunTpchQuery(&baseline, queries[5].sql);
+  (void)mth::RunMthQuery(&session, queries[5].sql, mt::OptLevel::kO1);
+  for (const auto& q : queries) {
+    benchmark::RegisterBenchmark(
+        ("tpch/" + q.name).c_str(),
+        [&baseline, sql = q.sql](benchmark::State& state) {
+          for (auto _ : state) {
+            auto r = mth::RunTpchQuery(&baseline, sql);
+            if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+          }
+        })
+        ->Iterations(kTableIterations)
+        ->Unit(benchmark::kMillisecond);
+    for (mt::OptLevel level : kLevels) {
+      benchmark::RegisterBenchmark(
+          (std::string(mt::OptLevelName(level)) + "/" + q.name).c_str(),
+          [&session, level, sql = q.sql](benchmark::State& state) {
+            for (auto _ : state) {
+              auto r = mth::RunMthQuery(&session, sql, level);
+              if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+            }
+          })
+          ->Iterations(kTableIterations)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  std::map<std::string, double> timings;
+  CapturingReporter reporter(&timings);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  // Paper-style table: one row per level, one column per query.
+  std::printf("\n%s — response times [sec], sf=%g, T=%ld, C=1, D=%s, %s\n",
+              spec.title, sf, static_cast<long>(tenants), scope.c_str(),
+              spec.profile == engine::DbmsProfile::kPostgres
+                  ? "PostgreSQL profile"
+                  : "System C profile");
+  std::printf("%-10s", "Level");
+  for (const auto& q : queries) std::printf(" %8s", q.name.c_str());
+  std::printf("\n");
+  auto print_row = [&](const std::string& label, const std::string& prefix) {
+    std::printf("%-10s", label.c_str());
+    for (const auto& q : queries) {
+      auto it = timings.find(prefix + "/" + q.name + "/iterations:" + std::to_string(kTableIterations));
+      if (it == timings.end()) it = timings.find(prefix + "/" + q.name);
+      std::printf(" %8s", it == timings.end() ? "-" : Fmt(it->second).c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(spec.dataset == TableSpec::Dataset::kAll ? "tpch" : "tpch/10",
+            "tpch");
+  for (mt::OptLevel level : kLevels) {
+    print_row(mt::OptLevelName(level), mt::OptLevelName(level));
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+int RunScalingBench(int argc, char** argv, const char* title,
+                    engine::DbmsProfile profile) {
+  double sf = EnvDouble("MTH_SF", 0.005);
+  int64_t max_t = EnvInt("MTH_MAX_T", 1000);
+  const int query_numbers[] = {1, 6, 22};
+  std::vector<int64_t> tenant_counts;
+  for (int64_t t = 1; t <= max_t; t *= 10) tenant_counts.push_back(t);
+
+  // Baseline: plain TPC-H at the same scale factor.
+  MthConfig base_cfg;
+  base_cfg.scale_factor = sf;
+  base_cfg.num_tenants = 1;
+  auto base_data = mth::GenerateData(base_cfg);
+  if (!base_data.ok()) return 1;
+  engine::Database baseline(profile);
+  if (!mth::LoadTpch(&baseline, base_data.value()).ok()) return 1;
+  std::map<int, double> base_time;
+  for (int qn : query_numbers) {
+    auto run = mth::RunTpchQuery(&baseline, mth::GetMthQuery(qn, sf).sql);
+    if (!run.ok()) return 1;
+    base_time[qn] = run.value().seconds;
+  }
+
+  // One environment per tenant count (zipf shares, like scenario 2).
+  std::map<int64_t, std::unique_ptr<MthEnvironment>> envs;
+  std::map<int64_t, std::unique_ptr<mt::Session>> sessions;
+  for (int64_t t : tenant_counts) {
+    MthConfig cfg;
+    cfg.scale_factor = sf;
+    cfg.num_tenants = t;
+    cfg.distribution = MthConfig::Distribution::kZipf;
+    auto env_r = mth::SetupEnvironment(cfg, profile, false);
+    if (!env_r.ok()) {
+      std::fprintf(stderr, "setup T=%ld failed: %s\n", static_cast<long>(t),
+                   env_r.status().ToString().c_str());
+      return 1;
+    }
+    envs[t] = std::move(env_r).value();
+    sessions[t] =
+        std::make_unique<mt::Session>(envs[t]->middleware.get(), 1);
+    if (!sessions[t]->Execute("SET SCOPE = \"IN ()\"").ok()) return 1;
+  }
+
+  for (int qn : query_numbers) {
+    for (mt::OptLevel level : {mt::OptLevel::kO4, mt::OptLevel::kInlineOnly}) {
+      for (int64_t t : tenant_counts) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "%s/Q%02d/T=%ld",
+                      mt::OptLevelName(level), qn, static_cast<long>(t));
+        mt::Session* session = sessions[t].get();
+        std::string sql = mth::GetMthQuery(qn, sf).sql;
+        benchmark::RegisterBenchmark(
+            name,
+            [session, level, sql](benchmark::State& state) {
+              for (auto _ : state) {
+                auto r = mth::RunMthQuery(session, sql, level);
+                if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+              }
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  std::map<std::string, double> timings;
+  CapturingReporter reporter(&timings);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  std::printf("\n%s — response time relative to TPC-H, sf=%g, zipf shares, "
+              "C=1, D=all, %s\n",
+              title, sf,
+              profile == engine::DbmsProfile::kPostgres ? "PostgreSQL profile"
+                                                        : "System C profile");
+  for (int qn : query_numbers) {
+    std::printf("Q%02d (TPC-H baseline %.3fs)\n", qn, base_time[qn]);
+    std::printf("  %-10s", "T");
+    for (int64_t t : tenant_counts) std::printf(" %9ld", static_cast<long>(t));
+    std::printf("\n");
+    for (mt::OptLevel level : {mt::OptLevel::kO4, mt::OptLevel::kInlineOnly}) {
+      std::printf("  %-10s", mt::OptLevelName(level));
+      for (int64_t t : tenant_counts) {
+        char name[80];
+        std::snprintf(name, sizeof(name), "%s/Q%02d/T=%ld/iterations:1",
+                      mt::OptLevelName(level), qn, static_cast<long>(t));
+        auto it = timings.find(name);
+        if (it == timings.end()) {
+          std::snprintf(name, sizeof(name), "%s/Q%02d/T=%ld",
+                        mt::OptLevelName(level), qn, static_cast<long>(t));
+          it = timings.find(name);
+        }
+        if (it == timings.end() || base_time[qn] <= 0) {
+          std::printf(" %9s", "-");
+        } else {
+          std::printf(" %8.2fx", it->second / base_time[qn]);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace mtbase

@@ -1,0 +1,49 @@
+// Shared harness for the MT-H paper-table benchmarks.
+//
+// Each bench binary reproduces one table or figure of the paper's evaluation
+// (see DESIGN.md section 4). Benchmarks are registered with google-benchmark
+// (one per query x optimization level, a single timed iteration each, like
+// the paper's response-time measurements) and the collected timings are
+// printed as the paper-style table at the end.
+//
+// Environment knobs:
+//   MTH_SF        scale factor (default 0.005)
+//   MTH_TENANTS   tenant count for the table benches (default 10)
+//   MTH_MAX_T     largest tenant count for the scaling figures (default 1000)
+#ifndef MTBASE_BENCH_BENCH_COMMON_H_
+#define MTBASE_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "engine/stats.h"
+
+namespace mtbase {
+namespace bench {
+
+struct TableSpec {
+  const char* title;              // e.g. "Table 3"
+  engine::DbmsProfile profile;    // kPostgres or kSystemC
+  enum class Dataset {
+    kOwn,    // C = 1, D = {1}  (conversions optimized away by o1)
+    kOther,  // C = 1, D = {2}  (conversions necessary)
+    kAll,    // C = 1, D = {1..T}
+  } dataset;
+};
+
+/// Table 3/4/5/7/8/9 runner: all 22 queries at every optimization level plus
+/// the TPC-H baseline (at sf for D = all, sf/10 for the single-tenant
+/// datasets, like the paper).
+int RunTableBench(int argc, char** argv, const TableSpec& spec);
+
+/// Figure 5/6 runner: Q1/Q6/Q22 at o4 and inl-only, tenant counts scaling
+/// up to MTH_MAX_T, reported relative to the TPC-H baseline.
+int RunScalingBench(int argc, char** argv, const char* title,
+                    engine::DbmsProfile profile);
+
+double EnvDouble(const char* name, double def);
+int64_t EnvInt(const char* name, int64_t def);
+
+}  // namespace bench
+}  // namespace mtbase
+
+#endif  // MTBASE_BENCH_BENCH_COMMON_H_

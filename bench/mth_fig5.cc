@@ -1,0 +1,8 @@
+// Reproduces the paper's Figure 5: tenant scaling of Q1/Q6/Q22 at o4 and
+// inl-only relative to TPC-H, PostgreSQL profile.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  return mtbase::bench::RunScalingBench(
+      argc, argv, "Figure 5", mtbase::engine::DbmsProfile::kPostgres);
+}

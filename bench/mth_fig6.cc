@@ -1,0 +1,8 @@
+// Reproduces the paper's Figure 6: tenant scaling on the System C profile
+// (no UDF result caching).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  return mtbase::bench::RunScalingBench(
+      argc, argv, "Figure 6", mtbase::engine::DbmsProfile::kSystemC);
+}

@@ -1,0 +1,10 @@
+// Reproduces the paper's Table 3 (see DESIGN.md section 4).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  mtbase::bench::TableSpec spec;
+  spec.title = "Table 3";
+  spec.profile = mtbase::engine::DbmsProfile::kPostgres;
+  spec.dataset = mtbase::bench::TableSpec::Dataset::kOwn;
+  return mtbase::bench::RunTableBench(argc, argv, spec);
+}

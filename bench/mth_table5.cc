@@ -1,0 +1,10 @@
+// Reproduces the paper's Table 5 (see DESIGN.md section 4).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  mtbase::bench::TableSpec spec;
+  spec.title = "Table 5";
+  spec.profile = mtbase::engine::DbmsProfile::kPostgres;
+  spec.dataset = mtbase::bench::TableSpec::Dataset::kAll;
+  return mtbase::bench::RunTableBench(argc, argv, spec);
+}

@@ -1,0 +1,10 @@
+// Reproduces the paper's Table 7 (see DESIGN.md section 4).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  mtbase::bench::TableSpec spec;
+  spec.title = "Table 7";
+  spec.profile = mtbase::engine::DbmsProfile::kSystemC;
+  spec.dataset = mtbase::bench::TableSpec::Dataset::kOwn;
+  return mtbase::bench::RunTableBench(argc, argv, spec);
+}

@@ -1,0 +1,156 @@
+// Micro-benchmarks for the middleware itself: parse + rewrite + print cost
+// per optimization level (the overhead MTBase adds in front of the DBMS),
+// plus an ablation of the aggregation-distribution pass across conversion
+// function classes (DESIGN.md "Table 2" row).
+#include <benchmark/benchmark.h>
+
+#include "mt/mtbase.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "mth/queries.h"
+#include "mth/schema.h"
+
+namespace {
+
+using namespace mtbase;  // NOLINT
+
+struct RewriteFixture {
+  static RewriteFixture& Get() {
+    static RewriteFixture f;
+    return f;
+  }
+
+  RewriteFixture() {
+    static const char* kTables[] = {
+        "CREATE TABLE customer SPECIFIC (c_custkey INTEGER SPECIFIC, c_name "
+        "VARCHAR(25) COMPARABLE, c_acctbal DECIMAL(15,2) CONVERTIBLE "
+        "@currencyToUniversal @currencyFromUniversal, c_phone VARCHAR(17) "
+        "CONVERTIBLE @phoneToUniversal @phoneFromUniversal, c_nationkey "
+        "INTEGER COMPARABLE, c_mktsegment VARCHAR(10) COMPARABLE, c_address "
+        "VARCHAR(40) COMPARABLE, c_comment VARCHAR(117) COMPARABLE)",
+        "CREATE TABLE orders SPECIFIC (o_orderkey INTEGER SPECIFIC, o_custkey "
+        "INTEGER SPECIFIC, o_totalprice DECIMAL(15,2) CONVERTIBLE "
+        "@currencyToUniversal @currencyFromUniversal, o_orderdate DATE "
+        "COMPARABLE, o_orderpriority VARCHAR(15) COMPARABLE, o_orderstatus "
+        "VARCHAR(1) COMPARABLE, o_shippriority INTEGER COMPARABLE, o_comment "
+        "VARCHAR(79) COMPARABLE, o_clerk VARCHAR(15) COMPARABLE)",
+        "CREATE TABLE lineitem SPECIFIC (l_orderkey INTEGER SPECIFIC, "
+        "l_partkey INTEGER COMPARABLE, l_suppkey INTEGER COMPARABLE, "
+        "l_linenumber INTEGER COMPARABLE, l_quantity DECIMAL(15,2) "
+        "COMPARABLE, l_extendedprice DECIMAL(15,2) CONVERTIBLE "
+        "@currencyToUniversal @currencyFromUniversal, l_discount "
+        "DECIMAL(15,2) COMPARABLE, l_tax DECIMAL(15,2) COMPARABLE, "
+        "l_returnflag VARCHAR(1) COMPARABLE, l_linestatus VARCHAR(1) "
+        "COMPARABLE, l_shipdate DATE COMPARABLE, l_commitdate DATE "
+        "COMPARABLE, l_receiptdate DATE COMPARABLE, l_shipinstruct "
+        "VARCHAR(25) COMPARABLE, l_shipmode VARCHAR(10) COMPARABLE, "
+        "l_comment VARCHAR(44) COMPARABLE)",
+        "CREATE TABLE supplier (s_suppkey INTEGER, s_name VARCHAR(25), "
+        "s_address VARCHAR(40), s_nationkey INTEGER, s_phone VARCHAR(15), "
+        "s_acctbal DECIMAL(15,2), s_comment VARCHAR(101))",
+        "CREATE TABLE part (p_partkey INTEGER, p_name VARCHAR(55), p_mfgr "
+        "VARCHAR(25), p_brand VARCHAR(10), p_type VARCHAR(25), p_size "
+        "INTEGER, p_container VARCHAR(10), p_retailprice DECIMAL(15,2), "
+        "p_comment VARCHAR(23))",
+        "CREATE TABLE partsupp (ps_partkey INTEGER, ps_suppkey INTEGER, "
+        "ps_availqty INTEGER, ps_supplycost DECIMAL(15,2), ps_comment "
+        "VARCHAR(199))",
+        "CREATE TABLE nation (n_nationkey INTEGER, n_name VARCHAR(25), "
+        "n_regionkey INTEGER, n_comment VARCHAR(152))",
+        "CREATE TABLE region (r_regionkey INTEGER, r_name VARCHAR(25), "
+        "r_comment VARCHAR(152))"};
+    for (const char* ddl : kTables) {
+      auto stmt = sql::ParseStatement(ddl);
+      if (stmt.ok()) (void)schema.RegisterTable(*stmt.value().create_table);
+    }
+    (void)mth::RegisterConversionPairs;  // conversions registered below
+    mt::ConversionPair currency;
+    currency.name = "currency";
+    currency.to_universal = "currencyToUniversal";
+    currency.from_universal = "currencyFromUniversal";
+    currency.cls = mt::ConversionClass::kMultiplicative;
+    currency.inline_spec.kind = mt::InlineSpec::Kind::kMultiplicative;
+    currency.inline_spec.tenant_fk = "T_currency_key";
+    currency.inline_spec.meta_table = "CurrencyTransform";
+    currency.inline_spec.meta_key = "CT_currency_key";
+    currency.inline_spec.to_col = "CT_to_universal";
+    currency.inline_spec.from_col = "CT_from_universal";
+    (void)conversions.Register(currency);
+    mt::ConversionPair phone;
+    phone.name = "phone";
+    phone.to_universal = "phoneToUniversal";
+    phone.from_universal = "phoneFromUniversal";
+    phone.cls = mt::ConversionClass::kEqualityOnly;
+    phone.inline_spec.kind = mt::InlineSpec::Kind::kPrefix;
+    phone.inline_spec.tenant_fk = "T_phone_prefix_key";
+    phone.inline_spec.meta_table = "PhoneTransform";
+    phone.inline_spec.meta_key = "PT_phone_prefix_key";
+    phone.inline_spec.to_col = "PT_prefix";
+    phone.inline_spec.from_col = "PT_prefix";
+    (void)conversions.Register(phone);
+  }
+
+  mt::MTSchema schema;
+  mt::ConversionRegistry conversions;
+};
+
+void BM_RewriteQuery(benchmark::State& state) {
+  auto& f = RewriteFixture::Get();
+  int query = static_cast<int>(state.range(0));
+  auto level = static_cast<mt::OptLevel>(state.range(1));
+  auto sel = sql::ParseSelect(mth::GetMthQuery(query, 0.01).sql);
+  if (!sel.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  std::vector<int64_t> dataset;
+  for (int64_t t = 1; t <= 10; ++t) dataset.push_back(t);
+  for (auto _ : state) {
+    mt::Rewriter rewriter(&f.schema, &f.conversions, 1, dataset, {});
+    auto rewritten = rewriter.RewriteQuery(*sel.value());
+    if (!rewritten.ok()) {
+      state.SkipWithError(rewritten.status().ToString().c_str());
+      return;
+    }
+    mt::Optimizer opt(&f.conversions, 1);
+    if (!opt.Optimize(rewritten.value().get(), level).ok()) {
+      state.SkipWithError("optimize failed");
+      return;
+    }
+    std::string text = sql::PrintSelect(*rewritten.value());
+    benchmark::DoNotOptimize(text);
+  }
+}
+
+void RegisterAll() {
+  for (int q : {1, 3, 6, 13, 18, 21, 22}) {
+    for (mt::OptLevel level :
+         {mt::OptLevel::kCanonical, mt::OptLevel::kO2, mt::OptLevel::kO3,
+          mt::OptLevel::kO4}) {
+      std::string name = "BM_RewriteQuery/Q" + std::to_string(q) + "/" +
+                         mt::OptLevelName(level);
+      benchmark::RegisterBenchmark(name.c_str(), BM_RewriteQuery)
+          ->Args({q, static_cast<int>(level)})
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+void BM_ParseMthQuery(benchmark::State& state) {
+  std::string sql = mth::GetMthQuery(static_cast<int>(state.range(0)), 0.01).sql;
+  for (auto _ : state) {
+    auto stmt = sql::ParseStatement(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseMthQuery)->DenseRange(1, 22)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Quickstart: the paper's running example (Figure 2) end to end.
+//
+// Builds the Employees/Roles/Regions database for two tenants with different
+// currencies, then demonstrates scopes, cross-tenant joins, conversions and
+// the rewrite output.
+#include <cstdio>
+
+#include "mt/mtbase.h"
+
+using namespace mtbase;  // NOLINT
+
+inline const Status& AsStatus(const Status& s) { return s; }
+template <typename T>
+const Status& AsStatus(const Result<T>& r) {
+  return r.status();
+}
+
+#define MUST(expr)                                                        \
+  do {                                                                    \
+    const auto& _r = (expr);                                              \
+    if (!_r.ok()) {                                                       \
+      std::fprintf(stderr, "error: %s\n", AsStatus(_r).ToString().c_str()); \
+      return 1;                                                           \
+    }                                                                     \
+  } while (0)
+
+int main() {
+  // 1. The DBMS under the middleware and the middleware itself (Figure 4).
+  engine::Database db;
+  mt::Middleware mw(&db);
+  mw.RegisterTenant(0);
+  mw.RegisterTenant(1);
+
+  // 2. Conversion machinery: meta tables + UDF pair for currencies
+  //    (paper Listings 6/7). Tenant 0 keeps USD, tenant 1 uses a currency
+  //    whose fromUniversal rate is 2 (1 USD = 2 units).
+  MUST(db.ExecuteScript(R"(
+    CREATE TABLE Tenant (T_tenant_key INTEGER NOT NULL, T_currency_key INTEGER NOT NULL);
+    CREATE TABLE CurrencyTransform (CT_currency_key INTEGER NOT NULL,
+      CT_to_universal DECIMAL(15,6) NOT NULL, CT_from_universal DECIMAL(15,6) NOT NULL);
+    INSERT INTO Tenant VALUES (0, 0), (1, 1);
+    INSERT INTO CurrencyTransform VALUES (0, 1, 1), (1, 0.5, 2);
+    CREATE FUNCTION currencyToUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+      AS 'SELECT CT_to_universal*$1 FROM Tenant, CurrencyTransform
+          WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key'
+      LANGUAGE SQL IMMUTABLE;
+    CREATE FUNCTION currencyFromUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+      AS 'SELECT CT_from_universal*$1 FROM Tenant, CurrencyTransform
+          WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key'
+      LANGUAGE SQL IMMUTABLE;
+  )"));
+  mt::ConversionPair currency;
+  currency.name = "currency";
+  currency.to_universal = "currencyToUniversal";
+  currency.from_universal = "currencyFromUniversal";
+  currency.cls = mt::ConversionClass::kMultiplicative;
+  currency.inline_spec.kind = mt::InlineSpec::Kind::kMultiplicative;
+  currency.inline_spec.tenant_fk = "T_currency_key";
+  currency.inline_spec.meta_table = "CurrencyTransform";
+  currency.inline_spec.meta_key = "CT_currency_key";
+  currency.inline_spec.to_col = "CT_to_universal";
+  currency.inline_spec.from_col = "CT_from_universal";
+  MUST(mw.conversions()->Register(currency));
+
+  // 3. MTSQL DDL (paper Listing 3) issued by the data modeller.
+  mt::Session modeller(&mw, 0);
+  MUST(modeller.Execute(R"(CREATE TABLE Employees SPECIFIC (
+      E_emp_id INTEGER NOT NULL SPECIFIC,
+      E_name VARCHAR(25) NOT NULL COMPARABLE,
+      E_role_id INTEGER NOT NULL SPECIFIC,
+      E_reg_id INTEGER NOT NULL COMPARABLE,
+      E_salary DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+      E_age INTEGER NOT NULL COMPARABLE,
+      CONSTRAINT pk_emp PRIMARY KEY (E_emp_id)))"));
+  MUST(modeller.Execute(R"(CREATE TABLE Roles SPECIFIC (
+      R_role_id INTEGER NOT NULL SPECIFIC,
+      R_name VARCHAR(25) NOT NULL COMPARABLE))"));
+  MUST(modeller.Execute(R"(CREATE TABLE Regions (
+      Re_reg_id INTEGER NOT NULL,
+      Re_name VARCHAR(25) NOT NULL))"));
+  MUST(modeller.Execute(
+      "INSERT INTO Regions VALUES (0,'AFRICA'),(1,'ASIA'),(2,'AUSTRALIA'),"
+      "(3,'EUROPE'),(4,'N-AMERICA'),(5,'S-AMERICA')"));
+
+  // 4. Each tenant loads her own data in her own format (Figure 2; tenant 1
+  //    salaries are EUR-like: 1 USD = 2 units here for easy math).
+  mt::Session tenant0(&mw, 0);
+  MUST(tenant0.Execute(
+      "INSERT INTO Employees VALUES (0,'Patrick',1,3,50000,30),"
+      "(1,'John',0,3,70000,28),(2,'Alice',2,3,150000,46)"));
+  MUST(tenant0.Execute(
+      "INSERT INTO Roles VALUES (0,'phD stud.'),(1,'postdoc'),(2,'professor')"));
+  mt::Session tenant1(&mw, 1);
+  MUST(tenant1.Execute(
+      "INSERT INTO Employees VALUES (0,'Allan',1,2,160000,25),"
+      "(1,'Nancy',2,4,400000,72),(2,'Ed',0,4,2000000,46)"));
+  MUST(tenant1.Execute(
+      "INSERT INTO Roles VALUES (0,'intern'),(1,'researcher'),(2,'executive')"));
+
+  // 5. Tenant 1 lets tenant 0 read her data.
+  MUST(tenant1.Execute("GRANT READ ON DATABASE TO 0"));
+
+  // 6. Cross-tenant querying: the intro's join example. Without MTSQL the
+  //    role join would pair Patrick with 'researcher' — with MTSQL each
+  //    employee maps to her own tenant's role.
+  MUST(tenant0.Execute("SET SCOPE = \"IN (0, 1)\""));
+  auto rs = tenant0.Execute(
+      "SELECT E_name, R_name, E_salary FROM Employees, Roles "
+      "WHERE E_role_id = R_role_id ORDER BY E_salary DESC");
+  MUST(rs);
+  std::printf("Cross-tenant join, salaries in tenant 0's currency (USD):\n%s\n",
+              rs.value().ToString().c_str());
+
+  // 7. The same aggregate at different optimization levels returns the same
+  //    answer; the SQL sent to the DBMS differs drastically.
+  for (mt::OptLevel level : {mt::OptLevel::kCanonical, mt::OptLevel::kO4}) {
+    tenant0.set_optimization_level(level);
+    auto avg = tenant0.Execute("SELECT AVG(E_salary) AS avg_sal FROM Employees");
+    MUST(avg);
+    std::printf("%s: avg salary (USD) = %s\n  SQL: %s\n\n",
+                mt::OptLevelName(level),
+                avg.value().rows[0][0].ToString().c_str(),
+                tenant0.last_sql().c_str());
+  }
+
+  // 8. Complex scope (paper Listing 2): tenants owning a top earner.
+  MUST(tenant0.Execute(
+      "SET SCOPE = \"FROM Employees WHERE E_salary > 180000\""));
+  rs = tenant0.Execute("SELECT COUNT(*) AS employees FROM Employees");
+  MUST(rs);
+  std::printf("Employees of tenants with a > 180K USD earner: %s\n",
+              rs.value().rows[0][0].ToString().c_str());
+  return 0;
+}

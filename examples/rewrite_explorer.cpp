@@ -1,0 +1,81 @@
+// rewrite_explorer: show what the MTBase middleware sends to the DBMS.
+//
+// Sets up the MT-H schema and prints, for an MTSQL query given on the
+// command line (or a default), the generated SQL at every optimization level
+// of paper Table 6.
+//
+// Usage: rewrite_explorer [C] [D-scope] ["MTSQL query"]
+//   e.g. rewrite_explorer 1 "IN (1,2,3)" "SELECT AVG(c_acctbal) FROM customer"
+#include <cstdio>
+#include <string>
+
+#include "mt/mtbase.h"
+#include "mth/runner.h"
+
+using namespace mtbase;  // NOLINT
+
+int main(int argc, char** argv) {
+  int64_t client = argc > 1 ? std::atoll(argv[1]) : 1;
+  std::string scope = argc > 2 ? argv[2] : "IN ()";
+  std::string query =
+      argc > 3 ? argv[3]
+               : "SELECT l_returnflag, SUM(l_extendedprice * (1 - l_discount)) "
+                 "AS revenue, COUNT(*) AS cnt FROM lineitem WHERE "
+                 "l_extendedprice > 1000 GROUP BY l_returnflag ORDER BY revenue "
+                 "DESC";
+
+  mth::MthConfig cfg;
+  cfg.scale_factor = 0.001;
+  cfg.num_tenants = 4;
+  auto env = mth::SetupEnvironment(cfg, engine::DbmsProfile::kPostgres, false);
+  if (!env.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  mt::Session session = env.value()->OpenSession(client);
+  auto st = session.Execute("SET SCOPE = \"" + scope + "\"");
+  if (!st.ok()) {
+    std::fprintf(stderr, "scope error: %s\n", st.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("MTSQL (C=%ld, SCOPE=%s):\n  %s\n\n", static_cast<long>(client),
+              scope.c_str(), query.c_str());
+  for (mt::OptLevel level :
+       {mt::OptLevel::kCanonical, mt::OptLevel::kO1, mt::OptLevel::kO2,
+        mt::OptLevel::kO3, mt::OptLevel::kO4, mt::OptLevel::kInlineOnly}) {
+    session.set_optimization_level(level);
+    auto sql = session.Rewrite(query);
+    if (!sql.ok()) {
+      std::printf("-- %s --\n  %s\n\n", mt::OptLevelName(level),
+                  sql.status().ToString().c_str());
+      continue;
+    }
+    std::printf("-- %s --\n  %s\n\n", mt::OptLevelName(level),
+                sql.value().c_str());
+  }
+  // Physical plans at the two extremes.
+  for (mt::OptLevel level : {mt::OptLevel::kCanonical, mt::OptLevel::kO4}) {
+    session.set_optimization_level(level);
+    auto plan = session.Explain(query);
+    if (plan.ok()) {
+      std::printf("-- EXPLAIN at %s --\n%s\n", mt::OptLevelName(level),
+                  plan.value().c_str());
+    }
+  }
+
+  // And prove they all agree.
+  std::printf("Results (identical at every level):\n");
+  for (mt::OptLevel level : {mt::OptLevel::kCanonical, mt::OptLevel::kO4}) {
+    auto run = mth::RunMthQuery(&session, query, level);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", mt::OptLevelName(level),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("-- %s (%.1f ms, %llu UDF calls) --\n%s\n",
+                mt::OptLevelName(level), run.value().seconds * 1e3,
+                static_cast<unsigned long long>(run.value().stats.udf_calls),
+                run.value().result.ToString(5).c_str());
+  }
+  return 0;
+}

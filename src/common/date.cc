@@ -1,0 +1,104 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace mtbase {
+
+namespace {
+
+// Howard Hinnant's civil-days algorithms.
+int32_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+void CivilFromDays(int32_t z, int* yy, int* mm, int* dd) {
+  z += 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *yy = y + (m <= 2);
+  *mm = static_cast<int>(m);
+  *dd = static_cast<int>(d);
+}
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static const int k[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return k[m - 1];
+}
+
+}  // namespace
+
+Result<Date> Date::Parse(const std::string& text) {
+  int y, m, d;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    return Status::InvalidArgument("malformed date: " + text);
+  }
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) {
+    return Status::InvalidArgument("invalid date: " + text);
+  }
+  return Date(DaysFromCivil(y, m, d));
+}
+
+Date Date::FromYmd(int year, int month, int day) {
+  return Date(DaysFromCivil(year, month, day));
+}
+
+void Date::ToYmd(int* y, int* m, int* d) const { CivilFromDays(days_, y, m, d); }
+
+int Date::year() const {
+  int y, m, d;
+  ToYmd(&y, &m, &d);
+  return y;
+}
+
+int Date::month() const {
+  int y, m, d;
+  ToYmd(&y, &m, &d);
+  return m;
+}
+
+int Date::day() const {
+  int y, m, d;
+  ToYmd(&y, &m, &d);
+  return d;
+}
+
+Date Date::AddMonths(int n) const {
+  int y, m, d;
+  ToYmd(&y, &m, &d);
+  int total = y * 12 + (m - 1) + n;
+  int ny = total / 12;
+  int nm = total % 12;
+  if (nm < 0) {
+    nm += 12;
+    --ny;
+  }
+  ++nm;
+  int nd = std::min(d, DaysInMonth(ny, nm));
+  return FromYmd(ny, nm, nd);
+}
+
+std::string Date::ToString() const {
+  int y, m, d;
+  ToYmd(&y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace mtbase

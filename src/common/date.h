@@ -1,0 +1,43 @@
+// Calendar dates as days since 1970-01-01 (proleptic Gregorian).
+#ifndef MTBASE_COMMON_DATE_H_
+#define MTBASE_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace mtbase {
+
+class Date {
+ public:
+  Date() : days_(0) {}
+  explicit Date(int32_t days) : days_(days) {}
+
+  /// Parse "YYYY-MM-DD".
+  static Result<Date> Parse(const std::string& text);
+  static Date FromYmd(int year, int month, int day);
+
+  int32_t days() const { return days_; }
+  int year() const;
+  int month() const;
+  int day() const;
+
+  Date AddDays(int n) const { return Date(days_ + n); }
+  /// Month arithmetic clamps the day-of-month (e.g. Jan 31 + 1 month = Feb 28).
+  Date AddMonths(int n) const;
+  Date AddYears(int n) const { return AddMonths(12 * n); }
+
+  std::string ToString() const;
+
+  bool operator==(const Date& o) const { return days_ == o.days_; }
+  bool operator<(const Date& o) const { return days_ < o.days_; }
+
+ private:
+  void ToYmd(int* y, int* m, int* d) const;
+  int32_t days_;
+};
+
+}  // namespace mtbase
+
+#endif  // MTBASE_COMMON_DATE_H_

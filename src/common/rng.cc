@@ -1,0 +1,46 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtbase {
+
+uint64_t Rng::Next() {
+  uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  uint64_t span = static_cast<uint64_t>(hi - lo + 1);
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  double u = static_cast<double>(Next() >> 11) / 9007199254740992.0;  // [0,1)
+  return lo + u * (hi - lo);
+}
+
+bool Rng::Chance(double p) { return UniformReal(0.0, 1.0) < p; }
+
+ZipfGenerator::ZipfGenerator(int64_t n, double s, uint64_t seed) : rng_(seed) {
+  cdf_.resize(static_cast<size_t>(n));
+  double sum = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), s);
+    cdf_[static_cast<size_t>(i - 1)] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+}
+
+int64_t ZipfGenerator::Next() {
+  double u = rng_.UniformReal(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace mtbase

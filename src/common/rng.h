@@ -1,0 +1,47 @@
+// Deterministic random number generation for the MT-H data generator.
+#ifndef MTBASE_COMMON_RNG_H_
+#define MTBASE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtbase {
+
+/// xorshift64* generator; fixed seed gives reproducible MT-H databases.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5DEECE66Dull) : state_(seed ? seed : 1) {}
+
+  uint64_t Next();
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi);
+  double UniformReal(double lo, double hi);
+  /// True with probability p.
+  bool Chance(double p);
+  /// Pick a uniformly random element.
+  template <typename T>
+  const T& Pick(const std::vector<T>& pool) {
+    return pool[static_cast<size_t>(Uniform(0, static_cast<int64_t>(pool.size()) - 1))];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf-distributed sampler over {1..n} with exponent s (default 1.0), used
+/// for the MT-H "zipf" tenant-share distribution.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(int64_t n, double s, uint64_t seed);
+  /// Sample a value in [1, n]; value 1 has the largest probability.
+  int64_t Next();
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace mtbase
+
+#endif  // MTBASE_COMMON_RNG_H_

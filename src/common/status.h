@@ -1,0 +1,99 @@
+// Status: error-code based error handling for all MTBase layers.
+//
+// Following the style of Arrow/RocksDB, functions that can fail return a
+// Status (or Result<T>, see result.h) instead of throwing exceptions across
+// API boundaries.
+#ifndef MTBASE_COMMON_STATUS_H_
+#define MTBASE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace mtbase {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kSyntaxError,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kConstraintViolation,
+  // MTSQL semantic rejection, e.g. comparing a tenant-specific attribute with
+  // a comparable one (paper section 2.4.2).
+  kRejected,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Result status of fallible operations.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace mtbase
+
+/// Propagate a non-OK Status to the caller.
+#define MTB_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::mtbase::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define MTB_CONCAT_IMPL(a, b) a##b
+#define MTB_CONCAT(a, b) MTB_CONCAT_IMPL(a, b)
+
+/// Evaluate a Result<T>-returning expression; on error propagate the Status,
+/// otherwise move the value into `lhs` (which may be a declaration).
+#define MTB_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto MTB_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (!MTB_CONCAT(_res_, __LINE__).ok())                       \
+    return MTB_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(MTB_CONCAT(_res_, __LINE__)).value()
+
+#endif  // MTBASE_COMMON_STATUS_H_

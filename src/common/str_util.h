@@ -1,0 +1,23 @@
+// Small string helpers shared across the SQL front end.
+#ifndef MTBASE_COMMON_STR_UTIL_H_
+#define MTBASE_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace mtbase {
+
+std::string ToUpperCopy(const std::string& s);
+std::string ToLowerCopy(const std::string& s);
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// SQL LIKE matcher: '%' matches any sequence, '_' any single character.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+std::vector<std::string> SplitString(const std::string& s, char sep);
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+}  // namespace mtbase
+
+#endif  // MTBASE_COMMON_STR_UTIL_H_

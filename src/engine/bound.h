@@ -1,0 +1,149 @@
+// Bound expressions and physical plans.
+//
+// The binder resolves sql::Expr column references to positional slots; the
+// planner assembles materialized operators. Both are deliberately simple:
+// MTBase's contribution is the rewrite layer above, the engine just has to
+// execute the rewritten SQL with realistic relative costs.
+#ifndef MTBASE_ENGINE_BOUND_H_
+#define MTBASE_ENGINE_BOUND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace mtbase {
+namespace engine {
+
+class Table;
+struct Plan;
+struct Udf;
+
+enum class BinOp : uint8_t {
+  kAnd, kOr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv,
+  kConcat,
+  kLike, kNotLike,
+};
+
+enum class AggFunc : uint8_t { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+enum class BuiltinFunc : uint8_t {
+  kSubstring,
+  kConcat,
+  kCharLength,
+  kUpper,
+  kLower,
+  kAbs,
+  kCoalesce,
+  kDateAddDays,    // (date, n)
+  kDateAddMonths,  // (date, n)
+  kDateAddYears,   // (date, n)
+  kExtractYear,
+  kExtractMonth,
+  kExtractDay,
+};
+
+struct BoundExpr {
+  enum class Kind : uint8_t {
+    kLiteral,
+    kSlot,        // column of the current input row
+    kOuterSlot,   // column of an enclosing query's row (depth >= 1)
+    kParam,       // $n inside a UDF body
+    kNot,
+    kNeg,
+    kBinary,
+    kBuiltin,
+    kUdfCall,
+    kCase,        // args = [w1, t1, w2, t2, ...]
+    kInList,      // args[0] in args[1..]
+    kInSet,       // (args...) in subplan results (InitPlan hash set)
+    kExistsSub,   // correlated EXISTS fallback (per-row execution)
+    kScalarSub,   // scalar sub-query; uncorrelated => InitPlan cache
+    kBetween,
+    kIsNull,
+  } kind = Kind::kLiteral;
+
+  Value literal;
+  int slot = 0;
+  int depth = 0;        // kOuterSlot
+  int param_index = 0;  // kParam
+  BinOp bin_op = BinOp::kAnd;
+  BuiltinFunc builtin = BuiltinFunc::kConcat;
+  const Udf* udf = nullptr;
+  bool negated = false;  // NOT IN / NOT EXISTS / NOT BETWEEN / IS NOT NULL
+  bool correlated = false;  // sub-query references outer slots
+  std::vector<std::unique_ptr<BoundExpr>> args;
+  std::unique_ptr<BoundExpr> case_operand;
+  std::unique_ptr<BoundExpr> else_expr;
+  std::shared_ptr<const Plan> subplan;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+struct ColumnMeta {
+  std::string qualifier;  // binding name of the producing relation ("" if n/a)
+  std::string name;
+};
+
+enum class JoinKind : uint8_t { kInner, kLeft, kSemi, kAnti };
+
+struct AggSpec {
+  AggFunc func = AggFunc::kCountStar;
+  BoundExprPtr arg;  // null for COUNT(*)
+  bool distinct = false;
+};
+
+struct Plan {
+  enum class Kind : uint8_t {
+    kScan,      // table + optional pushed-down filter
+    kJoin,      // hash join on equi keys, nested loop if none
+    kFilter,
+    kProject,
+    kAggregate, // hash aggregation; output = [keys..., aggs...]
+    kSort,
+    kLimit,
+    kDistinct,
+  } kind = Kind::kScan;
+
+  std::vector<ColumnMeta> columns;  // output layout
+
+  // kScan
+  const Table* table = nullptr;
+  BoundExprPtr scan_filter;
+
+  // children (kScan has none; kJoin uses both; others use `left`)
+  std::unique_ptr<Plan> left;
+  std::unique_ptr<Plan> right;
+
+  // kJoin
+  JoinKind join_kind = JoinKind::kInner;
+  std::vector<BoundExprPtr> left_keys;   // over left layout
+  std::vector<BoundExprPtr> right_keys;  // over right layout
+  BoundExprPtr residual;                 // over concat(left, right) layout
+
+  // kFilter
+  BoundExprPtr predicate;
+
+  // kProject (exprs over child layout) / kAggregate (group keys)
+  std::vector<BoundExprPtr> exprs;
+
+  // kAggregate
+  std::vector<AggSpec> aggs;
+
+  // kSort: slot indices into child layout
+  std::vector<std::pair<int, bool>> sort_keys;  // (slot, desc)
+
+  // kLimit
+  int64_t limit = -1;
+};
+
+using PlanPtr = std::unique_ptr<Plan>;
+
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_BOUND_H_

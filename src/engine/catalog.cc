@@ -1,0 +1,84 @@
+#include "engine/catalog.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace mtbase {
+namespace engine {
+
+int TableSchema::FindColumn(const std::string& col) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, col)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument("row arity mismatch for table " +
+                                   schema_.name);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (schema_.columns[i].not_null && row[i].is_null()) {
+      return Status::ConstraintViolation("NULL in NOT NULL column " +
+                                         schema_.columns[i].name);
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Catalog::CreateTable(TableSchema schema) {
+  std::string key = ToLowerCopy(schema.name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::AlreadyExists("relation " + schema.name + " already exists");
+  }
+  tables_[key] = std::make_unique<Table>(std::move(schema));
+  return Status::OK();
+}
+
+Status Catalog::CreateView(std::string name,
+                           std::unique_ptr<sql::SelectStmt> select) {
+  std::string key = ToLowerCopy(name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::AlreadyExists("relation " + name + " already exists");
+  }
+  views_[key] = ViewDef{std::move(name), std::move(select)};
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (!tables_.erase(ToLowerCopy(name))) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  return Status::OK();
+}
+
+Status Catalog::DropView(const std::string& name) {
+  if (!views_.erase(ToLowerCopy(name))) {
+    return Status::NotFound("view " + name + " does not exist");
+  }
+  return Status::OK();
+}
+
+Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLowerCopy(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const ViewDef* Catalog::FindView(const std::string& name) const {
+  auto it = views_.find(ToLowerCopy(name));
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->schema().name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace engine
+}  // namespace mtbase

@@ -1,0 +1,61 @@
+// Catalog: tables, views and row storage.
+#ifndef MTBASE_ENGINE_CATALOG_H_
+#define MTBASE_ENGINE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "engine/schema.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace engine {
+
+/// Row-oriented in-memory table.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>* mutable_rows() { return &rows_; }
+
+  /// Append a row; checks arity and NOT NULL constraints.
+  Status Insert(Row row);
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+};
+
+struct ViewDef {
+  std::string name;
+  std::unique_ptr<sql::SelectStmt> select;
+};
+
+class Catalog {
+ public:
+  Status CreateTable(TableSchema schema);
+  Status CreateView(std::string name, std::unique_ptr<sql::SelectStmt> select);
+  Status DropTable(const std::string& name);
+  Status DropView(const std::string& name);
+
+  Table* FindTable(const std::string& name) const;
+  const ViewDef* FindView(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, ViewDef> views_;
+};
+
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_CATALOG_H_

@@ -1,0 +1,351 @@
+#include "engine/database.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace mtbase {
+namespace engine {
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out = JoinStrings(column_names, " | ") + "\n";
+  size_t n = std::min(rows.size(), max_rows);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> cells;
+    cells.reserve(rows[i].size());
+    for (const Value& v : rows[i]) cells.push_back(v.ToString());
+    out += JoinStrings(cells, " | ") + "\n";
+  }
+  if (rows.size() > n) {
+    out += "... (" + std::to_string(rows.size()) + " rows)\n";
+  }
+  return out;
+}
+
+ExecContext Database::MakeContext() {
+  ExecContext ctx;
+  ctx.stats = &stats_;
+  ctx.profile = profile_;
+  return ctx;
+}
+
+Result<ResultSet> Database::Execute(const std::string& sql) {
+  MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(sql));
+  return ExecuteStmt(stmt);
+}
+
+Result<ResultSet> Database::ExecuteScript(const std::string& sql) {
+  MTB_ASSIGN_OR_RETURN(auto stmts, sql::ParseScript(sql));
+  ResultSet last;
+  for (const auto& s : stmts) {
+    MTB_ASSIGN_OR_RETURN(last, ExecuteStmt(s));
+  }
+  return last;
+}
+
+Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt) {
+  ResultSet empty;
+  switch (stmt.kind) {
+    case sql::Stmt::Kind::kSelect:
+      return ExecuteSelect(*stmt.select);
+    case sql::Stmt::Kind::kCreateTable:
+      MTB_RETURN_IF_ERROR(ExecuteCreateTable(*stmt.create_table));
+      return empty;
+    case sql::Stmt::Kind::kCreateView:
+      MTB_RETURN_IF_ERROR(catalog_.CreateView(stmt.create_view->name,
+                                              stmt.create_view->select->Clone()));
+      return empty;
+    case sql::Stmt::Kind::kCreateFunction:
+      MTB_RETURN_IF_ERROR(ExecuteCreateFunction(*stmt.create_function));
+      return empty;
+    case sql::Stmt::Kind::kInsert:
+      MTB_RETURN_IF_ERROR(ExecuteInsert(*stmt.insert));
+      return empty;
+    case sql::Stmt::Kind::kUpdate: {
+      MTB_ASSIGN_OR_RETURN(int64_t n, ExecuteUpdate(*stmt.update));
+      empty.column_names = {"updated"};
+      empty.rows.push_back({Value::Int(n)});
+      return empty;
+    }
+    case sql::Stmt::Kind::kDelete: {
+      MTB_ASSIGN_OR_RETURN(int64_t n, ExecuteDelete(*stmt.del));
+      empty.column_names = {"deleted"};
+      empty.rows.push_back({Value::Int(n)});
+      return empty;
+    }
+    case sql::Stmt::Kind::kGrant:
+      // Privileges are enforced by the MT middleware (paper section 2.3);
+      // the engine accepts and ignores plain-SQL grants.
+      return empty;
+    case sql::Stmt::Kind::kSetScope:
+      return Status::InvalidArgument(
+          "SET SCOPE is an MTSQL statement; the engine only accepts SQL");
+    case sql::Stmt::Kind::kDrop:
+      if (stmt.drop->what == sql::DropStmt::What::kTable) {
+        MTB_RETURN_IF_ERROR(catalog_.DropTable(stmt.drop->name));
+      } else {
+        MTB_RETURN_IF_ERROR(catalog_.DropView(stmt.drop->name));
+      }
+      return empty;
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<ResultSet> Database::ExecuteSelect(const sql::SelectStmt& sel) {
+  Planner planner(&catalog_, &udfs_);
+  MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(sel));
+  ExecContext ctx = MakeContext();
+  MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan, &ctx));
+  ResultSet rs;
+  for (const auto& c : plan->columns) rs.column_names.push_back(c.name);
+  rs.rows = std::move(rows);
+  return rs;
+}
+
+Status Database::ExecuteCreateTable(const sql::CreateTableStmt& ct) {
+  TableSchema schema;
+  schema.name = ct.name;
+  for (const auto& c : ct.columns) {
+    schema.columns.push_back({c.name, c.type, c.not_null});
+  }
+  for (const auto& c : ct.constraints) {
+    switch (c.kind) {
+      case sql::TableConstraint::Kind::kPrimaryKey:
+        schema.primary_key = c.columns;
+        break;
+      case sql::TableConstraint::Kind::kForeignKey:
+        schema.foreign_keys.push_back(
+            {c.name, c.columns, c.ref_table, c.ref_columns});
+        break;
+      case sql::TableConstraint::Kind::kCheck:
+        schema.checks.push_back({c.name, sql::PrintExpr(*c.check)});
+        break;
+    }
+  }
+  return catalog_.CreateTable(std::move(schema));
+}
+
+Status Database::ExecuteCreateFunction(const sql::CreateFunctionStmt& cf) {
+  auto udf = std::make_unique<Udf>();
+  udf->name = cf.name;
+  udf->arg_types = cf.arg_types;
+  udf->return_type = cf.return_type;
+  udf->body_sql = cf.body_sql;
+  udf->immutable = cf.immutable;
+  MTB_ASSIGN_OR_RETURN(auto body, sql::ParseSelect(cf.body_sql));
+  Planner planner(&catalog_, &udfs_);
+  MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(*body));
+  udf->body_plan = std::shared_ptr<const Plan>(std::move(plan));
+  return udfs_.Register(std::move(udf));
+}
+
+Status Database::ExecuteInsert(const sql::InsertStmt& ins) {
+  Table* table = catalog_.FindTable(ins.table);
+  if (table == nullptr) {
+    return Status::NotFound("table " + ins.table + " does not exist");
+  }
+  const TableSchema& schema = table->schema();
+  std::vector<int> targets;
+  if (ins.columns.empty()) {
+    for (size_t i = 0; i < schema.columns.size(); ++i) {
+      targets.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& c : ins.columns) {
+      int idx = schema.FindColumn(c);
+      if (idx < 0) {
+        return Status::NotFound("column " + c + " does not exist in " +
+                                ins.table);
+      }
+      targets.push_back(idx);
+    }
+  }
+  std::vector<Row> source_rows;
+  if (ins.select) {
+    MTB_ASSIGN_OR_RETURN(ResultSet rs, ExecuteSelect(*ins.select));
+    source_rows = std::move(rs.rows);
+  } else {
+    Planner planner(&catalog_, &udfs_);
+    ExecContext ctx = MakeContext();
+    Row empty_row;
+    for (const auto& value_row : ins.rows) {
+      Row r;
+      for (const auto& e : value_row) {
+        MTB_ASSIGN_OR_RETURN(auto bound, planner.BindExpr(*e, {}));
+        MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*bound, empty_row, &ctx));
+        r.push_back(std::move(v));
+      }
+      source_rows.push_back(std::move(r));
+    }
+  }
+  for (const Row& src : source_rows) {
+    if (src.size() != targets.size()) {
+      return Status::InvalidArgument("INSERT arity mismatch");
+    }
+    Row row(schema.columns.size());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      row[static_cast<size_t>(targets[i])] = src[i];
+    }
+    MTB_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& up) {
+  Table* table = catalog_.FindTable(up.table);
+  if (table == nullptr) {
+    return Status::NotFound("table " + up.table + " does not exist");
+  }
+  const TableSchema& schema = table->schema();
+  std::vector<ColumnMeta> layout;
+  for (const auto& c : schema.columns) layout.push_back({up.table, c.name});
+  Planner planner(&catalog_, &udfs_);
+  BoundExprPtr where;
+  if (up.where) {
+    MTB_ASSIGN_OR_RETURN(where, planner.BindExpr(*up.where, layout));
+  }
+  std::vector<std::pair<int, BoundExprPtr>> sets;
+  for (const auto& [col, expr] : up.assignments) {
+    int idx = schema.FindColumn(col);
+    if (idx < 0) {
+      return Status::NotFound("column " + col + " does not exist in " +
+                              up.table);
+    }
+    MTB_ASSIGN_OR_RETURN(auto bound, planner.BindExpr(*expr, layout));
+    sets.emplace_back(idx, std::move(bound));
+  }
+  ExecContext ctx = MakeContext();
+  int64_t updated = 0;
+  for (Row& r : *table->mutable_rows()) {
+    if (where) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*where, r, &ctx));
+      if (!IsTrue(v)) continue;
+    }
+    Row next = r;
+    for (const auto& [idx, expr] : sets) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, r, &ctx));
+      next[static_cast<size_t>(idx)] = std::move(v);
+    }
+    r = std::move(next);
+    ++updated;
+  }
+  return updated;
+}
+
+Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& del) {
+  Table* table = catalog_.FindTable(del.table);
+  if (table == nullptr) {
+    return Status::NotFound("table " + del.table + " does not exist");
+  }
+  const TableSchema& schema = table->schema();
+  std::vector<ColumnMeta> layout;
+  for (const auto& c : schema.columns) layout.push_back({del.table, c.name});
+  Planner planner(&catalog_, &udfs_);
+  BoundExprPtr where;
+  if (del.where) {
+    MTB_ASSIGN_OR_RETURN(where, planner.BindExpr(*del.where, layout));
+  }
+  ExecContext ctx = MakeContext();
+  auto* rows = table->mutable_rows();
+  std::vector<Row> kept;
+  kept.reserve(rows->size());
+  int64_t deleted = 0;
+  for (Row& r : *rows) {
+    bool remove = true;
+    if (where) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*where, r, &ctx));
+      remove = IsTrue(v);
+    }
+    if (remove) {
+      ++deleted;
+    } else {
+      kept.push_back(std::move(r));
+    }
+  }
+  *rows = std::move(kept);
+  return deleted;
+}
+
+Status Database::ValidateTable(const Table& table) {
+  const TableSchema& schema = table.schema();
+  // Primary key uniqueness.
+  if (!schema.primary_key.empty()) {
+    std::vector<int> pk;
+    for (const auto& c : schema.primary_key) pk.push_back(schema.FindColumn(c));
+    std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq> seen;
+    for (const Row& r : table.rows()) {
+      std::vector<Value> key;
+      for (int idx : pk) key.push_back(r[static_cast<size_t>(idx)]);
+      if (!seen.insert(std::move(key)).second) {
+        return Status::ConstraintViolation("duplicate primary key in " +
+                                           schema.name);
+      }
+    }
+  }
+  // Foreign keys.
+  for (const auto& fk : schema.foreign_keys) {
+    const Table* ref = catalog_.FindTable(fk.ref_table);
+    if (ref == nullptr) {
+      return Status::NotFound("FK reference table " + fk.ref_table +
+                              " does not exist");
+    }
+    std::vector<int> local, remote;
+    for (const auto& c : fk.columns) local.push_back(schema.FindColumn(c));
+    for (const auto& c : fk.ref_columns) {
+      remote.push_back(ref->schema().FindColumn(c));
+    }
+    std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq> keys;
+    for (const Row& r : ref->rows()) {
+      std::vector<Value> key;
+      for (int idx : remote) key.push_back(r[static_cast<size_t>(idx)]);
+      keys.insert(std::move(key));
+    }
+    for (const Row& r : table.rows()) {
+      std::vector<Value> key;
+      bool any_null = false;
+      for (int idx : local) {
+        const Value& v = r[static_cast<size_t>(idx)];
+        any_null = any_null || v.is_null();
+        key.push_back(v);
+      }
+      if (any_null) continue;
+      if (!keys.count(key)) {
+        return Status::ConstraintViolation(
+            "FK violation in " + schema.name + " (" + fk.name + ")");
+      }
+    }
+  }
+  // Database-level check constraints (see paper Appendix A.1).
+  for (const auto& check : schema.checks) {
+    MTB_ASSIGN_OR_RETURN(auto expr, sql::ParseExpression(check.expr_sql));
+    Planner planner(&catalog_, &udfs_);
+    MTB_ASSIGN_OR_RETURN(auto bound, planner.BindExpr(*expr, {}));
+    ExecContext ctx = MakeContext();
+    Row empty;
+    MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*bound, empty, &ctx));
+    if (!IsTrue(v)) {
+      return Status::ConstraintViolation("check constraint " + check.name +
+                                         " violated in " + schema.name);
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::ValidateConstraints(const std::string& table) {
+  if (!table.empty()) {
+    const Table* t = catalog_.FindTable(table);
+    if (t == nullptr) {
+      return Status::NotFound("table " + table + " does not exist");
+    }
+    return ValidateTable(*t);
+  }
+  for (const auto& name : catalog_.TableNames()) {
+    MTB_RETURN_IF_ERROR(ValidateTable(*catalog_.FindTable(name)));
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace mtbase

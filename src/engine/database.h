@@ -1,0 +1,74 @@
+// Database: the SQL engine facade MTBase's middleware talks to.
+//
+// Accepts plain SQL text (the output of the MTSQL-to-SQL rewriter), parses,
+// plans and executes it. Plays the role of "PostgreSQL" or "System C" in the
+// paper's architecture (Figure 4), selected by DbmsProfile.
+#ifndef MTBASE_ENGINE_DATABASE_H_
+#define MTBASE_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/catalog.h"
+#include "engine/exec.h"
+#include "engine/planner.h"
+#include "engine/stats.h"
+#include "engine/udf.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace engine {
+
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+
+  std::string ToString(size_t max_rows = 25) const;
+};
+
+class Database {
+ public:
+  explicit Database(DbmsProfile profile = DbmsProfile::kPostgres)
+      : profile_(profile) {}
+
+  /// Execute one statement given as SQL text.
+  Result<ResultSet> Execute(const std::string& sql);
+  /// Execute a ';'-separated script; returns the last statement's result.
+  Result<ResultSet> ExecuteScript(const std::string& sql);
+  /// Execute a parsed statement.
+  Result<ResultSet> ExecuteStmt(const sql::Stmt& stmt);
+
+  /// Validate primary keys, foreign keys and check constraints of `table`
+  /// (all tables if empty). Deferred validation keeps bulk loads fast.
+  Status ValidateConstraints(const std::string& table = "");
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog* catalog() const { return &catalog_; }
+  UdfRegistry* udfs() { return &udfs_; }
+  ExecStats* stats() { return &stats_; }
+  DbmsProfile profile() const { return profile_; }
+  void set_profile(DbmsProfile p) { profile_ = p; }
+
+ private:
+  Result<ResultSet> ExecuteSelect(const sql::SelectStmt& sel);
+  Status ExecuteCreateTable(const sql::CreateTableStmt& ct);
+  Status ExecuteCreateFunction(const sql::CreateFunctionStmt& cf);
+  Status ExecuteInsert(const sql::InsertStmt& ins);
+  Result<int64_t> ExecuteUpdate(const sql::UpdateStmt& up);
+  Result<int64_t> ExecuteDelete(const sql::DeleteStmt& del);
+  Status ValidateTable(const Table& table);
+
+  ExecContext MakeContext();
+
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  ExecStats stats_;
+  DbmsProfile profile_;
+};
+
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_DATABASE_H_

@@ -1,0 +1,885 @@
+#include "engine/exec.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "engine/catalog.h"
+#include "engine/udf.h"
+
+namespace mtbase {
+namespace engine {
+
+namespace {
+
+Value NullV() { return Value::Null(); }
+
+/// NULL-aware three-way comparison for sorting: NULLs sort last (ascending).
+int SortCompare(const Value& a, const Value& b) {
+  if (a.is_null() && b.is_null()) return 0;
+  if (a.is_null()) return 1;
+  if (b.is_null()) return -1;
+  auto r = a.Compare(b);
+  return r.ok() ? r.value() : 0;
+}
+
+Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args, ExecContext* ctx);
+
+}  // namespace
+
+bool IsTrue(const Value& v) {
+  return v.type() == TypeId::kBool && v.bool_value();
+}
+
+Result<Value> NumericAdd(const Value& a, const Value& b) {
+  if (a.type() == TypeId::kDouble || b.type() == TypeId::kDouble) {
+    return Value::Double(a.AsDouble() + b.AsDouble());
+  }
+  if (a.type() == TypeId::kDecimal || b.type() == TypeId::kDecimal) {
+    Decimal x = a.type() == TypeId::kDecimal ? a.decimal_value()
+                                             : Decimal::FromInt(a.int_value());
+    Decimal y = b.type() == TypeId::kDecimal ? b.decimal_value()
+                                             : Decimal::FromInt(b.int_value());
+    return Value::Dec(x.Add(y));
+  }
+  if (a.type() == TypeId::kInt && b.type() == TypeId::kInt) {
+    return Value::Int(a.int_value() + b.int_value());
+  }
+  return Status::InvalidArgument("cannot add non-numeric values");
+}
+
+Result<Value> NumericSub(const Value& a, const Value& b) {
+  if (a.type() == TypeId::kDouble || b.type() == TypeId::kDouble) {
+    return Value::Double(a.AsDouble() - b.AsDouble());
+  }
+  if (a.type() == TypeId::kDecimal || b.type() == TypeId::kDecimal) {
+    Decimal x = a.type() == TypeId::kDecimal ? a.decimal_value()
+                                             : Decimal::FromInt(a.int_value());
+    Decimal y = b.type() == TypeId::kDecimal ? b.decimal_value()
+                                             : Decimal::FromInt(b.int_value());
+    return Value::Dec(x.Sub(y));
+  }
+  if (a.type() == TypeId::kInt && b.type() == TypeId::kInt) {
+    return Value::Int(a.int_value() - b.int_value());
+  }
+  return Status::InvalidArgument("cannot subtract non-numeric values");
+}
+
+Result<Value> NumericMul(const Value& a, const Value& b) {
+  if (a.type() == TypeId::kDouble || b.type() == TypeId::kDouble) {
+    return Value::Double(a.AsDouble() * b.AsDouble());
+  }
+  if (a.type() == TypeId::kDecimal || b.type() == TypeId::kDecimal) {
+    Decimal x = a.type() == TypeId::kDecimal ? a.decimal_value()
+                                             : Decimal::FromInt(a.int_value());
+    Decimal y = b.type() == TypeId::kDecimal ? b.decimal_value()
+                                             : Decimal::FromInt(b.int_value());
+    return Value::Dec(x.Mul(y));
+  }
+  if (a.type() == TypeId::kInt && b.type() == TypeId::kInt) {
+    return Value::Int(a.int_value() * b.int_value());
+  }
+  return Status::InvalidArgument("cannot multiply non-numeric values");
+}
+
+Result<Value> NumericDiv(const Value& a, const Value& b) {
+  if (a.type() == TypeId::kDouble || b.type() == TypeId::kDouble) {
+    double d = b.AsDouble();
+    if (d == 0.0) return Status::InvalidArgument("division by zero");
+    return Value::Double(a.AsDouble() / d);
+  }
+  Decimal x = a.type() == TypeId::kDecimal ? a.decimal_value()
+                                           : Decimal::FromInt(a.int_value());
+  Decimal y = b.type() == TypeId::kDecimal ? b.decimal_value()
+                                           : Decimal::FromInt(b.int_value());
+  if (y.units() == 0) return Status::InvalidArgument("division by zero");
+  return Value::Dec(x.Div(y));
+}
+
+namespace {
+
+Result<Value> EvalBinary(const BoundExpr& e, const Row& row, ExecContext* ctx) {
+  // AND / OR use Kleene logic with short circuit.
+  if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
+    MTB_ASSIGN_OR_RETURN(Value a, EvalExpr(*e.args[0], row, ctx));
+    bool is_and = e.bin_op == BinOp::kAnd;
+    if (!a.is_null() && IsTrue(a) != is_and) return Value::Bool(!is_and);
+    MTB_ASSIGN_OR_RETURN(Value b, EvalExpr(*e.args[1], row, ctx));
+    if (!b.is_null() && IsTrue(b) != is_and) return Value::Bool(!is_and);
+    if (a.is_null() || b.is_null()) return NullV();
+    return Value::Bool(is_and);
+  }
+  MTB_ASSIGN_OR_RETURN(Value a, EvalExpr(*e.args[0], row, ctx));
+  MTB_ASSIGN_OR_RETURN(Value b, EvalExpr(*e.args[1], row, ctx));
+  switch (e.bin_op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      if (a.is_null() || b.is_null()) return NullV();
+      MTB_ASSIGN_OR_RETURN(int c, a.Compare(b));
+      switch (e.bin_op) {
+        case BinOp::kEq: return Value::Bool(c == 0);
+        case BinOp::kNe: return Value::Bool(c != 0);
+        case BinOp::kLt: return Value::Bool(c < 0);
+        case BinOp::kLe: return Value::Bool(c <= 0);
+        case BinOp::kGt: return Value::Bool(c > 0);
+        default: return Value::Bool(c >= 0);
+      }
+    }
+    case BinOp::kAdd:
+      if (a.is_null() || b.is_null()) return NullV();
+      if (a.type() == TypeId::kDate && b.type() == TypeId::kInt) {
+        return Value::Dat(a.date_value().AddDays(static_cast<int>(b.int_value())));
+      }
+      return NumericAdd(a, b);
+    case BinOp::kSub:
+      if (a.is_null() || b.is_null()) return NullV();
+      if (a.type() == TypeId::kDate && b.type() == TypeId::kInt) {
+        return Value::Dat(a.date_value().AddDays(-static_cast<int>(b.int_value())));
+      }
+      if (a.type() == TypeId::kDate && b.type() == TypeId::kDate) {
+        return Value::Int(a.date_value().days() - b.date_value().days());
+      }
+      return NumericSub(a, b);
+    case BinOp::kMul:
+      if (a.is_null() || b.is_null()) return NullV();
+      return NumericMul(a, b);
+    case BinOp::kDiv:
+      if (a.is_null() || b.is_null()) return NullV();
+      return NumericDiv(a, b);
+    case BinOp::kConcat:
+      if (a.is_null() || b.is_null()) return NullV();
+      return Value::Str(a.ToString() + b.ToString());
+    case BinOp::kLike:
+    case BinOp::kNotLike: {
+      if (a.is_null() || b.is_null()) return NullV();
+      bool m = LikeMatch(a.string_value(), b.string_value());
+      return Value::Bool(e.bin_op == BinOp::kLike ? m : !m);
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+Result<Value> EvalBuiltin(const BoundExpr& e, const Row& row, ExecContext* ctx) {
+  std::vector<Value> args;
+  args.reserve(e.args.size());
+  for (const auto& a : e.args) {
+    MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*a, row, ctx));
+    args.push_back(std::move(v));
+  }
+  switch (e.builtin) {
+    case BuiltinFunc::kSubstring: {
+      if (args[0].is_null() || args[1].is_null()) return NullV();
+      const std::string& s = args[0].string_value();
+      int64_t from = args[1].int_value();
+      int64_t len = args.size() > 2 && !args[2].is_null()
+                        ? args[2].int_value()
+                        : static_cast<int64_t>(s.size());
+      int64_t start = std::max<int64_t>(from - 1, 0);
+      if (start >= static_cast<int64_t>(s.size()) || len <= 0) {
+        return Value::Str("");
+      }
+      return Value::Str(s.substr(static_cast<size_t>(start),
+                                 static_cast<size_t>(len)));
+    }
+    case BuiltinFunc::kConcat: {
+      std::string out;
+      for (const Value& v : args) {
+        if (!v.is_null()) out += v.ToString();
+      }
+      return Value::Str(std::move(out));
+    }
+    case BuiltinFunc::kCharLength:
+      if (args[0].is_null()) return NullV();
+      return Value::Int(static_cast<int64_t>(args[0].string_value().size()));
+    case BuiltinFunc::kUpper:
+      if (args[0].is_null()) return NullV();
+      return Value::Str(ToUpperCopy(args[0].string_value()));
+    case BuiltinFunc::kLower:
+      if (args[0].is_null()) return NullV();
+      return Value::Str(ToLowerCopy(args[0].string_value()));
+    case BuiltinFunc::kAbs: {
+      if (args[0].is_null()) return NullV();
+      const Value& v = args[0];
+      if (v.type() == TypeId::kInt) return Value::Int(std::abs(v.int_value()));
+      if (v.type() == TypeId::kDouble) {
+        return Value::Double(std::abs(v.double_value()));
+      }
+      if (v.type() == TypeId::kDecimal) {
+        Decimal d = v.decimal_value();
+        return Value::Dec(d.units() < 0 ? d.Neg() : d);
+      }
+      return Status::InvalidArgument("ABS requires a numeric argument");
+    }
+    case BuiltinFunc::kCoalesce:
+      for (Value& v : args) {
+        if (!v.is_null()) return std::move(v);
+      }
+      return NullV();
+    case BuiltinFunc::kDateAddDays:
+    case BuiltinFunc::kDateAddMonths:
+    case BuiltinFunc::kDateAddYears: {
+      if (args[0].is_null()) return NullV();
+      if (args[0].type() != TypeId::kDate) {
+        return Status::InvalidArgument("interval arithmetic requires a date");
+      }
+      int n = static_cast<int>(args[1].int_value());
+      Date d = args[0].date_value();
+      if (e.builtin == BuiltinFunc::kDateAddDays) return Value::Dat(d.AddDays(n));
+      if (e.builtin == BuiltinFunc::kDateAddMonths) {
+        return Value::Dat(d.AddMonths(n));
+      }
+      return Value::Dat(d.AddYears(n));
+    }
+    case BuiltinFunc::kExtractYear:
+    case BuiltinFunc::kExtractMonth:
+    case BuiltinFunc::kExtractDay: {
+      if (args[0].is_null()) return NullV();
+      if (args[0].type() != TypeId::kDate) {
+        return Status::InvalidArgument("EXTRACT requires a date");
+      }
+      const Date& d = args[0].date_value();
+      if (e.builtin == BuiltinFunc::kExtractYear) return Value::Int(d.year());
+      if (e.builtin == BuiltinFunc::kExtractMonth) return Value::Int(d.month());
+      return Value::Int(d.day());
+    }
+  }
+  return Status::Internal("unhandled builtin");
+}
+
+Result<Value> ExecuteSubqueryPerRow(const BoundExpr& e, const Row& row,
+                                    ExecContext* ctx,
+                                    std::vector<Row>* out_rows) {
+  ctx->stats->subquery_execs++;
+  ctx->outer_stack.push_back(&row);
+  auto rows = ExecutePlan(*e.subplan, ctx);
+  ctx->outer_stack.pop_back();
+  if (!rows.ok()) return rows.status();
+  *out_rows = std::move(rows).value();
+  return Value::Null();
+}
+
+Result<Value> EvalScalarSub(const BoundExpr& e, const Row& row,
+                            ExecContext* ctx) {
+  const Plan* key = e.subplan.get();
+  if (!e.correlated) {
+    auto it = ctx->scalar_cache.find(key);
+    if (it != ctx->scalar_cache.end()) return it->second;
+    ctx->stats->initplan_execs++;
+    MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*e.subplan, ctx));
+    if (rows.size() > 1) {
+      return Status::InvalidArgument("scalar sub-query returned more than one row");
+    }
+    Value v = rows.empty() ? Value::Null() : rows[0][0];
+    ctx->scalar_cache[key] = v;
+    return v;
+  }
+  std::vector<Row> rows;
+  MTB_RETURN_IF_ERROR(ExecuteSubqueryPerRow(e, row, ctx, &rows).status());
+  if (rows.size() > 1) {
+    return Status::InvalidArgument("scalar sub-query returned more than one row");
+  }
+  return rows.empty() ? Value::Null() : rows[0][0];
+}
+
+Result<Value> EvalInSet(const BoundExpr& e, const Row& row, ExecContext* ctx) {
+  std::vector<Value> needle;
+  bool needle_null = false;
+  for (const auto& a : e.args) {
+    MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*a, row, ctx));
+    if (v.is_null()) needle_null = true;
+    needle.push_back(std::move(v));
+  }
+  const ExecContext::InSetCache* cache = nullptr;
+  ExecContext::InSetCache local;
+  if (!e.correlated) {
+    auto it = ctx->inset_cache.find(e.subplan.get());
+    if (it == ctx->inset_cache.end()) {
+      ctx->stats->initplan_execs++;
+      MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*e.subplan, ctx));
+      ExecContext::InSetCache built;
+      for (auto& r : rows) {
+        bool any_null = false;
+        for (const Value& v : r) any_null = any_null || v.is_null();
+        if (any_null) {
+          built.has_null = true;
+        } else {
+          built.set.insert(std::move(r));
+        }
+      }
+      it = ctx->inset_cache.emplace(e.subplan.get(), std::move(built)).first;
+    }
+    cache = &it->second;
+  } else {
+    std::vector<Row> rows;
+    MTB_RETURN_IF_ERROR(ExecuteSubqueryPerRow(e, row, ctx, &rows).status());
+    for (auto& r : rows) {
+      bool any_null = false;
+      for (const Value& v : r) any_null = any_null || v.is_null();
+      if (any_null) {
+        local.has_null = true;
+      } else {
+        local.set.insert(std::move(r));
+      }
+    }
+    cache = &local;
+  }
+  Value result;
+  if (needle_null) {
+    result = NullV();
+  } else if (cache->set.count(needle)) {
+    result = Value::Bool(true);
+  } else if (cache->has_null) {
+    result = NullV();
+  } else {
+    result = Value::Bool(false);
+  }
+  if (e.negated) {
+    if (result.is_null()) return result;
+    return Value::Bool(!result.bool_value());
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const BoundExpr& e, const Row& row, ExecContext* ctx) {
+  switch (e.kind) {
+    case BoundExpr::Kind::kLiteral:
+      return e.literal;
+    case BoundExpr::Kind::kSlot:
+      return row[static_cast<size_t>(e.slot)];
+    case BoundExpr::Kind::kOuterSlot: {
+      size_t n = ctx->outer_stack.size();
+      if (static_cast<size_t>(e.depth) > n) {
+        return Status::Internal("outer reference beyond execution stack");
+      }
+      return (*ctx->outer_stack[n - static_cast<size_t>(e.depth)])
+          [static_cast<size_t>(e.slot)];
+    }
+    case BoundExpr::Kind::kParam:
+      if (ctx->params == nullptr ||
+          static_cast<size_t>(e.param_index) > ctx->params->size()) {
+        return Status::Internal("parameter $" + std::to_string(e.param_index) +
+                                " not bound");
+      }
+      return (*ctx->params)[static_cast<size_t>(e.param_index - 1)];
+    case BoundExpr::Kind::kNot: {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], row, ctx));
+      if (v.is_null()) return v;
+      return Value::Bool(!IsTrue(v));
+    }
+    case BoundExpr::Kind::kNeg: {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], row, ctx));
+      if (v.is_null()) return v;
+      if (v.type() == TypeId::kInt) return Value::Int(-v.int_value());
+      if (v.type() == TypeId::kDouble) return Value::Double(-v.double_value());
+      if (v.type() == TypeId::kDecimal) return Value::Dec(v.decimal_value().Neg());
+      return Status::InvalidArgument("cannot negate non-numeric value");
+    }
+    case BoundExpr::Kind::kBinary:
+      return EvalBinary(e, row, ctx);
+    case BoundExpr::Kind::kBuiltin:
+      return EvalBuiltin(e, row, ctx);
+    case BoundExpr::Kind::kUdfCall: {
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) {
+        MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*a, row, ctx));
+        args.push_back(std::move(v));
+      }
+      return EvalUdf(*e.udf, std::move(args), ctx);
+    }
+    case BoundExpr::Kind::kCase: {
+      for (size_t i = 0; i + 1 < e.args.size(); i += 2) {
+        MTB_ASSIGN_OR_RETURN(Value c, EvalExpr(*e.args[i], row, ctx));
+        if (IsTrue(c)) return EvalExpr(*e.args[i + 1], row, ctx);
+      }
+      if (e.else_expr) return EvalExpr(*e.else_expr, row, ctx);
+      return NullV();
+    }
+    case BoundExpr::Kind::kInList: {
+      MTB_ASSIGN_OR_RETURN(Value needle, EvalExpr(*e.args[0], row, ctx));
+      if (needle.is_null()) return NullV();
+      bool saw_null = false;
+      bool found = false;
+      for (size_t i = 1; i < e.args.size() && !found; ++i) {
+        MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[i], row, ctx));
+        if (v.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        auto c = needle.Compare(v);
+        if (c.ok() && c.value() == 0) found = true;
+      }
+      Value result = found ? Value::Bool(true)
+                           : (saw_null ? NullV() : Value::Bool(false));
+      if (e.negated) {
+        if (result.is_null()) return result;
+        return Value::Bool(!result.bool_value());
+      }
+      return result;
+    }
+    case BoundExpr::Kind::kInSet:
+      return EvalInSet(e, row, ctx);
+    case BoundExpr::Kind::kExistsSub: {
+      bool exists;
+      if (!e.correlated) {
+        auto it = ctx->scalar_cache.find(e.subplan.get());
+        if (it != ctx->scalar_cache.end()) {
+          exists = IsTrue(it->second);
+        } else {
+          ctx->stats->initplan_execs++;
+          MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*e.subplan, ctx));
+          exists = !rows.empty();
+          ctx->scalar_cache[e.subplan.get()] = Value::Bool(exists);
+        }
+      } else {
+        std::vector<Row> rows;
+        MTB_RETURN_IF_ERROR(ExecuteSubqueryPerRow(e, row, ctx, &rows).status());
+        exists = !rows.empty();
+      }
+      return Value::Bool(e.negated ? !exists : exists);
+    }
+    case BoundExpr::Kind::kScalarSub:
+      return EvalScalarSub(e, row, ctx);
+    case BoundExpr::Kind::kBetween: {
+      MTB_ASSIGN_OR_RETURN(Value x, EvalExpr(*e.args[0], row, ctx));
+      MTB_ASSIGN_OR_RETURN(Value lo, EvalExpr(*e.args[1], row, ctx));
+      MTB_ASSIGN_OR_RETURN(Value hi, EvalExpr(*e.args[2], row, ctx));
+      if (x.is_null() || lo.is_null() || hi.is_null()) return NullV();
+      MTB_ASSIGN_OR_RETURN(int c1, x.Compare(lo));
+      MTB_ASSIGN_OR_RETURN(int c2, x.Compare(hi));
+      bool in = c1 >= 0 && c2 <= 0;
+      return Value::Bool(e.negated ? !in : in);
+    }
+    case BoundExpr::Kind::kIsNull: {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], row, ctx));
+      bool isn = v.is_null();
+      return Value::Bool(e.negated ? !isn : isn);
+    }
+  }
+  return Status::Internal("unhandled bound expression kind");
+}
+
+namespace {
+
+Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args,
+                      ExecContext* ctx) {
+  std::string cache_key;
+  bool cacheable =
+      ctx->profile == DbmsProfile::kPostgres && udf.immutable;
+  if (cacheable) {
+    cache_key = udf.name;
+    for (const Value& v : args) {
+      cache_key += '\x1f';
+      cache_key += static_cast<char>('0' + static_cast<int>(v.type()));
+      cache_key += v.ToString();
+    }
+    auto it = ctx->udf_cache.find(cache_key);
+    if (it != ctx->udf_cache.end()) {
+      ctx->stats->udf_cache_hits++;
+      return it->second;
+    }
+  }
+  ctx->stats->udf_calls++;
+  const std::vector<Value>* saved = ctx->params;
+  ctx->params = &args;
+  auto rows = ExecutePlan(*udf.body_plan, ctx);
+  ctx->params = saved;
+  if (!rows.ok()) return rows.status();
+  Value result =
+      rows.value().empty() ? Value::Null() : rows.value()[0][0];
+  if (cacheable) ctx->udf_cache[cache_key] = result;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Row>> ExecScan(const Plan& p, ExecContext* ctx) {
+  std::vector<Row> out;
+  if (p.table == nullptr) {
+    out.emplace_back();  // one empty row (SELECT without FROM, dummy input)
+    return out;
+  }
+  const auto& rows = p.table->rows();
+  ctx->stats->rows_scanned += rows.size();
+  out.reserve(p.scan_filter ? rows.size() / 4 : rows.size());
+  for (const Row& r : rows) {
+    if (p.scan_filter) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.scan_filter, r, ctx));
+      if (!IsTrue(v)) continue;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+Result<std::vector<Row>> ExecJoin(const Plan& p, ExecContext* ctx) {
+  MTB_ASSIGN_OR_RETURN(auto left_rows, ExecutePlan(*p.left, ctx));
+  if (left_rows.empty() && p.join_kind != JoinKind::kInner) {
+    // Left/semi/anti joins with an empty outer side produce nothing; inner
+    // join also produces nothing but we keep the uniform path below.
+    return std::vector<Row>{};
+  }
+  MTB_ASSIGN_OR_RETURN(auto right_rows, ExecutePlan(*p.right, ctx));
+  std::vector<Row> out;
+  const size_t right_width = p.right->columns.size();
+
+  auto concat = [](const Row& l, const Row& r) {
+    Row row;
+    row.reserve(l.size() + r.size());
+    for (const Value& v : l) row.push_back(v);
+    for (const Value& v : r) row.push_back(v);
+    return row;
+  };
+
+  if (p.left_keys.empty()) {
+    // Nested-loop join (cross product with optional residual).
+    for (const Row& l : left_rows) {
+      bool matched = false;
+      for (const Row& r : right_rows) {
+        Row joined = concat(l, r);
+        ctx->stats->rows_joined++;
+        if (p.residual) {
+          MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.residual, joined, ctx));
+          if (!IsTrue(v)) continue;
+        }
+        matched = true;
+        if (p.join_kind == JoinKind::kInner || p.join_kind == JoinKind::kLeft) {
+          out.push_back(std::move(joined));
+        } else if (p.join_kind == JoinKind::kSemi) {
+          break;
+        } else {  // anti
+          break;
+        }
+      }
+      if (!matched && p.join_kind == JoinKind::kLeft) {
+        Row joined = l;
+        joined.resize(l.size() + right_width);
+        out.push_back(std::move(joined));
+      }
+      if (p.join_kind == JoinKind::kSemi && matched) out.push_back(l);
+      if (p.join_kind == JoinKind::kAnti && !matched) out.push_back(l);
+    }
+    return out;
+  }
+
+  // Hash join: build on the right side.
+  std::unordered_map<std::vector<Value>, std::vector<size_t>, ValueVectorHash,
+                     ValueVectorEq>
+      table;
+  table.reserve(right_rows.size());
+  for (size_t i = 0; i < right_rows.size(); ++i) {
+    std::vector<Value> key;
+    key.reserve(p.right_keys.size());
+    bool null_key = false;
+    for (const auto& k : p.right_keys) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, right_rows[i], ctx));
+      null_key = null_key || v.is_null();
+      key.push_back(std::move(v));
+    }
+    if (null_key) continue;  // NULL keys never match an equality
+    table[std::move(key)].push_back(i);
+  }
+  for (const Row& l : left_rows) {
+    std::vector<Value> key;
+    key.reserve(p.left_keys.size());
+    bool null_key = false;
+    for (const auto& k : p.left_keys) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, l, ctx));
+      null_key = null_key || v.is_null();
+      key.push_back(std::move(v));
+    }
+    bool matched = false;
+    if (!null_key) {
+      auto it = table.find(key);
+      if (it != table.end()) {
+        for (size_t ri : it->second) {
+          Row joined = concat(l, right_rows[ri]);
+          ctx->stats->rows_joined++;
+          if (p.residual) {
+            MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.residual, joined, ctx));
+            if (!IsTrue(v)) continue;
+          }
+          matched = true;
+          if (p.join_kind == JoinKind::kInner ||
+              p.join_kind == JoinKind::kLeft) {
+            out.push_back(std::move(joined));
+          } else {
+            break;  // semi/anti only need existence
+          }
+        }
+      }
+    }
+    switch (p.join_kind) {
+      case JoinKind::kInner:
+        break;
+      case JoinKind::kLeft:
+        if (!matched) {
+          Row joined = l;
+          joined.resize(l.size() + right_width);
+          out.push_back(std::move(joined));
+        }
+        break;
+      case JoinKind::kSemi:
+        if (matched) out.push_back(l);
+        break;
+      case JoinKind::kAnti:
+        if (!matched) out.push_back(l);
+        break;
+    }
+  }
+  return out;
+}
+
+struct AggAccum {
+  int64_t count = 0;
+  Value sum;
+  Value min;
+  Value max;
+  std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq>
+      distinct;
+};
+
+Result<std::vector<Row>> ExecAggregate(const Plan& p, ExecContext* ctx) {
+  MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*p.left, ctx));
+  std::unordered_map<std::vector<Value>, std::vector<AggAccum>, ValueVectorHash,
+                     ValueVectorEq>
+      groups;
+  std::vector<const std::vector<Value>*> group_order;
+  for (const Row& r : rows) {
+    std::vector<Value> key;
+    key.reserve(p.exprs.size());
+    for (const auto& g : p.exprs) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, r, ctx));
+      key.push_back(std::move(v));
+    }
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(std::move(key), std::vector<AggAccum>(p.aggs.size()))
+               .first;
+      group_order.push_back(&it->first);
+    }
+    auto& accs = it->second;
+    for (size_t i = 0; i < p.aggs.size(); ++i) {
+      const AggSpec& spec = p.aggs[i];
+      AggAccum& acc = accs[i];
+      if (spec.func == AggFunc::kCountStar) {
+        acc.count++;
+        continue;
+      }
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*spec.arg, r, ctx));
+      if (v.is_null()) continue;
+      if (spec.distinct) {
+        std::vector<Value> dkey{v};
+        if (!acc.distinct.insert(std::move(dkey)).second) continue;
+      }
+      acc.count++;
+      switch (spec.func) {
+        case AggFunc::kSum:
+        case AggFunc::kAvg: {
+          if (acc.sum.is_null()) {
+            acc.sum = v;
+          } else {
+            MTB_ASSIGN_OR_RETURN(acc.sum, NumericAdd(acc.sum, v));
+          }
+          break;
+        }
+        case AggFunc::kMin: {
+          if (acc.min.is_null()) {
+            acc.min = v;
+          } else {
+            MTB_ASSIGN_OR_RETURN(int c, v.Compare(acc.min));
+            if (c < 0) acc.min = v;
+          }
+          break;
+        }
+        case AggFunc::kMax: {
+          if (acc.max.is_null()) {
+            acc.max = v;
+          } else {
+            MTB_ASSIGN_OR_RETURN(int c, v.Compare(acc.max));
+            if (c > 0) acc.max = v;
+          }
+          break;
+        }
+        default:
+          break;  // kCount just counts
+      }
+    }
+  }
+  // Aggregation over an empty input without GROUP BY yields one row.
+  std::vector<Row> out;
+  if (groups.empty() && p.exprs.empty()) {
+    Row r;
+    for (const AggSpec& spec : p.aggs) {
+      if (spec.func == AggFunc::kCount || spec.func == AggFunc::kCountStar) {
+        r.push_back(Value::Int(0));
+      } else {
+        r.push_back(Value::Null());
+      }
+    }
+    out.push_back(std::move(r));
+    return out;
+  }
+  out.reserve(groups.size());
+  for (const auto* key : group_order) {
+    auto& accs = groups.find(*key)->second;
+    Row r = *key;
+    for (size_t i = 0; i < p.aggs.size(); ++i) {
+      const AggSpec& spec = p.aggs[i];
+      AggAccum& acc = accs[i];
+      switch (spec.func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          r.push_back(Value::Int(acc.count));
+          break;
+        case AggFunc::kSum:
+          r.push_back(acc.sum);
+          break;
+        case AggFunc::kAvg: {
+          if (acc.count == 0) {
+            r.push_back(Value::Null());
+          } else {
+            MTB_ASSIGN_OR_RETURN(
+                Value avg, NumericDiv(acc.sum, Value::Int(acc.count)));
+            r.push_back(std::move(avg));
+          }
+          break;
+        }
+        case AggFunc::kMin:
+          r.push_back(acc.min);
+          break;
+        case AggFunc::kMax:
+          r.push_back(acc.max);
+          break;
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<std::vector<Row>> ExecSort(const Plan& p, ExecContext* ctx) {
+  MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*p.left, ctx));
+  std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    for (const auto& [slot, desc] : p.sort_keys) {
+      int c = SortCompare(a[static_cast<size_t>(slot)],
+                          b[static_cast<size_t>(slot)]);
+      if (desc) c = -c;
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  return rows;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> ExecutePlan(const Plan& plan, ExecContext* ctx) {
+  switch (plan.kind) {
+    case Plan::Kind::kScan:
+      return ExecScan(plan, ctx);
+    case Plan::Kind::kJoin:
+      return ExecJoin(plan, ctx);
+    case Plan::Kind::kFilter: {
+      MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan.left, ctx));
+      std::vector<Row> out;
+      out.reserve(rows.size());
+      for (Row& r : rows) {
+        MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*plan.predicate, r, ctx));
+        if (IsTrue(v)) out.push_back(std::move(r));
+      }
+      return out;
+    }
+    case Plan::Kind::kProject: {
+      MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan.left, ctx));
+      std::vector<Row> out;
+      out.reserve(rows.size());
+      for (const Row& r : rows) {
+        Row projected;
+        projected.reserve(plan.exprs.size());
+        for (const auto& e : plan.exprs) {
+          MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, r, ctx));
+          projected.push_back(std::move(v));
+        }
+        out.push_back(std::move(projected));
+      }
+      return out;
+    }
+    case Plan::Kind::kAggregate:
+      return ExecAggregate(plan, ctx);
+    case Plan::Kind::kSort:
+      return ExecSort(plan, ctx);
+    case Plan::Kind::kLimit: {
+      MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan.left, ctx));
+      if (static_cast<int64_t>(rows.size()) > plan.limit) {
+        rows.resize(static_cast<size_t>(plan.limit));
+      }
+      return rows;
+    }
+    case Plan::Kind::kDistinct: {
+      MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan.left, ctx));
+      std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq>
+          seen;
+      std::vector<Row> out;
+      for (Row& r : rows) {
+        if (seen.insert(r).second) out.push_back(std::move(r));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled plan kind");
+}
+
+namespace {
+
+bool ExprHasOuterRefs(const BoundExpr& e);
+
+bool PlanHasOuterRefsImpl(const Plan& p) {
+  auto check = [](const BoundExprPtr& e) {
+    return e && ExprHasOuterRefs(*e);
+  };
+  if (check(p.scan_filter) || check(p.residual) || check(p.predicate)) {
+    return true;
+  }
+  for (const auto& e : p.exprs) {
+    if (check(e)) return true;
+  }
+  for (const auto& e : p.left_keys) {
+    if (check(e)) return true;
+  }
+  for (const auto& e : p.right_keys) {
+    if (check(e)) return true;
+  }
+  for (const auto& a : p.aggs) {
+    if (check(a.arg)) return true;
+  }
+  if (p.left && PlanHasOuterRefsImpl(*p.left)) return true;
+  if (p.right && PlanHasOuterRefsImpl(*p.right)) return true;
+  return false;
+}
+
+bool ExprHasOuterRefs(const BoundExpr& e) {
+  if (e.kind == BoundExpr::Kind::kOuterSlot) return true;
+  for (const auto& a : e.args) {
+    if (ExprHasOuterRefs(*a)) return true;
+  }
+  if (e.case_operand && ExprHasOuterRefs(*e.case_operand)) return true;
+  if (e.else_expr && ExprHasOuterRefs(*e.else_expr)) return true;
+  if (e.subplan && PlanHasOuterRefsImpl(*e.subplan)) return true;
+  return false;
+}
+
+}  // namespace
+
+bool PlanHasOuterRefs(const Plan& plan) { return PlanHasOuterRefsImpl(plan); }
+
+}  // namespace mtbase
+}  // namespace engine

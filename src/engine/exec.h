@@ -1,0 +1,63 @@
+// Plan execution and expression evaluation.
+#ifndef MTBASE_ENGINE_EXEC_H_
+#define MTBASE_ENGINE_EXEC_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "engine/bound.h"
+#include "engine/stats.h"
+
+namespace mtbase {
+namespace engine {
+
+/// Per-statement execution state. Sub-query / UDF caches live here, so their
+/// lifetime matches one top-level statement (like PostgreSQL's per-query
+/// caching of IMMUTABLE function results, paper section 4.2.1).
+struct ExecContext {
+  ExecStats* stats = nullptr;
+  DbmsProfile profile = DbmsProfile::kPostgres;
+
+  /// Rows of enclosing queries for correlated sub-query evaluation;
+  /// OuterSlot(depth = 1) reads the innermost enclosing row.
+  std::vector<const Row*> outer_stack;
+
+  /// $n parameters of the UDF body currently being executed.
+  const std::vector<Value>* params = nullptr;
+
+  struct InSetCache {
+    std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq> set;
+    bool has_null = false;
+  };
+  std::unordered_map<const Plan*, Value> scalar_cache;   // InitPlan results
+  std::unordered_map<const Plan*, InSetCache> inset_cache;
+  std::unordered_map<std::string, Value> udf_cache;      // immutable UDFs
+};
+
+/// Execute a plan to a fully materialized row set.
+Result<std::vector<Row>> ExecutePlan(const Plan& plan, ExecContext* ctx);
+
+/// Evaluate a bound expression against `row` (layout as bound).
+Result<Value> EvalExpr(const BoundExpr& e, const Row& row, ExecContext* ctx);
+
+/// SQL three-valued logic helper: value is BOOL true (not NULL, not false).
+bool IsTrue(const Value& v);
+
+/// Numeric helpers shared by the evaluator and aggregation.
+Result<Value> NumericAdd(const Value& a, const Value& b);
+Result<Value> NumericSub(const Value& a, const Value& b);
+Result<Value> NumericMul(const Value& a, const Value& b);
+Result<Value> NumericDiv(const Value& a, const Value& b);
+
+/// True if the plan (including nested sub-plans) reads enclosing rows.
+bool PlanHasOuterRefs(const Plan& plan);
+
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_EXEC_H_

@@ -1,0 +1,139 @@
+#include "engine/explain.h"
+
+#include "engine/planner.h"
+
+namespace mtbase {
+namespace engine {
+
+namespace {
+
+const char* JoinKindName(JoinKind k) {
+  switch (k) {
+    case JoinKind::kInner:
+      return "INNER";
+    case JoinKind::kLeft:
+      return "LEFT";
+    case JoinKind::kSemi:
+      return "SEMI";
+    case JoinKind::kAnti:
+      return "ANTI";
+  }
+  return "?";
+}
+
+const char* AggName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar:
+      return "COUNT(*)";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+bool HasUdfCall(const BoundExpr& e) {
+  if (e.kind == BoundExpr::Kind::kUdfCall) return true;
+  for (const auto& a : e.args) {
+    if (HasUdfCall(*a)) return true;
+  }
+  if (e.case_operand && HasUdfCall(*e.case_operand)) return true;
+  if (e.else_expr && HasUdfCall(*e.else_expr)) return true;
+  return false;
+}
+
+bool AnyUdf(const std::vector<BoundExprPtr>& exprs) {
+  for (const auto& e : exprs) {
+    if (e && HasUdfCall(*e)) return true;
+  }
+  return false;
+}
+
+void Render(const Plan& p, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (p.kind) {
+    case Plan::Kind::kScan:
+      *out += "Scan ";
+      *out += p.table != nullptr ? p.table->schema().name : "<dual>";
+      if (p.scan_filter) {
+        *out += HasUdfCall(*p.scan_filter) ? " (filtered, udf)" : " (filtered)";
+      }
+      *out += "\n";
+      return;
+    case Plan::Kind::kJoin:
+      *out += "HashJoin ";
+      *out += JoinKindName(p.join_kind);
+      if (p.left_keys.empty()) *out += " [nested-loop]";
+      *out += " (" + std::to_string(p.left_keys.size()) + " keys";
+      if (p.residual) *out += ", residual";
+      *out += ")\n";
+      Render(*p.left, depth + 1, out);
+      Render(*p.right, depth + 1, out);
+      return;
+    case Plan::Kind::kFilter:
+      *out += "Filter";
+      if (p.predicate && HasUdfCall(*p.predicate)) *out += " (udf)";
+      *out += "\n";
+      break;
+    case Plan::Kind::kProject:
+      *out += "Project (" + std::to_string(p.exprs.size()) + " columns";
+      if (AnyUdf(p.exprs)) *out += ", udf";
+      *out += ")\n";
+      break;
+    case Plan::Kind::kAggregate: {
+      *out += "Aggregate (groups: " + std::to_string(p.exprs.size()) +
+              ", aggs:";
+      bool udf = AnyUdf(p.exprs);
+      for (const auto& a : p.aggs) {
+        *out += " ";
+        *out += AggName(a.func);
+        if (a.distinct) *out += " DISTINCT";
+        udf = udf || (a.arg && HasUdfCall(*a.arg));
+      }
+      if (udf) *out += ", udf";
+      *out += ")\n";
+      break;
+    }
+    case Plan::Kind::kSort: {
+      *out += "Sort (keys:";
+      for (const auto& [slot, desc] : p.sort_keys) {
+        *out += " " + std::to_string(slot) + (desc ? " DESC" : "");
+      }
+      *out += ")\n";
+      break;
+    }
+    case Plan::Kind::kLimit:
+      *out += "Limit " + std::to_string(p.limit) + "\n";
+      break;
+    case Plan::Kind::kDistinct:
+      *out += "Distinct\n";
+      break;
+  }
+  if (p.left) Render(*p.left, depth + 1, out);
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Plan& plan) {
+  std::string out;
+  Render(plan, 0, &out);
+  return out;
+}
+
+Result<std::string> ExplainSelect(const Catalog* catalog,
+                                  const UdfRegistry* udfs,
+                                  const sql::SelectStmt& sel) {
+  Planner planner(catalog, udfs);
+  MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(sel));
+  return ExplainPlan(*plan);
+}
+
+}  // namespace engine
+}  // namespace mtbase

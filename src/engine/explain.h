@@ -1,0 +1,32 @@
+// EXPLAIN support: human-readable rendering of physical plans.
+#ifndef MTBASE_ENGINE_EXPLAIN_H_
+#define MTBASE_ENGINE_EXPLAIN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/bound.h"
+#include "engine/catalog.h"
+#include "engine/udf.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace engine {
+
+/// Render a physical plan as an indented operator tree, e.g.
+///   Sort (keys: 1 DESC)
+///     Aggregate (groups: 1, aggs: SUM, COUNT)
+///       HashJoin INNER (2 keys)
+///         Scan lineitem (filtered)
+///         Scan orders
+std::string ExplainPlan(const Plan& plan);
+
+/// Plan a SELECT against the catalog and explain it.
+Result<std::string> ExplainSelect(const Catalog* catalog,
+                                  const UdfRegistry* udfs,
+                                  const sql::SelectStmt& sel);
+
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_EXPLAIN_H_

@@ -1,0 +1,45 @@
+// Planner: turns a parsed SELECT into a physical plan.
+//
+// Features: filter pushdown into scans, left-deep hash joins in FROM order,
+// view expansion, and sub-query unnesting (EXISTS/NOT EXISTS and correlated
+// IN into semi/anti joins, equality-correlated scalar aggregates into
+// group-by + outer join). Anything not unnestable falls back to correct
+// per-row evaluation. See DESIGN.md section 5 for why this mirrors the
+// sub-query policy of real systems.
+#ifndef MTBASE_ENGINE_PLANNER_H_
+#define MTBASE_ENGINE_PLANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/bound.h"
+#include "engine/catalog.h"
+#include "engine/udf.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace engine {
+
+class Planner {
+ public:
+  Planner(const Catalog* catalog, const UdfRegistry* udfs)
+      : catalog_(catalog), udfs_(udfs) {}
+
+  /// Plan a top-level SELECT.
+  Result<PlanPtr> PlanSelect(const sql::SelectStmt& sel) const;
+
+  /// Bind a scalar expression against a fixed row layout (used for UPDATE /
+  /// DELETE predicates and database-level check constraints).
+  Result<BoundExprPtr> BindExpr(const sql::Expr& e,
+                                const std::vector<ColumnMeta>& layout) const;
+
+ private:
+  const Catalog* catalog_;
+  const UdfRegistry* udfs_;
+};
+
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_PLANNER_H_

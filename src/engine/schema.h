@@ -1,0 +1,49 @@
+// Table schemas and constraints for the execution engine's catalog.
+#ifndef MTBASE_ENGINE_SCHEMA_H_
+#define MTBASE_ENGINE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace engine {
+
+struct ColumnInfo {
+  std::string name;
+  sql::TypeDecl type;
+  bool not_null = false;
+};
+
+struct ForeignKey {
+  std::string name;
+  std::vector<std::string> columns;
+  std::string ref_table;
+  std::vector<std::string> ref_columns;
+};
+
+/// Check constraints are stored as SQL text and validated on demand (the MT
+/// layer rewrites tenant-specific referential constraints into these, see
+/// paper Appendix A.1).
+struct CheckConstraint {
+  std::string name;
+  std::string expr_sql;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnInfo> columns;
+  std::vector<std::string> primary_key;
+  std::vector<ForeignKey> foreign_keys;
+  std::vector<CheckConstraint> checks;
+
+  /// Case-insensitive column lookup; -1 if absent.
+  int FindColumn(const std::string& col) const;
+};
+
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_SCHEMA_H_

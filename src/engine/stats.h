@@ -1,0 +1,39 @@
+// Execution statistics.
+//
+// Besides profiling, the MT layer's tests use these counters for
+// timing-independent assertions about the optimizations (e.g. aggregation
+// distribution performs exactly T+1 conversions, paper section 4.2.2).
+#ifndef MTBASE_ENGINE_STATS_H_
+#define MTBASE_ENGINE_STATS_H_
+
+#include <cstdint>
+
+namespace mtbase {
+namespace engine {
+
+struct ExecStats {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_joined = 0;
+  uint64_t udf_calls = 0;        // UDF invocations that executed the body
+  uint64_t udf_cache_hits = 0;   // invocations answered from the result cache
+  uint64_t subquery_execs = 0;   // per-row (correlated) sub-query executions
+  uint64_t initplan_execs = 0;   // one-off sub-query executions
+
+  void Reset() { *this = ExecStats(); }
+  uint64_t total_udf_invocations() const { return udf_calls + udf_cache_hits; }
+};
+
+/// Which DBMS the engine impersonates (DESIGN.md section 2).
+enum class DbmsProfile {
+  /// PostgreSQL-like: results of IMMUTABLE UDFs are cached per statement,
+  /// keyed by argument values.
+  kPostgres,
+  /// "System C"-like: UDFs cannot be declared deterministic, every call
+  /// executes the body (paper Appendix C).
+  kSystemC,
+};
+
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_STATS_H_

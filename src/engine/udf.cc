@@ -1,0 +1,23 @@
+#include "engine/udf.h"
+
+#include "common/str_util.h"
+
+namespace mtbase {
+namespace engine {
+
+Status UdfRegistry::Register(std::unique_ptr<Udf> udf) {
+  std::string key = ToLowerCopy(udf->name);
+  if (udfs_.count(key)) {
+    return Status::AlreadyExists("function " + udf->name + " already exists");
+  }
+  udfs_[key] = std::move(udf);
+  return Status::OK();
+}
+
+const Udf* UdfRegistry::Find(const std::string& name) const {
+  auto it = udfs_.find(ToLowerCopy(name));
+  return it == udfs_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace engine
+}  // namespace mtbase

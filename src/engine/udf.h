@@ -1,0 +1,46 @@
+// User-defined functions with SQL bodies.
+//
+// Conversion function pairs (paper section 2.2.2) are registered as UDFs
+// whose body is a SQL statement over meta tables (Tenant, CurrencyTransform,
+// PhoneTransform). Executing a UDF runs the (pre-planned) body; the
+// DbmsProfile decides whether results may be served from a per-statement
+// cache keyed by argument values (PostgreSQL) or not (System C).
+#ifndef MTBASE_ENGINE_UDF_H_
+#define MTBASE_ENGINE_UDF_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/bound.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace engine {
+
+struct Udf {
+  std::string name;
+  std::vector<sql::TypeDecl> arg_types;
+  sql::TypeDecl return_type;
+  std::string body_sql;
+  bool immutable = false;
+  /// Planned once at CREATE FUNCTION time (like a prepared statement).
+  std::shared_ptr<const Plan> body_plan;
+};
+
+class UdfRegistry {
+ public:
+  Status Register(std::unique_ptr<Udf> udf);
+  const Udf* Find(const std::string& name) const;
+  bool Contains(const std::string& name) const { return Find(name) != nullptr; }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Udf>> udfs_;
+};
+
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_UDF_H_

@@ -1,0 +1,66 @@
+#include "mt/conversion.h"
+
+#include "common/str_util.h"
+
+namespace mtbase {
+namespace mt {
+
+bool AggDistributesOver(AggKind agg, ConversionClass cls) {
+  switch (agg) {
+    case AggKind::kCount:
+      // Conversion functions are scalar bijections, hence always
+      // fully-COUNT-preserving (paper section 4.2.2).
+      return true;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      // Order-preserving functions preserve minima and maxima.
+      return cls == ConversionClass::kMultiplicative ||
+             cls == ConversionClass::kLinear ||
+             cls == ConversionClass::kOrderPreserving;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      // SUM/AVG distribute over multiplications with a constant; linear
+      // functions need the weighted construction of Appendix B, which the
+      // rewriter emits (counts are carried along), so both classes qualify.
+      return cls == ConversionClass::kMultiplicative ||
+             cls == ConversionClass::kLinear;
+  }
+  return false;
+}
+
+Status ConversionRegistry::Register(ConversionPair pair) {
+  std::string to_key = ToLowerCopy(pair.to_universal);
+  std::string from_key = ToLowerCopy(pair.from_universal);
+  if (by_fn_.count(to_key) || by_fn_.count(from_key)) {
+    return Status::AlreadyExists("conversion functions of pair " + pair.name +
+                                 " already registered");
+  }
+  size_t idx = pairs_.size();
+  pairs_.push_back(std::move(pair));
+  by_fn_[to_key] = {idx, true};
+  by_fn_[from_key] = {idx, false};
+  return Status::OK();
+}
+
+const ConversionPair* ConversionRegistry::FindByName(
+    const std::string& name) const {
+  for (const auto& p : pairs_) {
+    if (EqualsIgnoreCase(p.name, name)) return &p;
+  }
+  return nullptr;
+}
+
+const ConversionPair* ConversionRegistry::FindByFunction(
+    const std::string& fn_name, bool* is_to_universal) const {
+  auto it = by_fn_.find(ToLowerCopy(fn_name));
+  if (it == by_fn_.end()) return nullptr;
+  if (is_to_universal != nullptr) *is_to_universal = it->second.second;
+  return &pairs_[it->second.first];
+}
+
+bool ConversionRegistry::IsConversionFunction(const std::string& fn) const {
+  return by_fn_.count(ToLowerCopy(fn)) > 0;
+}
+
+}  // namespace mt
+}  // namespace mtbase

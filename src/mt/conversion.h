@@ -1,0 +1,80 @@
+// Conversion function pairs and their algebraic properties.
+//
+// Paper section 2.2.2 (Definition 1) and section 4.2.2 (Table 2): the
+// optimizer needs to know, per conversion pair, which aggregation functions
+// distribute over it. The class of a pair is registered as data; the
+// distributability rules are derived from it.
+#ifndef MTBASE_MT_CONVERSION_H_
+#define MTBASE_MT_CONVERSION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mtbase {
+namespace mt {
+
+/// Algebraic class of a conversion pair, ordered from most to least
+/// structured (paper Table 2 columns).
+enum class ConversionClass {
+  kMultiplicative,   // toUniversal(x, t) = c_t * x          (e.g. currency)
+  kLinear,           // toUniversal(x, t) = a_t * x + b_t    (e.g. temperature)
+  kOrderPreserving,  // bijective and order-preserving, not linear
+  kEqualityOnly,     // bijective only                       (e.g. phone prefix)
+};
+
+/// Aggregation functions considered by the distribution rules.
+enum class AggKind { kCount, kMin, kMax, kSum, kAvg };
+
+/// How to inline the pair's UDF bodies algebraically (optimization o4).
+struct InlineSpec {
+  enum class Kind {
+    kNone,            // not inlinable; keep the UDF call
+    kMultiplicative,  // to: x * meta.to_col;  from: x * meta.from_col
+    kPrefix,          // to: SUBSTRING(x, CHAR_LENGTH(prefix)+1); from: CONCAT
+  } kind = Kind::kNone;
+  std::string tenant_table = "Tenant";
+  std::string tenant_key = "T_tenant_key";
+  std::string tenant_fk;    // e.g. T_currency_key
+  std::string meta_table;   // e.g. CurrencyTransform
+  std::string meta_key;     // e.g. CT_currency_key
+  std::string to_col;       // e.g. CT_to_universal; kPrefix: PT_prefix
+  std::string from_col;     // e.g. CT_from_universal; kPrefix: PT_prefix
+};
+
+struct ConversionPair {
+  std::string name;            // logical name, e.g. "currency"
+  std::string to_universal;    // UDF name
+  std::string from_universal;  // UDF name
+  ConversionClass cls = ConversionClass::kEqualityOnly;
+  InlineSpec inline_spec;
+
+  bool order_preserving() const {
+    return cls != ConversionClass::kEqualityOnly;
+  }
+};
+
+/// Paper Table 2: does `agg` distribute over a conversion pair of class `cls`?
+bool AggDistributesOver(AggKind agg, ConversionClass cls);
+
+class ConversionRegistry {
+ public:
+  Status Register(ConversionPair pair);
+
+  const ConversionPair* FindByName(const std::string& name) const;
+  /// Look up by the name of either UDF of the pair; also reports direction.
+  const ConversionPair* FindByFunction(const std::string& fn_name,
+                                       bool* is_to_universal) const;
+  bool IsConversionFunction(const std::string& fn_name) const;
+
+ private:
+  std::vector<ConversionPair> pairs_;
+  std::unordered_map<std::string, std::pair<size_t, bool>> by_fn_;
+};
+
+}  // namespace mt
+}  // namespace mtbase
+
+#endif  // MTBASE_MT_CONVERSION_H_

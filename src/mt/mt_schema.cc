@@ -1,0 +1,77 @@
+#include "mt/mt_schema.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace mtbase {
+namespace mt {
+
+const MTColumnInfo* MTTableInfo::FindColumn(const std::string& col) const {
+  for (const auto& c : columns) {
+    if (EqualsIgnoreCase(c.name, col)) return &c;
+  }
+  return nullptr;
+}
+
+Status MTSchema::RegisterTable(const sql::CreateTableStmt& ct) {
+  std::string key = ToLowerCopy(ct.name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("MT table " + ct.name + " already exists");
+  }
+  MTTableInfo info;
+  info.name = ct.name;
+  info.generality = ct.mt_specific ? TableGenerality::kTenantSpecific
+                                   : TableGenerality::kGlobal;
+  for (const auto& c : ct.columns) {
+    MTColumnInfo col;
+    col.name = c.name;
+    col.type = c.type;
+    col.comparability = c.comparability;
+    if (col.comparability == sql::Comparability::kDefault) {
+      col.comparability = ct.mt_specific ? sql::Comparability::kTenantSpecific
+                                         : sql::Comparability::kComparable;
+    }
+    if (!ct.mt_specific &&
+        col.comparability != sql::Comparability::kComparable) {
+      return Status::InvalidArgument(
+          "global tables can only have comparable attributes (" + ct.name +
+          "." + c.name + ")");
+    }
+    col.to_universal_fn = c.to_universal_fn;
+    col.from_universal_fn = c.from_universal_fn;
+    if (col.convertible() &&
+        (col.to_universal_fn.empty() || col.from_universal_fn.empty())) {
+      return Status::InvalidArgument(
+          "convertible attribute " + c.name +
+          " requires @toUniversal @fromUniversal function names");
+    }
+    info.columns.push_back(std::move(col));
+  }
+  tables_[key] = std::move(info);
+  return Status::OK();
+}
+
+Status MTSchema::DropTable(const std::string& name) {
+  if (!tables_.erase(ToLowerCopy(name))) {
+    return Status::NotFound("MT table " + name + " does not exist");
+  }
+  return Status::OK();
+}
+
+const MTTableInfo* MTSchema::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLowerCopy(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MTSchema::TenantSpecificTables() const {
+  std::vector<std::string> out;
+  for (const auto& [key, info] : tables_) {
+    if (info.tenant_specific()) out.push_back(info.name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mt
+}  // namespace mtbase

@@ -1,0 +1,71 @@
+// MTSQL schema metadata: table generality and attribute comparability.
+//
+// Paper section 2.2: tables are GLOBAL or tenant-SPECIFIC; attributes of
+// tenant-specific tables are COMPARABLE, CONVERTIBLE (with a conversion
+// function pair) or tenant-SPECIFIC (paper Table 1).
+#ifndef MTBASE_MT_MT_SCHEMA_H_
+#define MTBASE_MT_MT_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace mt {
+
+enum class TableGenerality { kGlobal, kTenantSpecific };
+
+/// The physical meta column holding the data owner in the basic (ST) layout.
+inline constexpr const char* kTtidColumn = "ttid";
+
+struct MTColumnInfo {
+  std::string name;
+  sql::TypeDecl type;
+  sql::Comparability comparability = sql::Comparability::kComparable;
+  std::string to_universal_fn;    // CONVERTIBLE only
+  std::string from_universal_fn;  // CONVERTIBLE only
+
+  bool convertible() const {
+    return comparability == sql::Comparability::kConvertible;
+  }
+  bool tenant_specific() const {
+    return comparability == sql::Comparability::kTenantSpecific;
+  }
+};
+
+struct MTTableInfo {
+  std::string name;
+  TableGenerality generality = TableGenerality::kGlobal;
+  std::vector<MTColumnInfo> columns;  // visible columns; ttid is not listed
+
+  bool tenant_specific() const {
+    return generality == TableGenerality::kTenantSpecific;
+  }
+  const MTColumnInfo* FindColumn(const std::string& col) const;
+};
+
+/// Registry of MT table metadata, fed from MTSQL CREATE TABLE statements.
+class MTSchema {
+ public:
+  /// Register a table from its MTSQL DDL, resolving defaulted comparability
+  /// (paper section 2.2.1: tables default to GLOBAL; attributes of
+  /// tenant-specific tables default to SPECIFIC, attributes of global tables
+  /// to COMPARABLE).
+  Status RegisterTable(const sql::CreateTableStmt& ct);
+  Status DropTable(const std::string& name);
+
+  const MTTableInfo* FindTable(const std::string& name) const;
+
+  std::vector<std::string> TenantSpecificTables() const;
+
+ private:
+  std::unordered_map<std::string, MTTableInfo> tables_;
+};
+
+}  // namespace mt
+}  // namespace mtbase
+
+#endif  // MTBASE_MT_MT_SCHEMA_H_

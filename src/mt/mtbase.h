@@ -1,0 +1,21 @@
+// Umbrella header: the MTBase public API.
+//
+//   engine::Database db;                      // the DBMS under the proxy
+//   mt::Middleware mw(&db);                   // MTBase middleware
+//   ... create MTSQL tables / conversion functions via a session ...
+//   mt::Session session(&mw, /*client_ttid=*/0);
+//   session.Execute("SET SCOPE = \"IN (0, 1)\"");
+//   auto result = session.Execute("SELECT AVG(E_salary) FROM Employees");
+#ifndef MTBASE_MT_MTBASE_H_
+#define MTBASE_MT_MTBASE_H_
+
+#include "engine/database.h"
+#include "mt/conversion.h"
+#include "mt/mt_schema.h"
+#include "mt/optimizer.h"
+#include "mt/privilege.h"
+#include "mt/rewriter.h"
+#include "mt/scope.h"
+#include "mt/session.h"
+
+#endif  // MTBASE_MT_MTBASE_H_

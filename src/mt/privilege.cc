@@ -1,0 +1,60 @@
+#include "mt/privilege.h"
+
+#include "common/str_util.h"
+
+namespace mtbase {
+namespace mt {
+
+Result<Privilege> ParsePrivilege(const std::string& name) {
+  if (EqualsIgnoreCase(name, "READ") || EqualsIgnoreCase(name, "SELECT")) {
+    return Privilege::kRead;
+  }
+  if (EqualsIgnoreCase(name, "INSERT")) return Privilege::kInsert;
+  if (EqualsIgnoreCase(name, "UPDATE")) return Privilege::kUpdate;
+  if (EqualsIgnoreCase(name, "DELETE")) return Privilege::kDelete;
+  return Status::InvalidArgument("unknown privilege " + name);
+}
+
+void PrivilegeManager::Grant(int64_t owner, const std::string& table,
+                             Privilege priv, int64_t grantee) {
+  grants_[{owner, ToLowerCopy(table), static_cast<int>(priv)}].insert(grantee);
+}
+
+void PrivilegeManager::Revoke(int64_t owner, const std::string& table,
+                              Privilege priv, int64_t grantee) {
+  auto it = grants_.find({owner, ToLowerCopy(table), static_cast<int>(priv)});
+  if (it != grants_.end()) it->second.erase(grantee);
+}
+
+bool PrivilegeManager::Has(int64_t owner, const std::string& table,
+                           Privilege priv, int64_t client) const {
+  if (owner == client) return true;
+  auto covers = [&](const Key& key) {
+    auto it = grants_.find(key);
+    return it != grants_.end() &&
+           (it->second.count(client) || it->second.count(kPublicGrantee));
+  };
+  if (covers({owner, ToLowerCopy(table), static_cast<int>(priv)})) return true;
+  // Database-wide grant covers every table.
+  return covers({owner, "", static_cast<int>(priv)});
+}
+
+std::vector<int64_t> PrivilegeManager::PruneDataset(
+    const std::vector<int64_t>& dataset,
+    const std::vector<std::string>& ts_tables, int64_t client) const {
+  std::vector<int64_t> out;
+  for (int64_t d : dataset) {
+    bool ok = true;
+    for (const auto& t : ts_tables) {
+      if (!Has(d, t, Privilege::kRead, client)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace mt
+}  // namespace mtbase

@@ -1,0 +1,68 @@
+// Tenant privileges: MTSQL GRANT / REVOKE semantics (paper section 2.3).
+//
+// Grants are issued *by* a tenant (the connection's C) on her own instances
+// of tenant-specific tables. Defaults: every tenant has full access to her
+// own data and READ access to global tables.
+#ifndef MTBASE_MT_PRIVILEGE_H_
+#define MTBASE_MT_PRIVILEGE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mtbase {
+namespace mt {
+
+enum class Privilege { kRead, kInsert, kUpdate, kDelete };
+
+Result<Privilege> ParsePrivilege(const std::string& name);
+
+/// Grantee wildcard: a grant to kPublicGrantee covers every tenant. Used by
+/// bulk setups (e.g. the MT-H loader) where each tenant opens her data to
+/// everybody; equivalent to issuing GRANT ... TO ALL with the all-tenants
+/// scope, without materializing O(T^2) grant entries.
+inline constexpr int64_t kPublicGrantee = -1;
+
+class PrivilegeManager {
+ public:
+  /// Grant `priv` on `owner`'s instance of `table` ("" = whole database) to
+  /// `grantee`.
+  void Grant(int64_t owner, const std::string& table, Privilege priv,
+             int64_t grantee);
+  void Revoke(int64_t owner, const std::string& table, Privilege priv,
+              int64_t grantee);
+
+  /// Does `client` hold `priv` on `owner`'s instance of `table`?
+  /// Tenants always have full access to their own data; a database-wide
+  /// grant covers all tables.
+  bool Has(int64_t owner, const std::string& table, Privilege priv,
+           int64_t client) const;
+
+  /// Paper section 3: prune D to D' = the tenants whose listed tables are all
+  /// readable by `client`.
+  std::vector<int64_t> PruneDataset(const std::vector<int64_t>& dataset,
+                                    const std::vector<std::string>& ts_tables,
+                                    int64_t client) const;
+
+ private:
+  struct Key {
+    int64_t owner;
+    std::string table;  // lower-case; "" = database
+    int priv;
+    bool operator<(const Key& o) const {
+      if (owner != o.owner) return owner < o.owner;
+      if (table != o.table) return table < o.table;
+      return priv < o.priv;
+    }
+  };
+  std::map<Key, std::set<int64_t>> grants_;
+};
+
+}  // namespace mt
+}  // namespace mtbase
+
+#endif  // MTBASE_MT_PRIVILEGE_H_

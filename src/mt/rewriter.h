@@ -1,0 +1,111 @@
+// The canonical MTSQL-to-SQL rewrite algorithm (paper section 3.1).
+//
+// Maintains the invariant that the result of every (sub-)query is filtered
+// according to D' and presented in the format required by client C:
+//   * a D-filter `T.ttid IN (...)` is added for every tenant-specific base
+//     table occurrence (into the WHERE clause, or into the ON condition when
+//     the table sits on the right side of a LEFT JOIN),
+//   * convertible attribute references are wrapped in
+//     fromUniversal(toUniversal(attr, T.ttid), C),
+//   * comparisons between tenant-specific attributes of different table
+//     instances get an additional `ttid = ttid` predicate; membership tests
+//     become tuple tests `(x, x.ttid) IN (SELECT y, y.ttid ...)`,
+//   * `*` is expanded so the invisible ttid column stays hidden,
+//   * comparisons of tenant-specific with comparable/convertible attributes
+//     are rejected (paper section 2.4.2).
+//
+// The trivial semantic optimizations (o1, paper section 4.1) are flags that
+// suppress the corresponding constructs at emission time.
+#ifndef MTBASE_MT_REWRITER_H_
+#define MTBASE_MT_REWRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mt/conversion.h"
+#include "mt/mt_schema.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace mt {
+
+struct RewriteOptions {
+  /// o1: omit D-filters (valid when D' covers all tenants).
+  bool drop_dfilters = false;
+  /// o1: omit added ttid join predicates (valid when |D'| = 1).
+  bool drop_ttid_joins = false;
+  /// o1: omit conversion calls (valid when D' = {C}).
+  bool drop_conversions = false;
+};
+
+class Rewriter {
+ public:
+  Rewriter(const MTSchema* schema, const ConversionRegistry* conversions,
+           int64_t client, std::vector<int64_t> dataset,
+           RewriteOptions options = {})
+      : schema_(schema),
+        conversions_(conversions),
+        client_(client),
+        dataset_(std::move(dataset)),
+        options_(options) {}
+
+  /// Rewrite an MTSQL statement into one or more SQL statements (DML on a
+  /// dataset with several tenants expands into one statement per tenant,
+  /// paper Appendix A.2).
+  Result<std::vector<sql::Stmt>> RewriteStatement(const sql::Stmt& stmt);
+
+  /// Rewrite a query (Algorithm 1).
+  Result<std::unique_ptr<sql::SelectStmt>> RewriteQuery(
+      const sql::SelectStmt& query);
+
+  /// Lower an MTSQL CREATE TABLE to plain SQL: tenant-specific tables gain
+  /// the ttid meta column, their primary key is extended with ttid and
+  /// foreign keys to tenant-specific tables pair the ttids (Appendix A.1).
+  Result<sql::CreateTableStmt> LowerCreateTable(
+      const sql::CreateTableStmt& ct) const;
+
+ private:
+  struct LevelScope {
+    // (binding alias, table info); in FROM order. info may be null for
+    // relations without MT metadata (derived tables, middleware meta tables).
+    std::vector<std::pair<std::string, const MTTableInfo*>> relations;
+    const LevelScope* parent = nullptr;
+  };
+
+  struct ResolvedAttr {
+    std::string alias;
+    const MTTableInfo* table = nullptr;
+    const MTColumnInfo* column = nullptr;
+  };
+
+  /// Resolve a column reference against the scope chain; empty result if the
+  /// reference does not name a known MT base-table attribute.
+  ResolvedAttr Resolve(const sql::Expr& col, const LevelScope* scope) const;
+
+  Status RewriteSelect(sql::SelectStmt* sel, const LevelScope* parent);
+  Status RewriteExpr(sql::ExprPtr* e, const LevelScope* scope);
+  Status RewriteComparison(sql::ExprPtr* e, const LevelScope* scope);
+  Status RewriteInSubquery(sql::ExprPtr* e, const LevelScope* scope);
+  Status ExpandStars(sql::SelectStmt* sel, const LevelScope* scope);
+  sql::ExprPtr WrapConversion(sql::ExprPtr attr, const std::string& alias,
+                              const MTColumnInfo& col) const;
+  sql::ExprPtr MakeDFilter(const std::string& alias) const;
+
+  Result<std::vector<sql::Stmt>> RewriteInsert(const sql::InsertStmt& ins);
+  Result<sql::Stmt> RewriteUpdate(const sql::UpdateStmt& up);
+  Result<sql::Stmt> RewriteDelete(const sql::DeleteStmt& del);
+
+  const MTSchema* schema_;
+  const ConversionRegistry* conversions_;
+  int64_t client_;
+  std::vector<int64_t> dataset_;
+  RewriteOptions options_;
+};
+
+}  // namespace mt
+}  // namespace mtbase
+
+#endif  // MTBASE_MT_REWRITER_H_

@@ -1,0 +1,68 @@
+#include "mt/scope.h"
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace mtbase {
+namespace mt {
+
+Scope Scope::Simple(std::vector<int64_t> ids) {
+  Scope s;
+  s.kind = Kind::kSimple;
+  s.ids = std::move(ids);
+  return s;
+}
+
+Result<Scope> Scope::Parse(const std::string& text) {
+  MTB_ASSIGN_OR_RETURN(auto tokens, sql::Tokenize(text));
+  if (tokens.empty() || tokens[0].kind == sql::TokenKind::kEnd) {
+    return Status::SyntaxError("empty scope expression");
+  }
+  Scope scope;
+  scope.text = text;
+  if (EqualsIgnoreCase(tokens[0].text, "IN")) {
+    scope.kind = Kind::kSimple;
+    size_t i = 1;
+    if (i >= tokens.size() || tokens[i].text != "(") {
+      return Status::SyntaxError("expected '(' after IN in scope");
+    }
+    ++i;
+    while (i < tokens.size() && tokens[i].text != ")") {
+      bool neg = false;
+      if (tokens[i].kind == sql::TokenKind::kSymbol && tokens[i].text == "-") {
+        neg = true;
+        ++i;
+      }
+      if (tokens[i].kind != sql::TokenKind::kInteger) {
+        return Status::SyntaxError("expected tenant id in scope IN list");
+      }
+      int64_t id = std::stoll(tokens[i].text);
+      scope.ids.push_back(neg ? -id : id);
+      ++i;
+      if (i < tokens.size() && tokens[i].text == ",") ++i;
+    }
+    if (i >= tokens.size() || tokens[i].text != ")") {
+      return Status::SyntaxError("unterminated IN list in scope");
+    }
+    return scope;
+  }
+  if (EqualsIgnoreCase(tokens[0].text, "FROM")) {
+    // Parse by prefixing a SELECT list; the rewriter projects the ttid
+    // (paper Listing 12).
+    MTB_ASSIGN_OR_RETURN(auto select, sql::ParseSelect("SELECT 1 " + text));
+    if (select->from.size() != 1 ||
+        select->from[0]->kind != sql::TableRef::Kind::kBase) {
+      return Status::Unimplemented(
+          "complex scopes support exactly one base table in FROM");
+    }
+    scope.kind = Kind::kComplex;
+    scope.table = select->from[0]->name;
+    if (select->where) scope.where = std::move(select->where);
+    return scope;
+  }
+  return Status::SyntaxError("scope must start with IN or FROM: " + text);
+}
+
+}  // namespace mt
+}  // namespace mtbase

@@ -1,0 +1,42 @@
+// The MTSQL SCOPE runtime parameter (paper section 2.1).
+//
+// A scope is either simple — "IN (1,3,42)", with the empty list meaning all
+// tenants — or complex — "FROM <tables> WHERE <predicate>", meaning every
+// tenant owning at least one qualifying record.
+#ifndef MTBASE_MT_SCOPE_H_
+#define MTBASE_MT_SCOPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace mt {
+
+struct Scope {
+  enum class Kind {
+    kDefault,  // D = {C}
+    kSimple,   // explicit ttid list; empty list = all tenants
+    kComplex,  // FROM ... WHERE ... sub-query
+  };
+  Kind kind = Kind::kDefault;
+  std::vector<int64_t> ids;  // kSimple
+  std::string table;         // kComplex: FROM table
+  sql::ExprPtr where;        // kComplex: predicate (may be null)
+  std::string text;          // original text, for display
+
+  static Scope Default() { return Scope{}; }
+  static Scope Simple(std::vector<int64_t> ids);
+  static Scope AllTenants() { return Simple({}); }
+
+  /// Parse the contents of SET SCOPE = "...".
+  static Result<Scope> Parse(const std::string& text);
+};
+
+}  // namespace mt
+}  // namespace mtbase
+
+#endif  // MTBASE_MT_SCOPE_H_

@@ -1,0 +1,342 @@
+#include "mt/session.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+#include "engine/explain.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace mtbase {
+namespace mt {
+
+void Middleware::RegisterTenant(int64_t ttid) {
+  auto it = std::lower_bound(tenants_.begin(), tenants_.end(), ttid);
+  if (it == tenants_.end() || *it != ttid) tenants_.insert(it, ttid);
+}
+
+bool Middleware::IsAllTenants(const std::vector<int64_t>& dataset) const {
+  if (dataset.size() != tenants_.size()) return false;
+  std::vector<int64_t> sorted = dataset;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted == tenants_;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Status Session::SetScope(const std::string& scope_text) {
+  MTB_ASSIGN_OR_RETURN(Scope s, Scope::Parse(scope_text));
+  scope_ = std::move(s);
+  return Status::OK();
+}
+
+namespace {
+
+void CollectTsTablesFromSelect(const sql::SelectStmt& sel,
+                               const MTSchema& schema,
+                               std::set<std::string>* out);
+
+void CollectTsTablesFromExpr(const sql::Expr& e, const MTSchema& schema,
+                             std::set<std::string>* out) {
+  if (e.subquery) CollectTsTablesFromSelect(*e.subquery, schema, out);
+  for (const auto& a : e.args) CollectTsTablesFromExpr(*a, schema, out);
+  if (e.case_operand) CollectTsTablesFromExpr(*e.case_operand, schema, out);
+  if (e.else_expr) CollectTsTablesFromExpr(*e.else_expr, schema, out);
+}
+
+void CollectTsTablesFromTref(const sql::TableRef& t, const MTSchema& schema,
+                             std::set<std::string>* out) {
+  switch (t.kind) {
+    case sql::TableRef::Kind::kBase: {
+      const MTTableInfo* info = schema.FindTable(t.name);
+      if (info != nullptr && info->tenant_specific()) {
+        out->insert(ToLowerCopy(t.name));
+      }
+      break;
+    }
+    case sql::TableRef::Kind::kSubquery:
+      CollectTsTablesFromSelect(*t.subquery, schema, out);
+      break;
+    case sql::TableRef::Kind::kJoin:
+      CollectTsTablesFromTref(*t.left, schema, out);
+      CollectTsTablesFromTref(*t.right, schema, out);
+      if (t.join_cond) CollectTsTablesFromExpr(*t.join_cond, schema, out);
+      break;
+  }
+}
+
+void CollectTsTablesFromSelect(const sql::SelectStmt& sel,
+                               const MTSchema& schema,
+                               std::set<std::string>* out) {
+  for (const auto& t : sel.from) CollectTsTablesFromTref(*t, schema, out);
+  for (const auto& item : sel.items) {
+    if (item.expr->kind != sql::ExprKind::kStar) {
+      CollectTsTablesFromExpr(*item.expr, schema, out);
+    }
+  }
+  if (sel.where) CollectTsTablesFromExpr(*sel.where, schema, out);
+  for (const auto& g : sel.group_by) CollectTsTablesFromExpr(*g, schema, out);
+  if (sel.having) CollectTsTablesFromExpr(*sel.having, schema, out);
+  for (const auto& o : sel.order_by) {
+    CollectTsTablesFromExpr(*o.expr, schema, out);
+  }
+}
+
+}  // namespace
+
+void Session::CollectTsTables(const sql::Stmt& stmt,
+                              std::vector<std::string>* out) const {
+  std::set<std::string> set;
+  switch (stmt.kind) {
+    case sql::Stmt::Kind::kSelect:
+      CollectTsTablesFromSelect(*stmt.select, *mw_->schema(), &set);
+      break;
+    case sql::Stmt::Kind::kInsert: {
+      const MTTableInfo* info = mw_->schema()->FindTable(stmt.insert->table);
+      if (info != nullptr && info->tenant_specific()) {
+        set.insert(ToLowerCopy(stmt.insert->table));
+      }
+      if (stmt.insert->select) {
+        CollectTsTablesFromSelect(*stmt.insert->select, *mw_->schema(), &set);
+      }
+      break;
+    }
+    case sql::Stmt::Kind::kUpdate: {
+      const MTTableInfo* info = mw_->schema()->FindTable(stmt.update->table);
+      if (info != nullptr && info->tenant_specific()) {
+        set.insert(ToLowerCopy(stmt.update->table));
+      }
+      break;
+    }
+    case sql::Stmt::Kind::kDelete: {
+      const MTTableInfo* info = mw_->schema()->FindTable(stmt.del->table);
+      if (info != nullptr && info->tenant_specific()) {
+        set.insert(ToLowerCopy(stmt.del->table));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  out->assign(set.begin(), set.end());
+}
+
+Result<std::vector<int64_t>> Session::ResolveDataset(const sql::Stmt& stmt) {
+  std::vector<int64_t> dataset;
+  switch (scope_.kind) {
+    case Scope::Kind::kDefault:
+      dataset = {client_};
+      break;
+    case Scope::Kind::kSimple:
+      // The empty IN list means "all tenants" (paper section 2.1).
+      dataset = scope_.ids.empty() ? mw_->tenants() : scope_.ids;
+      break;
+    case Scope::Kind::kComplex: {
+      // Build "SELECT ttid FROM <table> WHERE <pred>" and run it through the
+      // canonical rewriter so constants are interpreted in C's format
+      // (paper Listing 12).
+      const MTTableInfo* info = mw_->schema()->FindTable(scope_.table);
+      if (info == nullptr || !info->tenant_specific()) {
+        return Status::InvalidArgument(
+            "complex scope must reference a tenant-specific table: " +
+            scope_.table);
+      }
+      auto q = std::make_unique<sql::SelectStmt>();
+      q->distinct = true;
+      sql::SelectItem item;
+      item.expr = sql::Col(scope_.table, kTtidColumn);
+      q->items.push_back(std::move(item));
+      auto tref = std::make_unique<sql::TableRef>();
+      tref->kind = sql::TableRef::Kind::kBase;
+      tref->name = scope_.table;
+      q->from.push_back(std::move(tref));
+      if (scope_.where) q->where = scope_.where->Clone();
+      // Conversions in the scope predicate run with D = all tenants; the
+      // scope query itself is not D-filtered.
+      RewriteOptions opts;
+      opts.drop_dfilters = true;
+      Rewriter rewriter(mw_->schema(), mw_->conversions(), client_,
+                        mw_->tenants(), opts);
+      // The projected ttid is the meta column; rewrite only the predicate.
+      auto rewritten = std::make_unique<sql::SelectStmt>(std::move(*q));
+      MTB_ASSIGN_OR_RETURN(rewritten, rewriter.RewriteQuery(*rewritten));
+      Optimizer opt(mw_->conversions(), client_);
+      MTB_RETURN_IF_ERROR(opt.Optimize(rewritten.get(), level_));
+      std::string sql_text = sql::PrintSelect(*rewritten);
+      MTB_ASSIGN_OR_RETURN(auto rs, mw_->db()->Execute(sql_text));
+      for (const auto& row : rs.rows) {
+        if (!row.empty() && !row[0].is_null()) {
+          dataset.push_back(row[0].int_value());
+        }
+      }
+      std::sort(dataset.begin(), dataset.end());
+      break;
+    }
+  }
+  // Prune against privileges: D -> D' (paper section 3).
+  std::vector<std::string> ts_tables;
+  CollectTsTables(stmt, &ts_tables);
+  return mw_->privileges()->PruneDataset(dataset, ts_tables, client_);
+}
+
+RewriteOptions Session::OptionsFor(const std::vector<int64_t>& dataset) const {
+  RewriteOptions opts;
+  if (level_ == OptLevel::kCanonical) return opts;
+  // o1, trivial semantic optimizations (paper section 4.1).
+  opts.drop_dfilters = mw_->IsAllTenants(dataset);
+  opts.drop_ttid_joins = dataset.size() == 1;
+  opts.drop_conversions = dataset.size() == 1 && dataset[0] == client_;
+  return opts;
+}
+
+Result<std::vector<sql::Stmt>> Session::RewriteStmt(
+    const sql::Stmt& stmt, std::vector<int64_t>* dataset_out) {
+  MTB_ASSIGN_OR_RETURN(std::vector<int64_t> dataset, ResolveDataset(stmt));
+  if (dataset_out != nullptr) *dataset_out = dataset;
+  Rewriter rewriter(mw_->schema(), mw_->conversions(), client_, dataset,
+                    OptionsFor(dataset));
+  MTB_ASSIGN_OR_RETURN(auto stmts, rewriter.RewriteStatement(stmt));
+  Optimizer opt(mw_->conversions(), client_);
+  for (auto& s : stmts) {
+    if (s.kind == sql::Stmt::Kind::kSelect) {
+      MTB_RETURN_IF_ERROR(opt.Optimize(s.select.get(), level_));
+    } else if (s.kind == sql::Stmt::Kind::kInsert && s.insert->select) {
+      MTB_RETURN_IF_ERROR(opt.Optimize(s.insert->select.get(), level_));
+    }
+  }
+  return stmts;
+}
+
+Status Session::HandleGrant(const sql::GrantStmt& grant) {
+  std::vector<int64_t> grantees;
+  if (grant.to_all) {
+    // GRANT ... TO ALL resolves against the current dataset D (paper §2.3).
+    sql::Stmt dummy;
+    dummy.kind = sql::Stmt::Kind::kSelect;
+    dummy.select = std::make_unique<sql::SelectStmt>();
+    MTB_ASSIGN_OR_RETURN(grantees, ResolveDataset(dummy));
+  } else {
+    grantees = {grant.grantee};
+  }
+  for (const auto& priv_name : grant.privileges) {
+    std::vector<Privilege> privs;
+    if (EqualsIgnoreCase(priv_name, "ALL")) {
+      privs = {Privilege::kRead, Privilege::kInsert, Privilege::kUpdate,
+               Privilege::kDelete};
+    } else {
+      MTB_ASSIGN_OR_RETURN(Privilege p, ParsePrivilege(priv_name));
+      privs = {p};
+    }
+    const std::string table = grant.on_database ? "" : grant.table;
+    for (Privilege p : privs) {
+      for (int64_t g : grantees) {
+        if (grant.revoke) {
+          mw_->privileges()->Revoke(client_, table, p, g);
+        } else {
+          mw_->privileges()->Grant(client_, table, p, g);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<engine::ResultSet> Session::ExecuteStmt(const sql::Stmt& stmt) {
+  engine::ResultSet empty;
+  switch (stmt.kind) {
+    case sql::Stmt::Kind::kSetScope:
+      MTB_RETURN_IF_ERROR(SetScope(stmt.set_scope->scope_text));
+      return empty;
+    case sql::Stmt::Kind::kGrant:
+      MTB_RETURN_IF_ERROR(HandleGrant(*stmt.grant));
+      return empty;
+    case sql::Stmt::Kind::kCreateFunction:
+      // Conversion functions pass through to the DBMS unchanged.
+      return mw_->db()->ExecuteStmt(stmt);
+    case sql::Stmt::Kind::kCreateTable: {
+      MTB_RETURN_IF_ERROR(mw_->schema()->RegisterTable(*stmt.create_table));
+      Rewriter rewriter(mw_->schema(), mw_->conversions(), client_, {client_},
+                        RewriteOptions{});
+      auto lowered = rewriter.LowerCreateTable(*stmt.create_table);
+      if (!lowered.ok()) {
+        (void)mw_->schema()->DropTable(stmt.create_table->name);
+        return lowered.status();
+      }
+      sql::Stmt s;
+      s.kind = sql::Stmt::Kind::kCreateTable;
+      s.create_table =
+          std::make_unique<sql::CreateTableStmt>(std::move(lowered).value());
+      last_sql_ = sql::PrintStmt(s);
+      auto rs = mw_->db()->ExecuteStmt(s);
+      if (!rs.ok()) {
+        (void)mw_->schema()->DropTable(stmt.create_table->name);
+        return rs.status();
+      }
+      return rs;
+    }
+    case sql::Stmt::Kind::kDrop: {
+      if (stmt.drop->what == sql::DropStmt::What::kTable) {
+        (void)mw_->schema()->DropTable(stmt.drop->name);
+      }
+      return mw_->db()->ExecuteStmt(stmt);
+    }
+    default: {
+      MTB_ASSIGN_OR_RETURN(auto stmts, RewriteStmt(stmt, nullptr));
+      engine::ResultSet last;
+      last_sql_.clear();
+      for (const auto& s : stmts) {
+        std::string text = sql::PrintStmt(s);
+        if (!last_sql_.empty()) last_sql_ += ";\n";
+        last_sql_ += text;
+        MTB_ASSIGN_OR_RETURN(last, mw_->db()->Execute(text));
+      }
+      return last;
+    }
+  }
+}
+
+Result<engine::ResultSet> Session::Execute(const std::string& mtsql) {
+  MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
+  return ExecuteStmt(stmt);
+}
+
+Result<engine::ResultSet> Session::ExecuteScript(const std::string& mtsql) {
+  MTB_ASSIGN_OR_RETURN(auto stmts, sql::ParseScript(mtsql));
+  engine::ResultSet last;
+  for (const auto& s : stmts) {
+    MTB_ASSIGN_OR_RETURN(last, ExecuteStmt(s));
+  }
+  return last;
+}
+
+Result<std::string> Session::Explain(const std::string& mtsql) {
+  MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
+  MTB_ASSIGN_OR_RETURN(auto stmts, RewriteStmt(stmt, nullptr));
+  std::string out;
+  for (const auto& s : stmts) {
+    if (s.kind != sql::Stmt::Kind::kSelect) continue;
+    MTB_ASSIGN_OR_RETURN(
+        std::string text,
+        engine::ExplainSelect(mw_->db()->catalog(), mw_->db()->udfs(),
+                              *s.select));
+    out += text;
+  }
+  return out;
+}
+
+Result<std::string> Session::Rewrite(const std::string& mtsql) {
+  MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
+  MTB_ASSIGN_OR_RETURN(auto stmts, RewriteStmt(stmt, nullptr));
+  std::string out;
+  for (const auto& s : stmts) {
+    if (!out.empty()) out += ";\n";
+    out += sql::PrintStmt(s);
+  }
+  return out;
+}
+
+}  // namespace mt
+}  // namespace mtbase

@@ -1,0 +1,105 @@
+// MTBase middleware and client sessions (paper Figure 4).
+//
+// The Middleware owns the MT meta data (schema comparability, conversion
+// pairs, privileges, tenant registry) and sits in front of an engine
+// Database. A Session represents one client connection: the client's ttid C
+// is fixed at connection time, the SCOPE runtime parameter defines D, and
+// every statement is rewritten to plain SQL, printed and sent to the engine.
+#ifndef MTBASE_MT_SESSION_H_
+#define MTBASE_MT_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "mt/conversion.h"
+#include "mt/mt_schema.h"
+#include "mt/optimizer.h"
+#include "mt/privilege.h"
+#include "mt/rewriter.h"
+#include "mt/scope.h"
+
+namespace mtbase {
+namespace mt {
+
+class Middleware {
+ public:
+  explicit Middleware(engine::Database* db) : db_(db) {}
+
+  engine::Database* db() { return db_; }
+  MTSchema* schema() { return &schema_; }
+  const MTSchema* schema() const { return &schema_; }
+  ConversionRegistry* conversions() { return &conversions_; }
+  PrivilegeManager* privileges() { return &privileges_; }
+
+  /// Tenants known to the system (kept sorted). The empty simple scope
+  /// ("IN ()") and o1's D-filter elision both resolve against this list.
+  void RegisterTenant(int64_t ttid);
+  const std::vector<int64_t>& tenants() const { return tenants_; }
+  bool IsAllTenants(const std::vector<int64_t>& dataset) const;
+
+ private:
+  engine::Database* db_;
+  MTSchema schema_;
+  ConversionRegistry conversions_;
+  PrivilegeManager privileges_;
+  std::vector<int64_t> tenants_;
+};
+
+class Session {
+ public:
+  Session(Middleware* mw, int64_t client_ttid)
+      : mw_(mw), client_(client_ttid) {}
+
+  int64_t client() const { return client_; }
+  Middleware* middleware() { return mw_; }
+
+  void set_optimization_level(OptLevel level) { level_ = level; }
+  OptLevel optimization_level() const { return level_; }
+
+  /// Execute one MTSQL statement (SET SCOPE, DDL, DML, DCL or query).
+  Result<engine::ResultSet> Execute(const std::string& mtsql);
+  /// Execute a ';'-separated MTSQL script; returns the last result.
+  Result<engine::ResultSet> ExecuteScript(const std::string& mtsql);
+
+  /// Rewrite a query without executing it (returns the SQL text that would
+  /// be sent to the DBMS) — used by tests, examples and the rewrite explorer.
+  Result<std::string> Rewrite(const std::string& mtsql);
+
+  /// Rewrite a query and return the engine's physical plan rendering —
+  /// shows how D-filters, ttid joins and inlined conversion joins execute.
+  Result<std::string> Explain(const std::string& mtsql);
+
+  Status SetScope(const std::string& scope_text);
+  const Scope& scope() const { return scope_; }
+
+  /// The SQL text of the last rewritten statement sent to the engine.
+  const std::string& last_sql() const { return last_sql_; }
+
+  /// Resolve the current dataset D (evaluating complex scopes) and prune it
+  /// against privileges for the tables of `stmt` (D'; paper section 3).
+  Result<std::vector<int64_t>> ResolveDataset(const sql::Stmt& stmt);
+
+ private:
+  Result<engine::ResultSet> ExecuteStmt(const sql::Stmt& stmt);
+  Result<std::vector<sql::Stmt>> RewriteStmt(const sql::Stmt& stmt,
+                                             std::vector<int64_t>* dataset_out);
+  Status HandleGrant(const sql::GrantStmt& grant);
+  RewriteOptions OptionsFor(const std::vector<int64_t>& dataset) const;
+  void CollectTsTables(const sql::Stmt& stmt,
+                       std::vector<std::string>* out) const;
+
+  Middleware* mw_;
+  int64_t client_;
+  Scope scope_ = Scope::Default();
+  OptLevel level_ = OptLevel::kO4;
+  std::string last_sql_;
+};
+
+}  // namespace mt
+}  // namespace mtbase
+
+#endif  // MTBASE_MT_SESSION_H_

@@ -1,0 +1,58 @@
+// The private table layout (SS scheme, paper Figure 3).
+//
+// MTBase itself implements the basic (ST) layout — one shared table with an
+// invisible ttid column. The paper defines MTSQL semantics for both layouts
+// and notes they are semantically equivalent (section 2): applying a
+// statement with respect to D in SS means applying it to the logical union
+// of the private tables owned by tenants in D.
+//
+// This module materializes the SS layout from an ST database (and back),
+// which both demonstrates the equivalence and provides a migration path for
+// applications arriving from per-tenant-table systems (Apache Phoenix
+// style). The equivalence is exercised in tests/mt/ss_layout_test.cc.
+#ifndef MTBASE_MT_SS_LAYOUT_H_
+#define MTBASE_MT_SS_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "mt/mt_schema.h"
+
+namespace mtbase {
+namespace mt {
+
+/// Name of tenant t's private instance of `table` (Figure 3: Employees_0).
+std::string PrivateTableName(const std::string& table, int64_t ttid);
+
+/// Split a tenant-specific ST table into per-tenant private tables inside
+/// `target` (which may be the same database). Creates one table per tenant
+/// in `tenants`, with the visible columns only (no ttid).
+Status SplitToPrivateTables(engine::Database* source, engine::Database* target,
+                            const MTTableInfo& info,
+                            const std::vector<int64_t>& tenants);
+
+/// Merge private tables back into a basic-layout (ST) table `into` inside
+/// `target`: the inverse of SplitToPrivateTables. The ST table must already
+/// exist with the ttid meta column first.
+Status MergeFromPrivateTables(engine::Database* source,
+                              engine::Database* target,
+                              const MTTableInfo& info, const std::string& into,
+                              const std::vector<int64_t>& tenants);
+
+/// Execute a query against the SS layout by evaluating it per tenant in D
+/// against that tenant's private tables and concatenating the results —
+/// the "logical union" semantics of section 2. Only valid for queries whose
+/// result is a plain per-tenant union (no cross-tenant joins/aggregates);
+/// used by tests to cross-check the ST rewrite on single-table scans.
+Result<engine::ResultSet> RunPerTenantUnion(engine::Database* ss_db,
+                                            const MTTableInfo& info,
+                                            const std::string& select_suffix,
+                                            const std::vector<int64_t>& dataset);
+
+}  // namespace mt
+}  // namespace mtbase
+
+#endif  // MTBASE_MT_SS_LAYOUT_H_

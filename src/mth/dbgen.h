@@ -1,0 +1,71 @@
+// MT-H data generator (the paper's modified dbgen, section 5).
+//
+// Generates a spec-shaped TPC-H dataset in *universal* format (USD amounts,
+// unprefixed phone numbers) plus a tenant assignment for the tenant-specific
+// tables, and loads it either as a plain TPC-H baseline database or as an
+// MT-H database in the basic (ST) layout with per-tenant currency / phone
+// formats. Fixed seed => reproducible data; loading the same MthData into
+// both layouts makes the C=1, D=all validation (paper section 5) exact.
+#ifndef MTBASE_MTH_DBGEN_H_
+#define MTBASE_MTH_DBGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "engine/database.h"
+#include "mt/session.h"
+
+namespace mtbase {
+namespace mth {
+
+struct MthConfig {
+  /// TPC-H scale factor; fractional values scale all cardinalities down.
+  double scale_factor = 0.01;
+  /// Number of tenants T; ttids are 1..T. Tenant 1 uses the universal
+  /// formats (USD, unprefixed phones).
+  int64_t num_tenants = 10;
+  enum class Distribution { kUniform, kZipf } distribution = Distribution::kUniform;
+  uint64_t seed = 42;
+
+  int64_t SupplierCount() const;
+  int64_t PartCount() const;
+  int64_t CustomerCount() const;
+  int64_t OrderCount() const;
+};
+
+/// Universal-format rows plus tenant assignment.
+struct MthData {
+  std::vector<Row> region, nation, supplier, part, partsupp;
+  std::vector<Row> customer, orders, lineitem;
+  std::vector<int64_t> customer_tenant, orders_tenant, lineitem_tenant;
+};
+
+/// Deterministically generate the dataset for `config`.
+Result<MthData> GenerateData(const MthConfig& config);
+
+/// Load into a plain TPC-H baseline database (universal formats, no ttid).
+Status LoadTpch(engine::Database* db, const MthData& data);
+
+/// Load into an MT-H database behind the middleware: creates the conversion
+/// meta tables and UDFs, the MTSQL schema, registers tenants (each granting
+/// READ to the public), and stores tenant rows in their tenant's formats.
+Status LoadMth(engine::Database* db, mt::Middleware* mw, const MthData& data,
+               const MthConfig& config);
+
+/// The per-tenant currency factors used by LoadMth (toUniversal rates are the
+/// reciprocals). Exposed for tests; rates are reciprocal-exact so conversion
+/// round-trips are bit-exact (DESIGN.md section 5).
+struct CurrencyInfo {
+  const char* name;
+  const char* to_universal;    // decimal literal
+  const char* from_universal;  // decimal literal
+};
+const std::vector<CurrencyInfo>& Currencies();
+const std::vector<const char*>& PhonePrefixes();
+
+}  // namespace mth
+}  // namespace mtbase
+
+#endif  // MTBASE_MTH_DBGEN_H_

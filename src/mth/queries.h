@@ -1,0 +1,34 @@
+// The 22 MT-H queries (TPC-H queries with validation parameter values,
+// paper section 5), expressed in the dialect of this repository.
+//
+// Deviations from the TPC-H text (documented in EXPERIMENTS.md):
+//   * Q11's fraction scales with the scale factor (0.0001 / sf, per spec);
+//   * Q15's revenue view is inlined as a derived table;
+//   * Q18's quantity threshold is 250 so small scale factors return rows;
+//   * Q19's common join predicate is factored out of the OR branches
+//     (semantically identical).
+#ifndef MTBASE_MTH_QUERIES_H_
+#define MTBASE_MTH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace mtbase {
+namespace mth {
+
+struct MthQuery {
+  int number;        // 1..22
+  std::string name;  // "Q01".."Q22"
+  std::string sql;
+};
+
+/// All 22 queries; `scale_factor` parameterizes Q11's fraction.
+std::vector<MthQuery> MthQueries(double scale_factor);
+
+/// A single query by number (1-based).
+MthQuery GetMthQuery(int number, double scale_factor);
+
+}  // namespace mth
+}  // namespace mtbase
+
+#endif  // MTBASE_MTH_QUERIES_H_

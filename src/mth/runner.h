@@ -1,0 +1,54 @@
+// Workload runner and result validation for the MT-H benchmark.
+#ifndef MTBASE_MTH_RUNNER_H_
+#define MTBASE_MTH_RUNNER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "mt/session.h"
+#include "mth/dbgen.h"
+#include "mth/queries.h"
+
+namespace mtbase {
+namespace mth {
+
+struct QueryRun {
+  double seconds = 0;
+  engine::ResultSet result;
+  engine::ExecStats stats;  // per-run deltas
+  std::string sql;          // the SQL text sent to the engine
+};
+
+/// Run one MT-H query through the middleware at the given level.
+Result<QueryRun> RunMthQuery(mt::Session* session, const std::string& sql,
+                             mt::OptLevel level);
+
+/// Run a query directly on a (baseline) database.
+Result<QueryRun> RunTpchQuery(engine::Database* db, const std::string& sql);
+
+/// Multiset comparison with numeric tolerance (AVG/division rounding).
+bool ResultsEqual(const engine::ResultSet& a, const engine::ResultSet& b,
+                  std::string* why);
+
+/// A fully loaded benchmark environment: the MT-H database behind a
+/// middleware and the TPC-H baseline database over the same data.
+struct MthEnvironment {
+  MthConfig config;
+  std::unique_ptr<engine::Database> mth_db;
+  std::unique_ptr<mt::Middleware> middleware;
+  std::unique_ptr<engine::Database> tpch_db;
+
+  /// Open a client session (paper evaluation: C = 1).
+  mt::Session OpenSession(int64_t client) { return mt::Session(middleware.get(), client); }
+};
+
+/// Generate + load both databases for `config` (baseline optional).
+Result<std::unique_ptr<MthEnvironment>> SetupEnvironment(
+    const MthConfig& config, engine::DbmsProfile profile,
+    bool with_baseline = true);
+
+}  // namespace mth
+}  // namespace mtbase
+
+#endif  // MTBASE_MTH_RUNNER_H_

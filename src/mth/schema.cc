@@ -1,0 +1,190 @@
+#include "mth/schema.h"
+
+namespace mtbase {
+namespace mth {
+
+namespace {
+
+// Table bodies shared between the MTSQL and plain variants. The MTSQL
+// variant annotates generality/comparability; the plain variant is the
+// TPC-H baseline schema.
+const char* kGlobalTables = R"(
+CREATE TABLE region (
+  r_regionkey INTEGER NOT NULL,
+  r_name VARCHAR(25) NOT NULL,
+  r_comment VARCHAR(152),
+  CONSTRAINT pk_region PRIMARY KEY (r_regionkey)
+);
+CREATE TABLE nation (
+  n_nationkey INTEGER NOT NULL,
+  n_name VARCHAR(25) NOT NULL,
+  n_regionkey INTEGER NOT NULL,
+  n_comment VARCHAR(152),
+  CONSTRAINT pk_nation PRIMARY KEY (n_nationkey),
+  CONSTRAINT fk_nation_region FOREIGN KEY (n_regionkey) REFERENCES region (r_regionkey)
+);
+CREATE TABLE supplier (
+  s_suppkey INTEGER NOT NULL,
+  s_name VARCHAR(25) NOT NULL,
+  s_address VARCHAR(40) NOT NULL,
+  s_nationkey INTEGER NOT NULL,
+  s_phone VARCHAR(15) NOT NULL,
+  s_acctbal DECIMAL(15,2) NOT NULL,
+  s_comment VARCHAR(101) NOT NULL,
+  CONSTRAINT pk_supplier PRIMARY KEY (s_suppkey),
+  CONSTRAINT fk_supplier_nation FOREIGN KEY (s_nationkey) REFERENCES nation (n_nationkey)
+);
+CREATE TABLE part (
+  p_partkey INTEGER NOT NULL,
+  p_name VARCHAR(55) NOT NULL,
+  p_mfgr VARCHAR(25) NOT NULL,
+  p_brand VARCHAR(10) NOT NULL,
+  p_type VARCHAR(25) NOT NULL,
+  p_size INTEGER NOT NULL,
+  p_container VARCHAR(10) NOT NULL,
+  p_retailprice DECIMAL(15,2) NOT NULL,
+  p_comment VARCHAR(23) NOT NULL,
+  CONSTRAINT pk_part PRIMARY KEY (p_partkey)
+);
+CREATE TABLE partsupp (
+  ps_partkey INTEGER NOT NULL,
+  ps_suppkey INTEGER NOT NULL,
+  ps_availqty INTEGER NOT NULL,
+  ps_supplycost DECIMAL(15,2) NOT NULL,
+  ps_comment VARCHAR(199) NOT NULL,
+  CONSTRAINT pk_partsupp PRIMARY KEY (ps_partkey, ps_suppkey),
+  CONSTRAINT fk_ps_part FOREIGN KEY (ps_partkey) REFERENCES part (p_partkey),
+  CONSTRAINT fk_ps_supp FOREIGN KEY (ps_suppkey) REFERENCES supplier (s_suppkey)
+);
+)";
+
+std::string TenantTables(bool mtsql) {
+  // In the MTSQL variant: SPECIFIC tables; tenant-specific keys; convertible
+  // monetary / phone attributes (paper section 5).
+  auto spec = [&](const char* kw) { return mtsql ? std::string(" ") + kw : ""; };
+  std::string currency =
+      mtsql ? " CONVERTIBLE @currencyToUniversal @currencyFromUniversal" : "";
+  std::string phone =
+      mtsql ? " CONVERTIBLE @phoneToUniversal @phoneFromUniversal" : "";
+  std::string out;
+  out += "CREATE TABLE customer" + spec("SPECIFIC") + " (\n";
+  out += "  c_custkey INTEGER NOT NULL" + spec("SPECIFIC") + ",\n";
+  out += "  c_name VARCHAR(25) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  c_address VARCHAR(40) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  c_nationkey INTEGER NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  c_phone VARCHAR(17) NOT NULL" + phone + ",\n";
+  out += "  c_acctbal DECIMAL(15,2) NOT NULL" + currency + ",\n";
+  out += "  c_mktsegment VARCHAR(10) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  c_comment VARCHAR(117) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  CONSTRAINT pk_customer PRIMARY KEY (c_custkey)\n";
+  out += ");\n";
+  out += "CREATE TABLE orders" + spec("SPECIFIC") + " (\n";
+  out += "  o_orderkey INTEGER NOT NULL" + spec("SPECIFIC") + ",\n";
+  out += "  o_custkey INTEGER NOT NULL" + spec("SPECIFIC") + ",\n";
+  out += "  o_orderstatus VARCHAR(1) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  o_totalprice DECIMAL(15,2) NOT NULL" + currency + ",\n";
+  out += "  o_orderdate DATE NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  o_orderpriority VARCHAR(15) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  o_clerk VARCHAR(15) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  o_shippriority INTEGER NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  o_comment VARCHAR(79) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  CONSTRAINT pk_orders PRIMARY KEY (o_orderkey),\n";
+  out += "  CONSTRAINT fk_orders_cust FOREIGN KEY (o_custkey) REFERENCES "
+         "customer (c_custkey)\n";
+  out += ");\n";
+  out += "CREATE TABLE lineitem" + spec("SPECIFIC") + " (\n";
+  out += "  l_orderkey INTEGER NOT NULL" + spec("SPECIFIC") + ",\n";
+  out += "  l_partkey INTEGER NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_suppkey INTEGER NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_linenumber INTEGER NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_quantity DECIMAL(15,2) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_extendedprice DECIMAL(15,2) NOT NULL" + currency + ",\n";
+  out += "  l_discount DECIMAL(15,2) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_tax DECIMAL(15,2) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_returnflag VARCHAR(1) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_linestatus VARCHAR(1) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_shipdate DATE NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_commitdate DATE NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_receiptdate DATE NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_shipinstruct VARCHAR(25) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_shipmode VARCHAR(10) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  l_comment VARCHAR(44) NOT NULL" + spec("COMPARABLE") + ",\n";
+  out += "  CONSTRAINT fk_line_order FOREIGN KEY (l_orderkey) REFERENCES "
+         "orders (o_orderkey)\n";
+  out += ");\n";
+  return out;
+}
+
+}  // namespace
+
+std::string MthDdl() { return std::string(kGlobalTables) + TenantTables(true); }
+
+std::string TpchDdl() {
+  return std::string(kGlobalTables) + TenantTables(false);
+}
+
+std::string ConversionDdl() {
+  return R"(
+CREATE TABLE Tenant (
+  T_tenant_key INTEGER NOT NULL,
+  T_currency_key INTEGER NOT NULL,
+  T_phone_prefix_key INTEGER NOT NULL,
+  CONSTRAINT pk_tenant PRIMARY KEY (T_tenant_key)
+);
+CREATE TABLE CurrencyTransform (
+  CT_currency_key INTEGER NOT NULL,
+  CT_name VARCHAR(8) NOT NULL,
+  CT_to_universal DECIMAL(15,6) NOT NULL,
+  CT_from_universal DECIMAL(15,6) NOT NULL,
+  CONSTRAINT pk_ct PRIMARY KEY (CT_currency_key)
+);
+CREATE TABLE PhoneTransform (
+  PT_phone_prefix_key INTEGER NOT NULL,
+  PT_prefix VARCHAR(8) NOT NULL,
+  CONSTRAINT pk_pt PRIMARY KEY (PT_phone_prefix_key)
+);
+CREATE FUNCTION currencyToUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+  AS 'SELECT CT_to_universal*$1 FROM Tenant, CurrencyTransform WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key'
+  LANGUAGE SQL IMMUTABLE;
+CREATE FUNCTION currencyFromUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+  AS 'SELECT CT_from_universal*$1 FROM Tenant, CurrencyTransform WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key'
+  LANGUAGE SQL IMMUTABLE;
+CREATE FUNCTION phoneToUniversal (VARCHAR(17), INTEGER) RETURNS VARCHAR(17)
+  AS 'SELECT SUBSTRING($1, CHAR_LENGTH(PT_prefix)+1) FROM Tenant, PhoneTransform WHERE T_tenant_key = $2 AND T_phone_prefix_key = PT_phone_prefix_key'
+  LANGUAGE SQL IMMUTABLE;
+CREATE FUNCTION phoneFromUniversal (VARCHAR(17), INTEGER) RETURNS VARCHAR(17)
+  AS 'SELECT CONCAT(PT_prefix, $1) FROM Tenant, PhoneTransform WHERE T_tenant_key = $2 AND T_phone_prefix_key = PT_phone_prefix_key'
+  LANGUAGE SQL IMMUTABLE;
+)";
+}
+
+Status RegisterConversionPairs(mt::Middleware* mw) {
+  mt::ConversionPair currency;
+  currency.name = "currency";
+  currency.to_universal = "currencyToUniversal";
+  currency.from_universal = "currencyFromUniversal";
+  currency.cls = mt::ConversionClass::kMultiplicative;
+  currency.inline_spec.kind = mt::InlineSpec::Kind::kMultiplicative;
+  currency.inline_spec.tenant_fk = "T_currency_key";
+  currency.inline_spec.meta_table = "CurrencyTransform";
+  currency.inline_spec.meta_key = "CT_currency_key";
+  currency.inline_spec.to_col = "CT_to_universal";
+  currency.inline_spec.from_col = "CT_from_universal";
+  MTB_RETURN_IF_ERROR(mw->conversions()->Register(currency));
+
+  mt::ConversionPair phone;
+  phone.name = "phone";
+  phone.to_universal = "phoneToUniversal";
+  phone.from_universal = "phoneFromUniversal";
+  phone.cls = mt::ConversionClass::kEqualityOnly;
+  phone.inline_spec.kind = mt::InlineSpec::Kind::kPrefix;
+  phone.inline_spec.tenant_fk = "T_phone_prefix_key";
+  phone.inline_spec.meta_table = "PhoneTransform";
+  phone.inline_spec.meta_key = "PT_phone_prefix_key";
+  phone.inline_spec.to_col = "PT_prefix";
+  phone.inline_spec.from_col = "PT_prefix";
+  return mw->conversions()->Register(phone);
+}
+
+}  // namespace mth
+}  // namespace mtbase

@@ -1,0 +1,39 @@
+// MT-H schema: TPC-H extended for multi-tenancy (paper section 5).
+//
+// Nation, Region, Supplier, Part and Partsupp are global (public knowledge);
+// Customer, Orders and Lineitem are tenant-specific. Keys into
+// tenant-specific tables are tenant-specific attributes; monetary columns
+// (c_acctbal, o_totalprice, l_extendedprice) are convertible via the
+// *currency* pair and c_phone via the *phone format* pair.
+#ifndef MTBASE_MTH_SCHEMA_H_
+#define MTBASE_MTH_SCHEMA_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "mt/session.h"
+
+namespace mtbase {
+namespace mth {
+
+/// MTSQL DDL for the eight MT-H tables (executed through a Session so the
+/// middleware learns the comparability metadata).
+std::string MthDdl();
+
+/// Plain-SQL DDL for the TPC-H baseline database (same tables, no ttid).
+std::string TpchDdl();
+
+/// DDL + UDFs for the conversion machinery: Tenant, CurrencyTransform and
+/// PhoneTransform meta tables plus the currency / phone conversion function
+/// pairs (paper Listings 4-7), executed directly at the DBMS.
+std::string ConversionDdl();
+
+/// Register the currency and phone conversion pairs (with their algebraic
+/// class and inline templates) in the middleware's conversion registry.
+Status RegisterConversionPairs(mt::Middleware* mw);
+
+}  // namespace mth
+}  // namespace mtbase
+
+#endif  // MTBASE_MTH_SCHEMA_H_

@@ -1,0 +1,113 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace mtbase {
+namespace sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.pos = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = text.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t j = i;
+      bool has_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(text[j])) ||
+                       (text[j] == '.' && !has_dot))) {
+        if (text[j] == '.') has_dot = true;
+        ++j;
+      }
+      tok.kind = has_dot ? TokenKind::kDecimal : TokenKind::kInteger;
+      tok.text = text.substr(i, j - i);
+      i = j;
+    } else if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t j = i + 1;
+      std::string content;
+      bool closed = false;
+      while (j < n) {
+        if (text[j] == quote) {
+          if (j + 1 < n && text[j + 1] == quote) {  // escaped quote
+            content += quote;
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        content += text[j++];
+      }
+      if (!closed) {
+        return Status::SyntaxError("unterminated string literal at offset " +
+                                   std::to_string(i));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(content);
+      i = j;
+    } else if (c == '$' && i + 1 < n &&
+               std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      tok.kind = TokenKind::kParam;
+      tok.text = text.substr(i + 1, j - i - 1);
+      i = j;
+    } else {
+      // Multi-char operators first.
+      auto two = (i + 1 < n) ? text.substr(i, 2) : std::string();
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+          two == "||") {
+        tok.kind = TokenKind::kSymbol;
+        tok.text = two == "!=" ? "<>" : two;
+        i += 2;
+      } else if (std::string("(),.;=<>+-*/@").find(c) != std::string::npos) {
+        tok.kind = TokenKind::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::SyntaxError(std::string("unexpected character '") + c +
+                                   "' at offset " + std::to_string(i));
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.pos = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace mtbase

@@ -1,0 +1,21 @@
+// Hand-written SQL lexer.
+#ifndef MTBASE_SQL_LEXER_H_
+#define MTBASE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace mtbase {
+namespace sql {
+
+/// Tokenize `text`; the returned vector always ends with a kEnd token.
+/// Supports SQL comments (`-- ...` to end of line).
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace sql
+}  // namespace mtbase
+
+#endif  // MTBASE_SQL_LEXER_H_

@@ -1,0 +1,30 @@
+// Recursive-descent parser for the SQL/MTSQL dialect.
+#ifndef MTBASE_SQL_PARSER_H_
+#define MTBASE_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace sql {
+
+/// Parse a single statement (trailing ';' optional).
+Result<Stmt> ParseStatement(const std::string& text);
+
+/// Parse a ';'-separated script.
+Result<std::vector<Stmt>> ParseScript(const std::string& text);
+
+/// Parse a single SELECT query.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& text);
+
+/// Parse a scalar expression (used for UDF bodies and tests).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace sql
+}  // namespace mtbase
+
+#endif  // MTBASE_SQL_PARSER_H_

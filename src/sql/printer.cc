@@ -1,0 +1,346 @@
+#include "sql/printer.h"
+
+#include "common/str_util.h"
+
+namespace mtbase {
+namespace sql {
+
+namespace {
+
+// Higher binds tighter; mirrors the parser's precedence chain.
+int Precedence(const std::string& op) {
+  if (op == "OR") return 1;
+  if (op == "AND") return 2;
+  if (op == "NOT") return 3;
+  if (op == "=" || op == "<>" || op == "<" || op == "<=" || op == ">" ||
+      op == ">=" || op == "LIKE" || op == "NOT LIKE") {
+    return 4;
+  }
+  if (op == "+" || op == "-" || op == "||") return 5;
+  if (op == "*" || op == "/") return 6;
+  return 7;
+}
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += '\'';  // double embedded quotes
+    out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string PrintLiteral(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kString:
+      return QuoteString(v.string_value());
+    case TypeId::kDate:
+      return "DATE '" + v.date_value().ToString() + "'";
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return v.bool_value() ? "TRUE" : "FALSE";
+    default:
+      return v.ToString();
+  }
+}
+
+std::string PrintExprPrec(const Expr& e, int parent_prec);
+
+std::string PrintChild(const Expr& e, int parent_prec) {
+  return PrintExprPrec(e, parent_prec);
+}
+
+std::string PrintExprPrec(const Expr& e, int parent_prec) {
+  std::string out;
+  int prec = 7;
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      out = PrintLiteral(e.literal);
+      break;
+    case ExprKind::kColumnRef:
+      out = e.qualifier.empty() ? e.column : e.qualifier + "." + e.column;
+      break;
+    case ExprKind::kStar:
+      out = e.qualifier.empty() ? "*" : e.qualifier + ".*";
+      break;
+    case ExprKind::kParam:
+      out = "$" + std::to_string(e.param_index);
+      break;
+    case ExprKind::kUnary:
+      prec = e.op == "NOT" ? 3 : 7;
+      out = (e.op == "NOT" ? "NOT " : "-") + PrintChild(*e.args[0], prec + 1);
+      break;
+    case ExprKind::kBinary:
+      prec = Precedence(e.op);
+      // Left-associative: right child needs strictly higher precedence.
+      out = PrintChild(*e.args[0], prec) + " " + e.op + " " +
+            PrintChild(*e.args[1], prec + 1);
+      break;
+    case ExprKind::kFunction: {
+      out = e.fname + "(";
+      if (e.distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ", ";
+        out += e.args[i]->kind == ExprKind::kStar ? "*"
+                                                  : PrintExprPrec(*e.args[i], 0);
+      }
+      out += ")";
+      break;
+    }
+    case ExprKind::kCase: {
+      out = "CASE";
+      if (e.case_operand) out += " " + PrintExprPrec(*e.case_operand, 0);
+      for (size_t i = 0; i + 1 < e.args.size(); i += 2) {
+        out += " WHEN " + PrintExprPrec(*e.args[i], 0) + " THEN " +
+               PrintExprPrec(*e.args[i + 1], 0);
+      }
+      if (e.else_expr) out += " ELSE " + PrintExprPrec(*e.else_expr, 0);
+      out += " END";
+      break;
+    }
+    case ExprKind::kInList: {
+      prec = 4;
+      out = PrintChild(*e.args[0], prec + 1);
+      out += e.negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < e.args.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += PrintExprPrec(*e.args[i], 0);
+      }
+      out += ")";
+      break;
+    }
+    case ExprKind::kInSubquery: {
+      prec = 4;
+      if (e.args.size() == 1) {
+        out = PrintChild(*e.args[0], prec + 1);
+      } else {
+        out = "(";
+        for (size_t i = 0; i < e.args.size(); ++i) {
+          if (i) out += ", ";
+          out += PrintExprPrec(*e.args[i], 0);
+        }
+        out += ")";
+      }
+      out += e.negated ? " NOT IN (" : " IN (";
+      out += PrintSelect(*e.subquery);
+      out += ")";
+      break;
+    }
+    case ExprKind::kExists:
+      out = std::string(e.negated ? "NOT " : "") + "EXISTS (" +
+            PrintSelect(*e.subquery) + ")";
+      prec = e.negated ? 3 : 7;
+      break;
+    case ExprKind::kScalarSubquery:
+      out = "(" + PrintSelect(*e.subquery) + ")";
+      break;
+    case ExprKind::kBetween:
+      prec = 4;
+      out = PrintChild(*e.args[0], prec + 1) +
+            (e.negated ? " NOT BETWEEN " : " BETWEEN ") +
+            PrintChild(*e.args[1], prec + 1) + " AND " +
+            PrintChild(*e.args[2], prec + 1);
+      break;
+    case ExprKind::kIsNull:
+      prec = 4;
+      out = PrintChild(*e.args[0], prec + 1) +
+            (e.negated ? " IS NOT NULL" : " IS NULL");
+      break;
+    case ExprKind::kExtract:
+      out = "EXTRACT(" + e.extract_field + " FROM " +
+            PrintExprPrec(*e.args[0], 0) + ")";
+      break;
+    case ExprKind::kInterval:
+      out = "INTERVAL '" + e.args[0]->literal.ToString() + "' " +
+            e.interval_unit;
+      break;
+  }
+  if (prec < parent_prec) return "(" + out + ")";
+  return out;
+}
+
+std::string PrintTableRef(const TableRef& t) {
+  switch (t.kind) {
+    case TableRef::Kind::kBase:
+      return t.alias.empty() ? t.name : t.name + " " + t.alias;
+    case TableRef::Kind::kSubquery:
+      return "(" + PrintSelect(*t.subquery) + ") AS " + t.alias;
+    case TableRef::Kind::kJoin:
+      return PrintTableRef(*t.left) +
+             (t.join_type == JoinType::kLeft ? " LEFT JOIN " : " JOIN ") +
+             PrintTableRef(*t.right) + " ON " +
+             PrintExprPrec(*t.join_cond, 0);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& e) { return PrintExprPrec(e, 0); }
+
+std::string PrintSelect(const SelectStmt& s) {
+  std::string out = "SELECT ";
+  if (s.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < s.items.size(); ++i) {
+    if (i) out += ", ";
+    out += PrintExpr(*s.items[i].expr);
+    if (!s.items[i].alias.empty()) out += " AS " + s.items[i].alias;
+  }
+  if (!s.from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < s.from.size(); ++i) {
+      if (i) out += ", ";
+      out += PrintTableRef(*s.from[i]);
+    }
+  }
+  if (s.where) out += " WHERE " + PrintExpr(*s.where);
+  if (!s.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < s.group_by.size(); ++i) {
+      if (i) out += ", ";
+      out += PrintExpr(*s.group_by[i]);
+    }
+  }
+  if (s.having) out += " HAVING " + PrintExpr(*s.having);
+  if (!s.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < s.order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += PrintExpr(*s.order_by[i].expr);
+      if (s.order_by[i].desc) out += " DESC";
+    }
+  }
+  if (s.limit >= 0) out += " LIMIT " + std::to_string(s.limit);
+  return out;
+}
+
+std::string PrintStmt(const Stmt& s) {
+  switch (s.kind) {
+    case Stmt::Kind::kSelect:
+      return PrintSelect(*s.select);
+    case Stmt::Kind::kCreateTable: {
+      const auto& ct = *s.create_table;
+      std::string out = "CREATE TABLE " + ct.name;
+      if (ct.mt_specific) out += " SPECIFIC";
+      out += " (";
+      bool first = true;
+      for (const auto& c : ct.columns) {
+        if (!first) out += ", ";
+        first = false;
+        out += c.name + " " + c.type.ToString();
+        if (c.not_null) out += " NOT NULL";
+        switch (c.comparability) {
+          case Comparability::kComparable:
+            out += " COMPARABLE";
+            break;
+          case Comparability::kConvertible:
+            out += " CONVERTIBLE @" + c.to_universal_fn + " @" +
+                   c.from_universal_fn;
+            break;
+          case Comparability::kTenantSpecific:
+            out += " SPECIFIC";
+            break;
+          case Comparability::kDefault:
+            break;
+        }
+      }
+      for (const auto& c : ct.constraints) {
+        out += ", CONSTRAINT " + c.name + " ";
+        switch (c.kind) {
+          case TableConstraint::Kind::kPrimaryKey:
+            out += "PRIMARY KEY (" + JoinStrings(c.columns, ", ") + ")";
+            break;
+          case TableConstraint::Kind::kForeignKey:
+            out += "FOREIGN KEY (" + JoinStrings(c.columns, ", ") +
+                   ") REFERENCES " + c.ref_table + " (" +
+                   JoinStrings(c.ref_columns, ", ") + ")";
+            break;
+          case TableConstraint::Kind::kCheck:
+            out += "CHECK (" + PrintExpr(*c.check) + ")";
+            break;
+        }
+      }
+      out += ")";
+      return out;
+    }
+    case Stmt::Kind::kCreateView:
+      return "CREATE VIEW " + s.create_view->name + " AS " +
+             PrintSelect(*s.create_view->select);
+    case Stmt::Kind::kCreateFunction: {
+      const auto& cf = *s.create_function;
+      std::string out = "CREATE FUNCTION " + cf.name + " (";
+      for (size_t i = 0; i < cf.arg_types.size(); ++i) {
+        if (i) out += ", ";
+        out += cf.arg_types[i].ToString();
+      }
+      out += ") RETURNS " + cf.return_type.ToString() + " AS '" + cf.body_sql +
+             "' LANGUAGE SQL";
+      if (cf.immutable) out += " IMMUTABLE";
+      return out;
+    }
+    case Stmt::Kind::kInsert: {
+      const auto& ins = *s.insert;
+      std::string out = "INSERT INTO " + ins.table;
+      if (!ins.columns.empty()) {
+        out += " (" + JoinStrings(ins.columns, ", ") + ")";
+      }
+      if (ins.select) {
+        out += " " + PrintSelect(*ins.select);
+      } else {
+        out += " VALUES ";
+        for (size_t r = 0; r < ins.rows.size(); ++r) {
+          if (r) out += ", ";
+          out += "(";
+          for (size_t i = 0; i < ins.rows[r].size(); ++i) {
+            if (i) out += ", ";
+            out += PrintExpr(*ins.rows[r][i]);
+          }
+          out += ")";
+        }
+      }
+      return out;
+    }
+    case Stmt::Kind::kUpdate: {
+      const auto& up = *s.update;
+      std::string out = "UPDATE " + up.table + " SET ";
+      for (size_t i = 0; i < up.assignments.size(); ++i) {
+        if (i) out += ", ";
+        out += up.assignments[i].first + " = " +
+               PrintExpr(*up.assignments[i].second);
+      }
+      if (up.where) out += " WHERE " + PrintExpr(*up.where);
+      return out;
+    }
+    case Stmt::Kind::kDelete: {
+      std::string out = "DELETE FROM " + s.del->table;
+      if (s.del->where) out += " WHERE " + PrintExpr(*s.del->where);
+      return out;
+    }
+    case Stmt::Kind::kGrant: {
+      const auto& g = *s.grant;
+      std::string out = g.revoke ? "REVOKE " : "GRANT ";
+      out += JoinStrings(g.privileges, ", ");
+      out += " ON ";
+      out += g.on_database ? "DATABASE" : g.table;
+      out += g.revoke ? " FROM " : " TO ";
+      out += g.to_all ? "ALL" : std::to_string(g.grantee);
+      return out;
+    }
+    case Stmt::Kind::kSetScope:
+      return "SET SCOPE = \"" + s.set_scope->scope_text + "\"";
+    case Stmt::Kind::kDrop:
+      return std::string("DROP ") +
+             (s.drop->what == DropStmt::What::kTable ? "TABLE " : "VIEW ") +
+             s.drop->name;
+  }
+  return "?";
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  return PrintExpr(a) == PrintExpr(b);
+}
+
+}  // namespace sql
+}  // namespace mtbase

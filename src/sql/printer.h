@@ -1,0 +1,26 @@
+// SQL printer: renders the AST back to SQL text.
+//
+// The MTBase middleware is source-to-source: the rewriter transforms the
+// MTSQL AST and this printer produces the SQL text that is sent to the
+// underlying DBMS. Printing round-trips through the parser (tested).
+#ifndef MTBASE_SQL_PRINTER_H_
+#define MTBASE_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace sql {
+
+std::string PrintExpr(const Expr& e);
+std::string PrintSelect(const SelectStmt& s);
+std::string PrintStmt(const Stmt& s);
+
+/// Structural equality via canonical text (used by tests and optimizer).
+bool ExprEquals(const Expr& a, const Expr& b);
+
+}  // namespace sql
+}  // namespace mtbase
+
+#endif  // MTBASE_SQL_PRINTER_H_

@@ -1,0 +1,29 @@
+// Token definitions for the SQL/MTSQL lexer.
+#ifndef MTBASE_SQL_TOKEN_H_
+#define MTBASE_SQL_TOKEN_H_
+
+#include <string>
+
+namespace mtbase {
+namespace sql {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,   // employees, E_salary (case-insensitive keywords elsewhere)
+  kInteger,      // 42
+  kDecimal,      // 0.06
+  kString,       // 'abc' or "abc"
+  kParam,        // $1
+  kSymbol,       // ( ) , . ; = <> < <= > >= + - * / || @
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // raw text; for strings, the unquoted content
+  size_t pos = 0;     // byte offset, for error messages
+};
+
+}  // namespace sql
+}  // namespace mtbase
+
+#endif  // MTBASE_SQL_TOKEN_H_

@@ -1,0 +1,78 @@
+#include "common/date.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace {
+
+TEST(DateTest, ParseAndFormat) {
+  ASSERT_OK_AND_ASSIGN(Date d, Date::Parse("1995-03-15"));
+  EXPECT_EQ(d.year(), 1995);
+  EXPECT_EQ(d.month(), 3);
+  EXPECT_EQ(d.day(), 15);
+  EXPECT_EQ(d.ToString(), "1995-03-15");
+}
+
+TEST(DateTest, EpochIsZero) {
+  ASSERT_OK_AND_ASSIGN(Date d, Date::Parse("1970-01-01"));
+  EXPECT_EQ(d.days(), 0);
+}
+
+TEST(DateTest, ParseErrors) {
+  EXPECT_FALSE(Date::Parse("not-a-date").ok());
+  EXPECT_FALSE(Date::Parse("1995-13-01").ok());
+  EXPECT_FALSE(Date::Parse("1995-02-30").ok());
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_OK(Date::Parse("1996-02-29"));
+  EXPECT_FALSE(Date::Parse("1995-02-29").ok());
+  EXPECT_OK(Date::Parse("2000-02-29"));   // divisible by 400
+  EXPECT_FALSE(Date::Parse("1900-02-29").ok());  // divisible by 100
+}
+
+TEST(DateTest, AddDays) {
+  ASSERT_OK_AND_ASSIGN(Date d, Date::Parse("1998-12-01"));
+  EXPECT_EQ(d.AddDays(-90).ToString(), "1998-09-02");
+  EXPECT_EQ(d.AddDays(31).ToString(), "1999-01-01");
+}
+
+TEST(DateTest, AddMonthsClampsDay) {
+  ASSERT_OK_AND_ASSIGN(Date d, Date::Parse("1995-01-31"));
+  EXPECT_EQ(d.AddMonths(1).ToString(), "1995-02-28");
+  EXPECT_EQ(d.AddMonths(3).ToString(), "1995-04-30");
+}
+
+TEST(DateTest, AddMonthsAcrossYears) {
+  ASSERT_OK_AND_ASSIGN(Date d, Date::Parse("1993-07-01"));
+  EXPECT_EQ(d.AddMonths(3).ToString(), "1993-10-01");
+  EXPECT_EQ(d.AddMonths(12).ToString(), "1994-07-01");
+  EXPECT_EQ(d.AddMonths(-7).ToString(), "1992-12-01");
+}
+
+TEST(DateTest, AddYears) {
+  ASSERT_OK_AND_ASSIGN(Date d, Date::Parse("1994-01-01"));
+  EXPECT_EQ(d.AddYears(1).ToString(), "1995-01-01");
+}
+
+TEST(DateTest, Ordering) {
+  ASSERT_OK_AND_ASSIGN(Date a, Date::Parse("1994-01-01"));
+  ASSERT_OK_AND_ASSIGN(Date b, Date::Parse("1994-01-02"));
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a == Date(a.days()));
+}
+
+// Round trip through days() must be the identity over a wide range.
+TEST(DateTest, RoundTripPropertySweep) {
+  for (int32_t days = -3000; days <= 20000; days += 17) {
+    Date d(days);
+    ASSERT_OK_AND_ASSIGN(Date back, Date::Parse(d.ToString()));
+    EXPECT_EQ(back.days(), days);
+  }
+}
+
+}  // namespace
+}  // namespace mtbase

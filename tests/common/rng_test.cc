@@ -1,0 +1,51 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mtbase {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[rng.Uniform(1, 5)]++;
+  ASSERT_EQ(counts.size(), 5u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 1500) << v;  // roughly uniform
+  }
+}
+
+TEST(ZipfTest, SkewsTowardsSmallValues) {
+  ZipfGenerator zipf(100, 1.0, 99);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Next()]++;
+  // Rank 1 must dominate rank 10 by roughly 10x (zipf s=1).
+  ASSERT_TRUE(counts.count(1));
+  ASSERT_TRUE(counts.count(10));
+  EXPECT_GT(counts[1], 4 * counts[10]);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+  }
+}
+
+}  // namespace
+}  // namespace mtbase

@@ -1,0 +1,63 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mtbase {
+namespace {
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(ToUpperCopy("Select"), "SELECT");
+  EXPECT_EQ(ToLowerCopy("SELECT"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("lineitem", "LINEITEM"));
+  EXPECT_FALSE(EqualsIgnoreCase("lineitem", "lineitems"));
+}
+
+TEST(LikeMatchTest, Literals) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+  EXPECT_FALSE(LikeMatch("abc", "ab"));
+}
+
+TEST(LikeMatchTest, Percent) {
+  EXPECT_TRUE(LikeMatch("abc", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("abc", "a%"));
+  EXPECT_TRUE(LikeMatch("abc", "%c"));
+  EXPECT_TRUE(LikeMatch("abc", "%b%"));
+  EXPECT_FALSE(LikeMatch("abc", "%d%"));
+}
+
+TEST(LikeMatchTest, Underscore) {
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("ac", "a_c"));
+  EXPECT_TRUE(LikeMatch("abc", "___"));
+  EXPECT_FALSE(LikeMatch("abcd", "___"));
+}
+
+TEST(LikeMatchTest, TpchPatterns) {
+  EXPECT_TRUE(LikeMatch("forest green antique", "forest%"));
+  EXPECT_FALSE(LikeMatch("dark forest", "forest%"));
+  EXPECT_TRUE(LikeMatch("dark green metal", "%green%"));
+  EXPECT_TRUE(
+      LikeMatch("quietly special packages requests", "%special%requests%"));
+  EXPECT_FALSE(LikeMatch("special", "%special%requests%"));
+  EXPECT_TRUE(LikeMatch("STANDARD BRUSHED BRASS", "%BRASS"));
+  EXPECT_TRUE(LikeMatch("MEDIUM POLISHED TIN", "MEDIUM POLISHED%"));
+}
+
+TEST(LikeMatchTest, BacktrackingStress) {
+  // Patterns with repeated wildcards require backtracking on the last '%'.
+  EXPECT_TRUE(LikeMatch("aaaaaaaaab", "%a%a%b"));
+  EXPECT_FALSE(LikeMatch("aaaaaaaaaa", "%a%a%b"));
+}
+
+TEST(StrUtilTest, SplitJoin) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(JoinStrings({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+}
+
+}  // namespace
+}  // namespace mtbase

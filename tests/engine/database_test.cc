@@ -1,0 +1,213 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace engine {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.ExecuteScript(R"(
+      CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR(10), c DECIMAL(15,2));
+      INSERT INTO t VALUES (1, 'x', 1.50), (2, 'y', 2.50), (3, NULL, 3.50);
+    )"));
+  }
+
+  std::vector<Row> Rows(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << sql;
+    return r.ok() ? r.value().rows : std::vector<Row>{};
+  }
+
+  Value Scalar(const std::string& sql) {
+    auto rows = Rows(sql);
+    EXPECT_EQ(rows.size(), 1u) << sql;
+    return rows.empty() ? Value::Null() : rows[0][0];
+  }
+
+  Database db_;
+};
+
+TEST_F(DatabaseTest, SelectAll) {
+  EXPECT_EQ(Rows("SELECT * FROM t").size(), 3u);
+}
+
+TEST_F(DatabaseTest, FilterPushdown) {
+  auto rows = Rows("SELECT a FROM t WHERE a >= 2");
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST_F(DatabaseTest, SelectWithoutFrom) {
+  EXPECT_EQ(Scalar("SELECT 1 + 2 * 3").int_value(), 7);
+}
+
+TEST_F(DatabaseTest, ArithmeticTypes) {
+  EXPECT_EQ(Scalar("SELECT 7 / 2").decimal_value().ToString(), "3.500000");
+  EXPECT_EQ(Scalar("SELECT 1.5 + 1").decimal_value().ToString(), "2.5");
+  EXPECT_EQ(Scalar("SELECT -(2 - 5)").int_value(), 3);
+}
+
+TEST_F(DatabaseTest, NullPropagation) {
+  EXPECT_TRUE(Scalar("SELECT b || 'z' FROM t WHERE a = 3").is_null());
+  EXPECT_EQ(Rows("SELECT a FROM t WHERE b = 'nope'").size(), 0u);
+  // NULL in comparison is unknown, filtered out.
+  EXPECT_EQ(Rows("SELECT a FROM t WHERE b <> 'x'").size(), 1u);
+}
+
+TEST_F(DatabaseTest, ThreeValuedLogic) {
+  // NULL OR TRUE = TRUE; NULL AND TRUE = NULL (filtered).
+  EXPECT_EQ(Rows("SELECT a FROM t WHERE b = 'q' OR a = 3").size(), 1u);
+  EXPECT_EQ(Rows("SELECT a FROM t WHERE (b = b) AND a = 3").size(), 0u);
+  EXPECT_EQ(Rows("SELECT a FROM t WHERE b IS NULL").size(), 1u);
+  EXPECT_EQ(Rows("SELECT a FROM t WHERE b IS NOT NULL").size(), 2u);
+}
+
+TEST_F(DatabaseTest, LikeAndInList) {
+  EXPECT_EQ(Rows("SELECT a FROM t WHERE b LIKE '_'").size(), 2u);
+  EXPECT_EQ(Rows("SELECT a FROM t WHERE a IN (1, 3, 5)").size(), 2u);
+  EXPECT_EQ(Rows("SELECT a FROM t WHERE a NOT IN (1, 3)").size(), 1u);
+}
+
+TEST_F(DatabaseTest, CaseExpression) {
+  auto rows = Rows(
+      "SELECT CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' "
+      "END FROM t ORDER BY a");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].string_value(), "one");
+  EXPECT_EQ(rows[2][0].string_value(), "many");
+}
+
+TEST_F(DatabaseTest, Aggregates) {
+  auto rows = Rows(
+      "SELECT COUNT(*), COUNT(b), SUM(c), AVG(c), MIN(a), MAX(a) FROM t");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].int_value(), 3);
+  EXPECT_EQ(rows[0][1].int_value(), 2);  // NULL ignored
+  EXPECT_EQ(rows[0][2].decimal_value().ToString(), "7.5");
+  EXPECT_EQ(rows[0][3].decimal_value().ToString(), "2.500000");
+  EXPECT_EQ(rows[0][4].int_value(), 1);
+  EXPECT_EQ(rows[0][5].int_value(), 3);
+}
+
+TEST_F(DatabaseTest, EmptyAggregates) {
+  auto rows = Rows("SELECT COUNT(*), SUM(a) FROM t WHERE a > 100");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].int_value(), 0);
+  EXPECT_TRUE(rows[0][1].is_null());
+}
+
+TEST_F(DatabaseTest, GroupByWithHaving) {
+  ASSERT_OK(db_.Execute("INSERT INTO t VALUES (4, 'x', 4.00)"));
+  auto rows = Rows(
+      "SELECT b, COUNT(*) AS cnt FROM t WHERE b IS NOT NULL GROUP BY b "
+      "HAVING COUNT(*) > 1 ORDER BY b");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].string_value(), "x");
+  EXPECT_EQ(rows[0][1].int_value(), 2);
+}
+
+TEST_F(DatabaseTest, OrderByAliasAndHiddenColumn) {
+  auto rows = Rows("SELECT a AS key FROM t ORDER BY key DESC");
+  EXPECT_EQ(rows[0][0].int_value(), 3);
+  // ORDER BY an expression not in the select list.
+  rows = Rows("SELECT b FROM t ORDER BY a DESC LIMIT 1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 1u);  // hidden sort column dropped
+}
+
+TEST_F(DatabaseTest, Distinct) {
+  ASSERT_OK(db_.Execute("INSERT INTO t VALUES (5, 'x', 9.99)"));
+  EXPECT_EQ(Rows("SELECT DISTINCT b FROM t WHERE b IS NOT NULL").size(), 2u);
+}
+
+TEST_F(DatabaseTest, UpdateAndDelete) {
+  ASSERT_OK_AND_ASSIGN(auto r, db_.Execute("UPDATE t SET c = c * 2 WHERE a <= 2"));
+  EXPECT_EQ(r.rows[0][0].int_value(), 2);
+  EXPECT_DOUBLE_EQ(Scalar("SELECT c FROM t WHERE a = 1").AsDouble(), 3.0);
+  ASSERT_OK_AND_ASSIGN(r, db_.Execute("DELETE FROM t WHERE a = 3"));
+  EXPECT_EQ(r.rows[0][0].int_value(), 1);
+  EXPECT_EQ(Rows("SELECT * FROM t").size(), 2u);
+}
+
+TEST_F(DatabaseTest, InsertColumnSubsetFillsNull) {
+  ASSERT_OK(db_.Execute("INSERT INTO t (a) VALUES (9)"));
+  EXPECT_TRUE(Scalar("SELECT b FROM t WHERE a = 9").is_null());
+}
+
+TEST_F(DatabaseTest, NotNullEnforced) {
+  EXPECT_FALSE(db_.Execute("INSERT INTO t (b) VALUES ('z')").ok());
+}
+
+TEST_F(DatabaseTest, Views) {
+  ASSERT_OK(db_.Execute("CREATE VIEW big AS SELECT a, c FROM t WHERE c > 2"));
+  EXPECT_EQ(Rows("SELECT * FROM big").size(), 2u);
+  EXPECT_EQ(Rows("SELECT v.a FROM big v WHERE v.c > 3").size(), 1u);
+  ASSERT_OK(db_.Execute("DROP VIEW big"));
+  EXPECT_FALSE(db_.Execute("SELECT * FROM big").ok());
+}
+
+TEST_F(DatabaseTest, DropTable) {
+  ASSERT_OK(db_.Execute("CREATE TABLE gone (x INTEGER)"));
+  ASSERT_OK(db_.Execute("DROP TABLE gone"));
+  EXPECT_FALSE(db_.Execute("SELECT * FROM gone").ok());
+  EXPECT_FALSE(db_.Execute("DROP TABLE gone").ok());
+}
+
+TEST_F(DatabaseTest, ErrorMessages) {
+  EXPECT_EQ(db_.Execute("SELECT nope FROM t").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_.Execute("SELECT * FROM missing").status().code(),
+            StatusCode::kNotFound);
+  // Duplicate binding of t: the column lookup is ambiguous.
+  EXPECT_FALSE(db_.Execute("SELECT a FROM t, t").ok());
+}
+
+TEST_F(DatabaseTest, ConstraintValidation) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    CREATE TABLE parent (id INTEGER NOT NULL, CONSTRAINT pk PRIMARY KEY (id));
+    CREATE TABLE child (pid INTEGER NOT NULL,
+      CONSTRAINT fk FOREIGN KEY (pid) REFERENCES parent (id));
+    INSERT INTO parent VALUES (1), (2);
+    INSERT INTO child VALUES (1), (2), (2);
+  )"));
+  EXPECT_OK(db_.ValidateConstraints("child"));
+  ASSERT_OK(db_.Execute("INSERT INTO child VALUES (99)"));
+  auto st = db_.ValidateConstraints("child");
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+  ASSERT_OK(db_.Execute("INSERT INTO parent VALUES (1)"));
+  EXPECT_EQ(db_.ValidateConstraints("parent").code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST_F(DatabaseTest, DateArithmeticInQueries) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    CREATE TABLE ev (d DATE NOT NULL);
+    INSERT INTO ev VALUES (DATE '1994-03-01'), (DATE '1995-06-01');
+  )"));
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM ev WHERE d < DATE '1994-01-01' + "
+                   "INTERVAL '1' YEAR")
+                .int_value(),
+            1);
+  EXPECT_EQ(Scalar("SELECT EXTRACT(YEAR FROM d) FROM ev ORDER BY d LIMIT 1")
+                .int_value(),
+            1994);
+}
+
+TEST_F(DatabaseTest, StringFunctions) {
+  EXPECT_EQ(Scalar("SELECT SUBSTRING('hello' FROM 2 FOR 3)").string_value(),
+            "ell");
+  EXPECT_EQ(Scalar("SELECT SUBSTRING('hello', 4)").string_value(), "lo");
+  EXPECT_EQ(Scalar("SELECT CONCAT('a', 'b', 'c')").string_value(), "abc");
+  EXPECT_EQ(Scalar("SELECT CHAR_LENGTH('abcd')").int_value(), 4);
+  EXPECT_EQ(Scalar("SELECT UPPER('aBc')").string_value(), "ABC");
+  EXPECT_EQ(Scalar("SELECT COALESCE(NULL, 'x')").string_value(), "x");
+  EXPECT_EQ(Scalar("SELECT 'a' || 'b'").string_value(), "ab");
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace mtbase

@@ -1,0 +1,79 @@
+#include "engine/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace engine {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.ExecuteScript(R"(
+      CREATE TABLE a (x INTEGER NOT NULL, y INTEGER NOT NULL);
+      CREATE TABLE b (x INTEGER NOT NULL, z INTEGER NOT NULL);
+    )"));
+  }
+
+  std::string Explain(const std::string& query) {
+    auto sel = sql::ParseSelect(query);
+    EXPECT_TRUE(sel.ok());
+    auto r = ExplainSelect(db_.catalog(), db_.udfs(), *sel.value());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : "";
+  }
+
+  Database db_;
+};
+
+TEST_F(ExplainTest, ScanWithFilter) {
+  std::string plan = Explain("SELECT x FROM a WHERE y > 1");
+  EXPECT_NE(plan.find("Project"), std::string::npos);
+  EXPECT_NE(plan.find("Scan a (filtered)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, HashJoinShowsKeys) {
+  std::string plan =
+      Explain("SELECT a.y FROM a, b WHERE a.x = b.x AND a.y < b.z");
+  EXPECT_NE(plan.find("HashJoin INNER (1 keys, residual)"), std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, SemiJoinFromExists) {
+  std::string plan = Explain(
+      "SELECT y FROM a WHERE EXISTS (SELECT * FROM b WHERE b.x = a.x)");
+  EXPECT_NE(plan.find("HashJoin SEMI"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, AggregateAndSort) {
+  std::string plan = Explain(
+      "SELECT y, COUNT(*) AS c, SUM(x) FROM a GROUP BY y ORDER BY c DESC "
+      "LIMIT 3");
+  EXPECT_NE(plan.find("Aggregate (groups: 1, aggs: COUNT(*) SUM)"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("Sort (keys: 1 DESC)"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Limit 3"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, UdfMarker) {
+  ASSERT_OK(db_.Execute(
+      "CREATE FUNCTION twice (INTEGER) RETURNS INTEGER AS 'SELECT $1 + $1' "
+      "LANGUAGE SQL IMMUTABLE").status());
+  std::string plan = Explain("SELECT twice(x) FROM a WHERE twice(y) > 2");
+  EXPECT_NE(plan.find("Scan a (filtered, udf)"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Project (1 columns, udf)"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, NestedLoopMarkedExplicitly) {
+  std::string plan = Explain("SELECT a.y FROM a, b WHERE a.y < b.z");
+  EXPECT_NE(plan.find("[nested-loop]"), std::string::npos) << plan;
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace mtbase

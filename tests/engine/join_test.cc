@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace engine {
+namespace {
+
+class JoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.ExecuteScript(R"(
+      CREATE TABLE emp (id INTEGER NOT NULL, dept INTEGER, name VARCHAR(20), sal INTEGER NOT NULL);
+      CREATE TABLE dept (id INTEGER NOT NULL, dname VARCHAR(20) NOT NULL);
+      INSERT INTO emp VALUES (1, 10, 'ann', 100), (2, 10, 'bob', 200),
+                             (3, 20, 'cat', 300), (4, NULL, 'dan', 250);
+      INSERT INTO dept VALUES (10, 'eng'), (20, 'ops'), (30, 'hr');
+    )"));
+  }
+
+  std::vector<Row> Rows(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << sql;
+    return r.ok() ? r.value().rows : std::vector<Row>{};
+  }
+
+  Database db_;
+};
+
+TEST_F(JoinTest, InnerHashJoin) {
+  auto rows = Rows(
+      "SELECT name, dname FROM emp, dept WHERE dept = dept.id ORDER BY name");
+  ASSERT_EQ(rows.size(), 3u);  // dan has NULL dept
+  EXPECT_EQ(rows[0][1].string_value(), "eng");
+}
+
+TEST_F(JoinTest, JoinOnSyntax) {
+  auto rows =
+      Rows("SELECT name FROM emp JOIN dept ON emp.dept = dept.id ORDER BY name");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(JoinTest, LeftJoinPadsNulls) {
+  auto rows = Rows(
+      "SELECT name, dname FROM emp LEFT JOIN dept ON emp.dept = dept.id "
+      "ORDER BY name");
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_TRUE(rows[3][1].is_null());  // dan
+}
+
+TEST_F(JoinTest, LeftJoinWithResidual) {
+  // Residual restricts matches but keeps unmatched left rows (TPC-H Q13).
+  auto rows = Rows(
+      "SELECT name, dname FROM emp LEFT JOIN dept ON emp.dept = dept.id AND "
+      "dname <> 'eng' ORDER BY name");
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_TRUE(rows[0][1].is_null());  // ann's match suppressed
+  EXPECT_EQ(rows[2][1].string_value(), "ops");
+}
+
+TEST_F(JoinTest, CrossJoinWithResidualPredicate) {
+  auto rows = Rows(
+      "SELECT e1.name, e2.name FROM emp e1, emp e2 WHERE e1.sal < e2.sal AND "
+      "e1.id <> e2.id");
+  EXPECT_EQ(rows.size(), 6u);
+}
+
+TEST_F(JoinTest, SelfJoinAliases) {
+  auto rows = Rows(
+      "SELECT e1.name FROM emp e1, emp e2 WHERE e1.dept = e2.dept AND "
+      "e1.id <> e2.id ORDER BY e1.name");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].string_value(), "ann");
+}
+
+TEST_F(JoinTest, ThreeWayJoin) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    CREATE TABLE loc (dept INTEGER NOT NULL, city VARCHAR(10) NOT NULL);
+    INSERT INTO loc VALUES (10, 'zrh'), (20, 'sfo');
+  )"));
+  auto rows = Rows(
+      "SELECT name, city FROM emp, dept, loc WHERE emp.dept = dept.id AND "
+      "dept.id = loc.dept ORDER BY name");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(JoinTest, UncorrelatedInSubquery) {
+  auto rows = Rows(
+      "SELECT name FROM emp WHERE dept IN (SELECT id FROM dept WHERE dname = "
+      "'eng') ORDER BY name");
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST_F(JoinTest, NotInWithoutNulls) {
+  auto rows = Rows(
+      "SELECT dname FROM dept WHERE id NOT IN (SELECT dept FROM emp WHERE "
+      "dept IS NOT NULL) ORDER BY dname");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].string_value(), "hr");
+}
+
+TEST_F(JoinTest, NotInWithNullsYieldsEmpty) {
+  // dept list contains NULL -> NOT IN is never true (SQL three-valued logic).
+  auto rows =
+      Rows("SELECT dname FROM dept WHERE id NOT IN (SELECT dept FROM emp)");
+  EXPECT_EQ(rows.size(), 0u);
+}
+
+TEST_F(JoinTest, ExistsSemiJoin) {
+  auto rows = Rows(
+      "SELECT dname FROM dept WHERE EXISTS (SELECT * FROM emp WHERE emp.dept "
+      "= dept.id) ORDER BY dname");
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST_F(JoinTest, NotExistsAntiJoin) {
+  auto rows = Rows(
+      "SELECT dname FROM dept WHERE NOT EXISTS (SELECT * FROM emp WHERE "
+      "emp.dept = dept.id)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].string_value(), "hr");
+}
+
+TEST_F(JoinTest, ExistsWithNonEqualityResidual) {
+  // The TPC-H Q21 shape: equality key plus <> residual.
+  auto rows = Rows(
+      "SELECT e1.name FROM emp e1 WHERE EXISTS (SELECT * FROM emp e2 WHERE "
+      "e2.dept = e1.dept AND e2.id <> e1.id) ORDER BY e1.name");
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST_F(JoinTest, CorrelatedScalarAggUnnested) {
+  auto rows = Rows(
+      "SELECT name FROM emp e1 WHERE sal > (SELECT AVG(e2.sal) FROM emp e2 "
+      "WHERE e2.dept = e1.dept) ORDER BY name");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].string_value(), "bob");
+}
+
+TEST_F(JoinTest, CorrelatedScalarAggEmptyGroupDropsRow) {
+  // No co-dept rows -> NULL comparison -> filtered (dan, NULL dept).
+  auto rows = Rows(
+      "SELECT name FROM emp e1 WHERE sal >= (SELECT MIN(e2.sal) FROM emp e2 "
+      "WHERE e2.dept = e1.dept)");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(JoinTest, UncorrelatedScalarSubqueryIsInitPlan) {
+  uint64_t before = db_.stats()->initplan_execs;
+  auto rows =
+      Rows("SELECT name FROM emp WHERE sal > (SELECT AVG(sal) FROM emp)");
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(db_.stats()->initplan_execs, before + 1);  // evaluated once
+}
+
+TEST_F(JoinTest, CorrelatedExistsFallbackStillCorrect) {
+  // Non-equality-only correlation cannot be unnested; per-row fallback.
+  auto rows = Rows(
+      "SELECT name FROM emp e1 WHERE EXISTS (SELECT * FROM emp e2 WHERE "
+      "e2.sal > e1.sal + 50)");
+  // ann (100 -> 200/250/300), bob (200 -> 250/300); 250 and 300 have no
+  // strictly-larger sal + 50.
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_GT(db_.stats()->subquery_execs, 0u);
+}
+
+TEST_F(JoinTest, ScalarSubqueryMultipleRowsIsError) {
+  auto r = db_.Execute("SELECT (SELECT id FROM dept) FROM emp");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(JoinTest, TupleInSubquery) {
+  auto rows = Rows(
+      "SELECT name FROM emp WHERE (dept, sal) IN (SELECT 10, 100 FROM dept) "
+      "ORDER BY name");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].string_value(), "ann");
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace mtbase

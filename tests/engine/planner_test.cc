@@ -1,0 +1,113 @@
+// Planner-level behavior: pushdown, InitPlans, unnesting — observed through
+// ExecStats rather than timing.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace engine {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.ExecuteScript(
+        "CREATE TABLE big (id INTEGER NOT NULL, grp INTEGER NOT NULL, v "
+        "INTEGER NOT NULL)"));
+    Table* t = db_.catalog()->FindTable("big");
+    for (int64_t i = 0; i < 1000; ++i) {
+      ASSERT_OK(t->Insert(
+          {Value::Int(i), Value::Int(i % 10), Value::Int(i * 7 % 101)}));
+    }
+  }
+  Database db_;
+};
+
+TEST_F(PlannerTest, JoinDoesNotExplode) {
+  db_.stats()->Reset();
+  ASSERT_OK_AND_ASSIGN(
+      auto rs, db_.Execute("SELECT COUNT(*) FROM big a, big b WHERE a.id = "
+                           "b.id AND a.grp = 3"));
+  EXPECT_EQ(rs.rows[0][0].int_value(), 100);
+  // A hash join touches each pair once; a nested loop would visit 10^6.
+  EXPECT_LT(db_.stats()->rows_joined, 2000u);
+}
+
+TEST_F(PlannerTest, FilterPushdownLimitsJoinInput) {
+  db_.stats()->Reset();
+  ASSERT_OK(db_.Execute("SELECT COUNT(*) FROM big a, big b WHERE a.id = b.id "
+                        "AND a.grp = 3 AND b.grp = 3")
+                .status());
+  EXPECT_LT(db_.stats()->rows_joined, 200u);
+}
+
+TEST_F(PlannerTest, ExistsBecomesSemiJoinNotPerRow) {
+  db_.stats()->Reset();
+  ASSERT_OK_AND_ASSIGN(
+      auto rs,
+      db_.Execute("SELECT COUNT(*) FROM big a WHERE EXISTS (SELECT * FROM "
+                  "big b WHERE b.id = a.id AND b.v > 50)"));
+  EXPECT_GT(rs.rows[0][0].int_value(), 0);
+  EXPECT_EQ(db_.stats()->subquery_execs, 0u);  // decorrelated
+}
+
+TEST_F(PlannerTest, CorrelatedScalarAggBecomesGroupJoin) {
+  db_.stats()->Reset();
+  ASSERT_OK(db_.Execute("SELECT COUNT(*) FROM big a WHERE a.v > (SELECT "
+                        "AVG(b.v) FROM big b WHERE b.grp = a.grp)")
+                .status());
+  EXPECT_EQ(db_.stats()->subquery_execs, 0u);
+}
+
+TEST_F(PlannerTest, UncorrelatedInSubqueryEvaluatedOnce) {
+  db_.stats()->Reset();
+  ASSERT_OK(db_.Execute("SELECT COUNT(*) FROM big WHERE grp IN (SELECT grp "
+                        "FROM big WHERE v = 7)")
+                .status());
+  EXPECT_EQ(db_.stats()->initplan_execs, 1u);
+  EXPECT_EQ(db_.stats()->subquery_execs, 0u);
+}
+
+TEST_F(PlannerTest, ViewExpandsInline) {
+  ASSERT_OK(db_.Execute(
+      "CREATE VIEW grp3 AS SELECT id, v FROM big WHERE grp = 3"));
+  ASSERT_OK_AND_ASSIGN(auto rs,
+                       db_.Execute("SELECT COUNT(*) FROM grp3 WHERE v > 50"));
+  EXPECT_GT(rs.rows[0][0].int_value(), 0);
+  EXPECT_LT(rs.rows[0][0].int_value(), 100);
+}
+
+TEST_F(PlannerTest, AmbiguousColumnRejected) {
+  auto st = db_.Execute("SELECT id FROM big a, big b WHERE a.grp = b.grp");
+  EXPECT_EQ(st.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlannerTest, AggregateWithoutGroupByOverColumnRejected) {
+  auto st = db_.Execute("SELECT v, COUNT(*) FROM big");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(PlannerTest, AggregateInWhereRejected) {
+  auto st = db_.Execute("SELECT id FROM big WHERE COUNT(*) > 1");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(PlannerTest, GroupByExpressionMatchedInSelect) {
+  ASSERT_OK_AND_ASSIGN(
+      auto rs, db_.Execute("SELECT grp + 1, COUNT(*) FROM big GROUP BY grp + "
+                           "1 ORDER BY grp + 1 LIMIT 3"));
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].int_value(), 1);
+  EXPECT_EQ(rs.rows[0][1].int_value(), 100);
+}
+
+TEST_F(PlannerTest, CountDistinct) {
+  ASSERT_OK_AND_ASSIGN(auto rs,
+                       db_.Execute("SELECT COUNT(DISTINCT grp) FROM big"));
+  EXPECT_EQ(rs.rows[0][0].int_value(), 10);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace mtbase

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace engine {
+namespace {
+
+constexpr const char* kSetup = R"(
+  CREATE TABLE rates (k INTEGER NOT NULL, r DECIMAL(15,6) NOT NULL);
+  INSERT INTO rates VALUES (1, 1.0), (2, 2.0), (3, 0.5);
+  CREATE FUNCTION conv (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+    AS 'SELECT r * $1 FROM rates WHERE k = $2' LANGUAGE SQL IMMUTABLE;
+  CREATE FUNCTION volatileconv (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+    AS 'SELECT r * $1 FROM rates WHERE k = $2' LANGUAGE SQL;
+  CREATE TABLE v (x DECIMAL(15,2) NOT NULL, k INTEGER NOT NULL);
+  INSERT INTO v VALUES (10.00, 1), (10.00, 2), (10.00, 2), (20.00, 3);
+)";
+
+TEST(UdfTest, BodyExecutesSqlWithParams) {
+  Database db;
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK_AND_ASSIGN(auto rs, db.Execute("SELECT conv(10.00, 2)"));
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].AsDouble(), 20.0);
+}
+
+TEST(UdfTest, EmptyBodyResultIsNull) {
+  Database db;
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK_AND_ASSIGN(auto rs, db.Execute("SELECT conv(10.00, 99)"));
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST(UdfTest, UnknownFunctionRejected) {
+  Database db;
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  EXPECT_FALSE(db.Execute("SELECT nosuch(1)").ok());
+  EXPECT_FALSE(db.Execute("SELECT conv(1)").ok());  // arity
+}
+
+TEST(UdfTest, PostgresProfileCachesImmutableResults) {
+  Database db(DbmsProfile::kPostgres);
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK(db.Execute("SELECT conv(x, k) FROM v").status());
+  // Four rows, but (10.00, 2) repeats -> 3 body executions, 1 cache hit.
+  EXPECT_EQ(db.stats()->udf_calls, 3u);
+  EXPECT_EQ(db.stats()->udf_cache_hits, 1u);
+}
+
+TEST(UdfTest, SystemCProfileNeverCaches) {
+  Database db(DbmsProfile::kSystemC);
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK(db.Execute("SELECT conv(x, k) FROM v").status());
+  EXPECT_EQ(db.stats()->udf_calls, 4u);
+  EXPECT_EQ(db.stats()->udf_cache_hits, 0u);
+}
+
+TEST(UdfTest, NonImmutableNeverCachedEvenOnPostgres) {
+  Database db(DbmsProfile::kPostgres);
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK(db.Execute("SELECT volatileconv(x, k) FROM v").status());
+  EXPECT_EQ(db.stats()->udf_calls, 4u);
+}
+
+TEST(UdfTest, CacheIsPerStatement) {
+  Database db(DbmsProfile::kPostgres);
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK(db.Execute("SELECT conv(1.00, 1)").status());
+  ASSERT_OK(db.Execute("SELECT conv(1.00, 1)").status());
+  // Two statements, no shared cache: two body executions.
+  EXPECT_EQ(db.stats()->udf_calls, 2u);
+  EXPECT_EQ(db.stats()->udf_cache_hits, 0u);
+}
+
+TEST(UdfTest, ConstantArgsCachedAcrossRows) {
+  Database db(DbmsProfile::kPostgres);
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  // conv(5.00, 1) has constant args: one execution, N-1 hits. This is what
+  // makes conversion push-up effective on PostgreSQL (paper section 6.2).
+  ASSERT_OK(db.Execute("SELECT x FROM v WHERE x < conv(5000.00, 1)").status());
+  EXPECT_EQ(db.stats()->udf_calls, 1u);
+  EXPECT_EQ(db.stats()->udf_cache_hits, 3u);
+}
+
+TEST(UdfTest, UdfInsidePredicateAndProjection) {
+  Database db;
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK_AND_ASSIGN(
+      auto rs,
+      db.Execute("SELECT SUM(conv(x, k)) FROM v WHERE conv(x, k) >= 10.00"));
+  // values: 10, 20, 20, 10 -> all >= 10 -> sum 60.
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].AsDouble(), 60.0);
+}
+
+TEST(UdfTest, DuplicateRegistrationFails) {
+  Database db;
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  auto st = db.Execute(
+      "CREATE FUNCTION conv (INTEGER) RETURNS INTEGER AS 'SELECT $1' "
+      "LANGUAGE SQL");
+  EXPECT_EQ(st.status().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace mtbase

@@ -1,0 +1,71 @@
+// Session::Explain shows how the rewritten query executes — D-filters as
+// scan filters, ttid join keys, and o4's conversion meta-table joins.
+#include <gtest/gtest.h>
+
+#include "mth/runner.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mt {
+namespace {
+
+class ExplainSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mth::MthConfig cfg;
+    cfg.scale_factor = 0.001;
+    cfg.num_tenants = 3;
+    auto env = mth::SetupEnvironment(cfg, engine::DbmsProfile::kPostgres,
+                                     /*with_baseline=*/false);
+    ASSERT_OK(env);
+    env_ = std::move(env).value();
+    session_ = std::make_unique<Session>(env_->middleware.get(), 1);
+    ASSERT_OK(session_->Execute("SET SCOPE = \"IN (1, 2)\"").status());
+  }
+
+  std::unique_ptr<mth::MthEnvironment> env_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(ExplainSessionTest, CanonicalShowsUdfWork) {
+  session_->set_optimization_level(OptLevel::kCanonical);
+  ASSERT_OK_AND_ASSIGN(
+      std::string plan,
+      session_->Explain("SELECT SUM(o_totalprice) FROM orders"));
+  // Conversions appear as UDF work in the projection feeding the aggregate.
+  EXPECT_NE(plan.find("udf"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Scan orders (filtered)"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainSessionTest, O4ShowsMetaTableJoins) {
+  session_->set_optimization_level(OptLevel::kO4);
+  ASSERT_OK_AND_ASSIGN(
+      std::string plan,
+      session_->Explain("SELECT SUM(o_totalprice) FROM orders"));
+  EXPECT_EQ(plan.find("udf"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Scan CurrencyTransform"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("HashJoin"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainSessionTest, TenantSpecificJoinShowsTwoKeys) {
+  session_->set_optimization_level(OptLevel::kO1);
+  ASSERT_OK_AND_ASSIGN(
+      std::string plan,
+      session_->Explain("SELECT COUNT(*) FROM customer, orders WHERE "
+                        "c_custkey = o_custkey"));
+  // Key + the injected ttid pairing = 2 join keys.
+  EXPECT_NE(plan.find("HashJoin INNER (2 keys)"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainSessionTest, ExistsBecomesSemiJoinAfterRewrite) {
+  session_->set_optimization_level(OptLevel::kO1);
+  ASSERT_OK_AND_ASSIGN(
+      std::string plan,
+      session_->Explain("SELECT COUNT(*) FROM orders WHERE EXISTS (SELECT * "
+                        "FROM lineitem WHERE l_orderkey = o_orderkey)"));
+  EXPECT_NE(plan.find("HashJoin SEMI (2 keys)"), std::string::npos) << plan;
+}
+
+}  // namespace
+}  // namespace mt
+}  // namespace mtbase

@@ -1,0 +1,124 @@
+#include "mt/mt_schema.h"
+
+#include "mt/conversion.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mt {
+namespace {
+
+sql::Stmt Parse(const std::string& ddl) {
+  auto r = sql::ParseStatement(ddl);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(MTSchemaTest, DefaultsResolvePerPaperSection221) {
+  MTSchema schema;
+  // Attributes of tenant-specific tables default to tenant-specific.
+  ASSERT_OK(schema.RegisterTable(*Parse("CREATE TABLE t SPECIFIC (a INTEGER, "
+                                        "b VARCHAR(5) COMPARABLE)")
+                                      .create_table));
+  const MTTableInfo* t = schema.FindTable("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->tenant_specific());
+  EXPECT_EQ(t->FindColumn("a")->comparability,
+            sql::Comparability::kTenantSpecific);
+  EXPECT_EQ(t->FindColumn("b")->comparability,
+            sql::Comparability::kComparable);
+  // Tables default to global; attributes of global tables to comparable.
+  ASSERT_OK(schema.RegisterTable(
+      *Parse("CREATE TABLE g (x INTEGER)").create_table));
+  const MTTableInfo* g = schema.FindTable("g");
+  EXPECT_FALSE(g->tenant_specific());
+  EXPECT_EQ(g->FindColumn("x")->comparability,
+            sql::Comparability::kComparable);
+}
+
+TEST(MTSchemaTest, GlobalTablesOnlyComparable) {
+  MTSchema schema;
+  auto st = schema.RegisterTable(
+      *Parse("CREATE TABLE g (x INTEGER SPECIFIC)").create_table);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MTSchemaTest, ConvertibleRequiresFunctionPair) {
+  MTSchema schema;
+  // The parser enforces @to @from; simulate a missing pair via the struct.
+  sql::CreateTableStmt ct;
+  ct.name = "t";
+  ct.mt_specific = true;
+  sql::ColumnDef col;
+  col.name = "v";
+  col.comparability = sql::Comparability::kConvertible;
+  ct.columns.push_back(std::move(col));
+  EXPECT_EQ(schema.RegisterTable(ct).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MTSchemaTest, CaseInsensitiveLookupAndDrop) {
+  MTSchema schema;
+  ASSERT_OK(schema.RegisterTable(
+      *Parse("CREATE TABLE Employees SPECIFIC (a INTEGER)").create_table));
+  EXPECT_NE(schema.FindTable("EMPLOYEES"), nullptr);
+  EXPECT_NE(schema.FindTable("employees")->FindColumn("A"), nullptr);
+  EXPECT_FALSE(
+      schema
+          .RegisterTable(
+              *Parse("CREATE TABLE EMPLOYEES (b INTEGER)").create_table)
+          .ok());
+  ASSERT_OK(schema.DropTable("Employees"));
+  EXPECT_EQ(schema.FindTable("employees"), nullptr);
+}
+
+TEST(MTSchemaTest, TenantSpecificTableList) {
+  MTSchema schema;
+  ASSERT_OK(schema.RegisterTable(
+      *Parse("CREATE TABLE b SPECIFIC (x INTEGER)").create_table));
+  ASSERT_OK(schema.RegisterTable(
+      *Parse("CREATE TABLE a SPECIFIC (x INTEGER)").create_table));
+  ASSERT_OK(
+      schema.RegisterTable(*Parse("CREATE TABLE g (x INTEGER)").create_table));
+  EXPECT_EQ(schema.TenantSpecificTables(),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ConversionRegistryTest, LookupByEitherFunction) {
+  ConversionRegistry reg;
+  ConversionPair p;
+  p.name = "currency";
+  p.to_universal = "cToU";
+  p.from_universal = "cFromU";
+  p.cls = ConversionClass::kMultiplicative;
+  ASSERT_OK(reg.Register(p));
+  bool is_to = false;
+  const ConversionPair* found = reg.FindByFunction("ctou", &is_to);
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(is_to);
+  found = reg.FindByFunction("CFROMU", &is_to);
+  ASSERT_NE(found, nullptr);
+  EXPECT_FALSE(is_to);
+  EXPECT_TRUE(reg.IsConversionFunction("cToU"));
+  EXPECT_FALSE(reg.IsConversionFunction("other"));
+  EXPECT_NE(reg.FindByName("currency"), nullptr);
+  EXPECT_FALSE(reg.Register(p).ok());  // duplicate
+}
+
+TEST(ConversionRegistryTest, OrderPreservingDerivedFromClass) {
+  ConversionPair p;
+  p.cls = ConversionClass::kMultiplicative;
+  EXPECT_TRUE(p.order_preserving());
+  p.cls = ConversionClass::kLinear;
+  EXPECT_TRUE(p.order_preserving());
+  p.cls = ConversionClass::kOrderPreserving;
+  EXPECT_TRUE(p.order_preserving());
+  p.cls = ConversionClass::kEqualityOnly;
+  EXPECT_FALSE(p.order_preserving());
+}
+
+}  // namespace
+}  // namespace mt
+}  // namespace mtbase

@@ -1,0 +1,70 @@
+#include "mt/privilege.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mt {
+namespace {
+
+TEST(PrivilegeTest, OwnerAlwaysHasAccess) {
+  PrivilegeManager pm;
+  EXPECT_TRUE(pm.Has(5, "employees", Privilege::kRead, 5));
+  EXPECT_TRUE(pm.Has(5, "employees", Privilege::kDelete, 5));
+}
+
+TEST(PrivilegeTest, GrantAndRevoke) {
+  PrivilegeManager pm;
+  EXPECT_FALSE(pm.Has(1, "employees", Privilege::kRead, 2));
+  pm.Grant(1, "employees", Privilege::kRead, 2);
+  EXPECT_TRUE(pm.Has(1, "employees", Privilege::kRead, 2));
+  EXPECT_FALSE(pm.Has(1, "employees", Privilege::kInsert, 2));
+  EXPECT_FALSE(pm.Has(1, "roles", Privilege::kRead, 2));
+  pm.Revoke(1, "employees", Privilege::kRead, 2);
+  EXPECT_FALSE(pm.Has(1, "employees", Privilege::kRead, 2));
+}
+
+TEST(PrivilegeTest, TableNameCaseInsensitive) {
+  PrivilegeManager pm;
+  pm.Grant(1, "Employees", Privilege::kRead, 2);
+  EXPECT_TRUE(pm.Has(1, "EMPLOYEES", Privilege::kRead, 2));
+}
+
+TEST(PrivilegeTest, DatabaseWideGrantCoversAllTables) {
+  PrivilegeManager pm;
+  pm.Grant(1, "", Privilege::kRead, 2);
+  EXPECT_TRUE(pm.Has(1, "employees", Privilege::kRead, 2));
+  EXPECT_TRUE(pm.Has(1, "anything", Privilege::kRead, 2));
+}
+
+TEST(PrivilegeTest, PublicGrantee) {
+  PrivilegeManager pm;
+  pm.Grant(1, "", Privilege::kRead, kPublicGrantee);
+  EXPECT_TRUE(pm.Has(1, "employees", Privilege::kRead, 42));
+  EXPECT_TRUE(pm.Has(1, "employees", Privilege::kRead, 77));
+}
+
+TEST(PrivilegeTest, PruneDataset) {
+  PrivilegeManager pm;
+  pm.Grant(2, "employees", Privilege::kRead, 9);
+  pm.Grant(3, "", Privilege::kRead, 9);
+  // Client 9 queries employees over D = {1,2,3,9}.
+  auto pruned = pm.PruneDataset({1, 2, 3, 9}, {"employees"}, 9);
+  EXPECT_EQ(pruned, (std::vector<int64_t>{2, 3, 9}));
+  // With a second table, tenant 2's table-level grant no longer suffices.
+  pruned = pm.PruneDataset({1, 2, 3, 9}, {"employees", "roles"}, 9);
+  EXPECT_EQ(pruned, (std::vector<int64_t>{3, 9}));
+}
+
+TEST(PrivilegeTest, ParsePrivilegeNames) {
+  ASSERT_OK_AND_ASSIGN(Privilege p, ParsePrivilege("read"));
+  EXPECT_EQ(p, Privilege::kRead);
+  ASSERT_OK_AND_ASSIGN(p, ParsePrivilege("INSERT"));
+  EXPECT_EQ(p, Privilege::kInsert);
+  EXPECT_FALSE(ParsePrivilege("fly").ok());
+}
+
+}  // namespace
+}  // namespace mt
+}  // namespace mtbase

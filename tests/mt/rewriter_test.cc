@@ -1,0 +1,313 @@
+// Canonical rewrite algorithm tests based on the paper's running example
+// (Figure 2) and rewriting listings (Listings 10-12, Appendix A).
+#include "mt/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "mt/conversion.h"
+#include "mt/mt_schema.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mt {
+namespace {
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto employees = sql::ParseStatement(R"(CREATE TABLE Employees SPECIFIC (
+        E_emp_id INTEGER NOT NULL SPECIFIC,
+        E_name VARCHAR(25) NOT NULL COMPARABLE,
+        E_role_id INTEGER NOT NULL SPECIFIC,
+        E_reg_id INTEGER NOT NULL COMPARABLE,
+        E_salary DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+        E_age INTEGER NOT NULL COMPARABLE))");
+    ASSERT_OK(employees);
+    ASSERT_OK(schema_.RegisterTable(*employees.value().create_table));
+    auto roles = sql::ParseStatement(R"(CREATE TABLE Roles SPECIFIC (
+        R_role_id INTEGER NOT NULL SPECIFIC,
+        R_name VARCHAR(25) NOT NULL COMPARABLE))");
+    ASSERT_OK(roles);
+    ASSERT_OK(schema_.RegisterTable(*roles.value().create_table));
+    auto regions = sql::ParseStatement(R"(CREATE TABLE Regions (
+        Re_reg_id INTEGER NOT NULL,
+        Re_name VARCHAR(25) NOT NULL))");
+    ASSERT_OK(regions);
+    ASSERT_OK(schema_.RegisterTable(*regions.value().create_table));
+    ConversionPair currency;
+    currency.name = "currency";
+    currency.to_universal = "currencyToUniversal";
+    currency.from_universal = "currencyFromUniversal";
+    currency.cls = ConversionClass::kMultiplicative;
+    ASSERT_OK(conversions_.Register(currency));
+  }
+
+  std::string Rewrite(const std::string& query, int64_t client = 0,
+                      std::vector<int64_t> dataset = {0, 1},
+                      RewriteOptions opts = {}) {
+    Rewriter rw(&schema_, &conversions_, client, std::move(dataset), opts);
+    auto sel = sql::ParseSelect(query);
+    EXPECT_TRUE(sel.ok()) << sel.status().ToString();
+    auto out = rw.RewriteQuery(*sel.value());
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? sql::PrintSelect(*out.value()) : "";
+  }
+
+  Status RewriteStatus(const std::string& query) {
+    Rewriter rw(&schema_, &conversions_, 0, {0, 1}, {});
+    auto sel = sql::ParseSelect(query);
+    EXPECT_TRUE(sel.ok());
+    return rw.RewriteQuery(*sel.value()).status();
+  }
+
+  MTSchema schema_;
+  ConversionRegistry conversions_;
+};
+
+TEST_F(RewriterTest, DFilterAdded) {
+  std::string out = Rewrite("SELECT E_age FROM Employees");
+  EXPECT_NE(out.find("Employees.ttid IN (0, 1)"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, GlobalTableGetsNoDFilter) {
+  std::string out = Rewrite("SELECT Re_name FROM Regions");
+  EXPECT_EQ(out.find("ttid"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, ConversionWrappingInSelect) {
+  // Paper Listing 10, line 3.
+  std::string out = Rewrite("SELECT E_salary FROM Employees");
+  EXPECT_NE(out.find("currencyFromUniversal(currencyToUniversal(E_salary, "
+                     "Employees.ttid), 0) AS E_salary"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(RewriterTest, ConversionInsideAggregate) {
+  // Paper Listing 10, line 6.
+  std::string out = Rewrite("SELECT AVG(E_salary) AS avg_sal FROM Employees");
+  EXPECT_NE(out.find("AVG(currencyFromUniversal(currencyToUniversal("
+                     "E_salary, Employees.ttid), 0))"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(RewriterTest, StarExpansionHidesTtid) {
+  // Paper Listing 10, line 9.
+  std::string out = Rewrite("SELECT * FROM Employees");
+  EXPECT_EQ(out.find("SELECT Employees.ttid"), std::string::npos) << out;
+  EXPECT_NE(out.find("E_emp_id"), std::string::npos);
+  EXPECT_NE(out.find("E_age"), std::string::npos);
+  // ttid still appears in the D-filter, but not in the projection.
+  EXPECT_NE(out.find("WHERE Employees.ttid IN"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, TenantSpecificJoinGetsTtidPredicate) {
+  // Paper Listing 11, lines 8-9.
+  std::string out = Rewrite(
+      "SELECT E_name FROM Employees, Roles WHERE E_role_id = R_role_id");
+  EXPECT_NE(out.find("E_role_id = R_role_id AND Employees.ttid = Roles.ttid"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(RewriterTest, ComparableSelfJoinNeedsNoTtid) {
+  // Joining on age alone is fine (intro example: same-age employees of
+  // different tenants are genuinely the same age).
+  std::string out = Rewrite(
+      "SELECT E1.E_name FROM Employees E1, Employees E2 WHERE E1.E_age = "
+      "E2.E_age");
+  EXPECT_EQ(out.find("E1.ttid = E2.ttid"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, TenantSpecificSameAliasNeedsNoTtid) {
+  std::string out =
+      Rewrite("SELECT E_name FROM Employees WHERE E_role_id = E_emp_id");
+  EXPECT_EQ(out.find("Employees.ttid = Employees.ttid"), std::string::npos)
+      << out;
+}
+
+TEST_F(RewriterTest, ComparisonWithConstantInClientFormat) {
+  // Paper Listing 11, lines 2-3: the attribute is converted, the constant is
+  // already in C's format.
+  std::string out =
+      Rewrite("SELECT E_name FROM Employees WHERE E_salary > 50000");
+  EXPECT_NE(out.find("currencyFromUniversal(currencyToUniversal(E_salary, "
+                     "Employees.ttid), 0) > 50000"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(RewriterTest, RejectsTenantSpecificVsComparable) {
+  // Paper section 2.4.2.
+  auto st = RewriteStatus(
+      "SELECT E_name FROM Employees WHERE E_role_id = E_age");
+  EXPECT_EQ(st.code(), StatusCode::kRejected);
+}
+
+TEST_F(RewriterTest, RejectsTenantSpecificVsConvertible) {
+  auto st = RewriteStatus(
+      "SELECT E_name FROM Employees WHERE E_role_id = E_salary");
+  EXPECT_EQ(st.code(), StatusCode::kRejected);
+}
+
+TEST_F(RewriterTest, AllowsTenantSpecificVsConstant) {
+  EXPECT_OK(RewriteStatus("SELECT E_name FROM Employees WHERE E_role_id = 2"));
+}
+
+TEST_F(RewriterTest, SubqueriesGetDFiltersToo) {
+  std::string out = Rewrite(
+      "SELECT E_name FROM Employees WHERE E_salary > (SELECT AVG(E2.E_salary) "
+      "FROM Employees E2)");
+  // Both levels carry a D-filter.
+  EXPECT_NE(out.find("Employees.ttid IN (0, 1)"), std::string::npos) << out;
+  EXPECT_NE(out.find("E2.ttid IN (0, 1)"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, CorrelatedTenantSpecificComparisonPairsTtids) {
+  std::string out = Rewrite(
+      "SELECT E_name FROM Employees WHERE EXISTS (SELECT * FROM Roles WHERE "
+      "R_role_id = E_role_id)");
+  EXPECT_NE(out.find("Roles.ttid = Employees.ttid"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, InSubqueryOnTenantSpecificPairsTuples) {
+  std::string out = Rewrite(
+      "SELECT E_name FROM Employees WHERE E_role_id IN (SELECT R_role_id "
+      "FROM Roles WHERE R_name = 'postdoc')");
+  EXPECT_NE(out.find("(E_role_id, Employees.ttid) IN (SELECT R_role_id"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("Roles.ttid FROM Roles"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, InSubqueryWithGroupByExtendsGrouping) {
+  std::string out = Rewrite(
+      "SELECT E_name FROM Employees WHERE E_role_id IN (SELECT R_role_id "
+      "FROM Roles GROUP BY R_role_id)");
+  EXPECT_NE(out.find("GROUP BY R_role_id, Roles.ttid"), std::string::npos)
+      << out;
+}
+
+TEST_F(RewriterTest, O1DropsDFilterWhenAllTenants) {
+  RewriteOptions opts;
+  opts.drop_dfilters = true;
+  std::string out = Rewrite("SELECT E_age FROM Employees", 0, {0, 1}, opts);
+  EXPECT_EQ(out.find("IN (0, 1)"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, O1DropsTtidJoinForSingleTenant) {
+  RewriteOptions opts;
+  opts.drop_ttid_joins = true;
+  std::string out = Rewrite(
+      "SELECT E_name FROM Employees, Roles WHERE E_role_id = R_role_id", 0,
+      {2}, opts);
+  EXPECT_EQ(out.find("Employees.ttid = Roles.ttid"), std::string::npos) << out;
+  EXPECT_NE(out.find("Employees.ttid IN (2)"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, O1DropsConversionsForOwnData) {
+  // Paper Listing 13, lines 8-9.
+  RewriteOptions opts;
+  opts.drop_conversions = true;
+  std::string out = Rewrite("SELECT E_salary FROM Employees", 0, {0}, opts);
+  EXPECT_EQ(out.find("currencyFromUniversal"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, GroupByAndHavingRewritten) {
+  std::string out = Rewrite(
+      "SELECT E_salary, COUNT(*) FROM Employees GROUP BY E_salary HAVING "
+      "COUNT(*) > 1");
+  // The group-by expression matches the converted select item.
+  EXPECT_NE(out.find("GROUP BY currencyFromUniversal(currencyToUniversal("
+                     "E_salary, Employees.ttid), 0)"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(RewriterTest, DerivedTableOutputsAreClientFormat) {
+  // The invariant: sub-query outputs are already converted, so the outer
+  // level must not wrap them again.
+  std::string out = Rewrite(
+      "SELECT sal FROM (SELECT E_salary AS sal FROM Employees) AS X WHERE "
+      "sal > 100");
+  size_t first = out.find("currencyFromUniversal");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(out.find("currencyFromUniversal", first + 1), std::string::npos)
+      << out;
+}
+
+TEST_F(RewriterTest, LowerCreateTableAddsTtid) {
+  auto stmt = sql::ParseStatement(R"(CREATE TABLE Projects SPECIFIC (
+      P_id INTEGER NOT NULL SPECIFIC,
+      P_budget DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+      CONSTRAINT pk_p PRIMARY KEY (P_id),
+      CONSTRAINT fk_p FOREIGN KEY (P_id) REFERENCES Employees (E_emp_id)))");
+  ASSERT_OK(stmt);
+  Rewriter rw(&schema_, &conversions_, 0, {0}, {});
+  ASSERT_OK_AND_ASSIGN(auto lowered,
+                       rw.LowerCreateTable(*stmt.value().create_table));
+  ASSERT_EQ(lowered.columns.size(), 3u);
+  EXPECT_EQ(lowered.columns[0].name, "ttid");
+  // PK extended with ttid; FK to a tenant-specific table pairs ttids
+  // (paper Appendix A.1).
+  EXPECT_EQ(lowered.constraints[0].columns.front(), "ttid");
+  EXPECT_EQ(lowered.constraints[1].columns.front(), "ttid");
+  EXPECT_EQ(lowered.constraints[1].ref_columns.front(), "ttid");
+}
+
+TEST_F(RewriterTest, InsertExpandsPerTenantWithConversions) {
+  auto stmt = sql::ParseStatement(
+      "INSERT INTO Employees VALUES (7, 'Zoe', 1, 3, 90000, 31)");
+  ASSERT_OK(stmt);
+  Rewriter rw(&schema_, &conversions_, 0, {0, 1}, {});
+  ASSERT_OK_AND_ASSIGN(auto stmts, rw.RewriteStatement(*stmt));
+  ASSERT_EQ(stmts.size(), 2u);  // one INSERT per tenant in D
+  std::string second = sql::PrintStmt(stmts[1]);
+  // Values for tenant 1 are converted from C=0's format into tenant 1's.
+  EXPECT_NE(second.find("currencyFromUniversal(currencyToUniversal(90000, 0), 1)"),
+            std::string::npos)
+      << second;
+  EXPECT_NE(second.find("ttid"), std::string::npos);
+  // Own-tenant insert keeps the raw value.
+  std::string first = sql::PrintStmt(stmts[0]);
+  EXPECT_EQ(first.find("currencyFromUniversal"), std::string::npos) << first;
+}
+
+TEST_F(RewriterTest, UpdateConvertsAssignmentsPerRowOwner) {
+  auto stmt = sql::ParseStatement(
+      "UPDATE Employees SET E_salary = 120000 WHERE E_age > 40");
+  ASSERT_OK(stmt);
+  Rewriter rw(&schema_, &conversions_, 0, {0, 1}, {});
+  ASSERT_OK_AND_ASSIGN(auto stmts, rw.RewriteStatement(*stmt));
+  ASSERT_EQ(stmts.size(), 1u);
+  std::string out = sql::PrintStmt(stmts[0]);
+  EXPECT_NE(out.find("currencyFromUniversal(currencyToUniversal(120000, 0), "
+                     "Employees.ttid)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("Employees.ttid IN (0, 1)"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, DeleteGetsDFilter) {
+  auto stmt = sql::ParseStatement("DELETE FROM Roles WHERE R_name = 'intern'");
+  ASSERT_OK(stmt);
+  Rewriter rw(&schema_, &conversions_, 1, {1}, {});
+  ASSERT_OK_AND_ASSIGN(auto stmts, rw.RewriteStatement(*stmt));
+  std::string out = sql::PrintStmt(stmts[0]);
+  EXPECT_NE(out.find("Roles.ttid IN (1)"), std::string::npos) << out;
+}
+
+TEST_F(RewriterTest, RewrittenQueryReparses) {
+  std::string out = Rewrite(
+      "SELECT E_name, AVG(E_salary) AS a FROM Employees, Roles WHERE "
+      "E_role_id = R_role_id AND E_salary > 100 GROUP BY E_name ORDER BY a "
+      "DESC LIMIT 5");
+  EXPECT_OK(sql::ParseStatement(out));
+}
+
+}  // namespace
+}  // namespace mt
+}  // namespace mtbase

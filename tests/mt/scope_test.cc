@@ -1,0 +1,60 @@
+#include "mt/scope.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/printer.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mt {
+namespace {
+
+TEST(ScopeTest, DefaultScope) {
+  Scope s = Scope::Default();
+  EXPECT_EQ(s.kind, Scope::Kind::kDefault);
+}
+
+TEST(ScopeTest, SimpleInList) {
+  ASSERT_OK_AND_ASSIGN(Scope s, Scope::Parse("IN (1,3,42)"));
+  EXPECT_EQ(s.kind, Scope::Kind::kSimple);
+  EXPECT_EQ(s.ids, (std::vector<int64_t>{1, 3, 42}));
+}
+
+TEST(ScopeTest, EmptyInListMeansAll) {
+  ASSERT_OK_AND_ASSIGN(Scope s, Scope::Parse("IN ()"));
+  EXPECT_EQ(s.kind, Scope::Kind::kSimple);
+  EXPECT_TRUE(s.ids.empty());
+}
+
+TEST(ScopeTest, CaseInsensitiveKeyword) {
+  ASSERT_OK_AND_ASSIGN(Scope s, Scope::Parse("in (7)"));
+  EXPECT_EQ(s.ids, (std::vector<int64_t>{7}));
+}
+
+TEST(ScopeTest, ComplexScope) {
+  ASSERT_OK_AND_ASSIGN(Scope s,
+                       Scope::Parse("FROM Employees WHERE E_salary > 180000"));
+  EXPECT_EQ(s.kind, Scope::Kind::kComplex);
+  EXPECT_EQ(s.table, "Employees");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(sql::PrintExpr(*s.where), "E_salary > 180000");
+}
+
+TEST(ScopeTest, ComplexScopeWithoutWhere) {
+  ASSERT_OK_AND_ASSIGN(Scope s, Scope::Parse("FROM Employees"));
+  EXPECT_EQ(s.kind, Scope::Kind::kComplex);
+  EXPECT_EQ(s.where, nullptr);
+}
+
+TEST(ScopeTest, Errors) {
+  EXPECT_FALSE(Scope::Parse("").ok());
+  EXPECT_FALSE(Scope::Parse("BOGUS").ok());
+  EXPECT_FALSE(Scope::Parse("IN (a,b)").ok());
+  EXPECT_FALSE(Scope::Parse("IN (1, 2").ok());
+  // Multi-table complex scopes are not supported (documented).
+  EXPECT_FALSE(Scope::Parse("FROM a, b WHERE x = 1").ok());
+}
+
+}  // namespace
+}  // namespace mt
+}  // namespace mtbase

@@ -1,0 +1,45 @@
+#include "mth/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mth {
+namespace {
+
+TEST(MthQueriesTest, AllTwentyTwoPresent) {
+  auto queries = MthQueries(1.0);
+  ASSERT_EQ(queries.size(), 22u);
+  for (int i = 0; i < 22; ++i) {
+    EXPECT_EQ(queries[static_cast<size_t>(i)].number, i + 1);
+  }
+  EXPECT_EQ(queries[0].name, "Q01");
+  EXPECT_EQ(queries[21].name, "Q22");
+}
+
+class QueryParseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryParseTest, ParsesAndRoundTrips) {
+  MthQuery q = GetMthQuery(GetParam(), 0.01);
+  ASSERT_OK_AND_ASSIGN(sql::Stmt stmt, sql::ParseStatement(q.sql));
+  ASSERT_EQ(stmt.kind, sql::Stmt::Kind::kSelect);
+  std::string printed = sql::PrintStmt(stmt);
+  ASSERT_OK_AND_ASSIGN(sql::Stmt again, sql::ParseStatement(printed));
+  EXPECT_EQ(sql::PrintStmt(again), printed) << q.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All22, QueryParseTest, ::testing::Range(1, 23));
+
+TEST(MthQueriesTest, Q11FractionScalesWithSf) {
+  MthQuery q1 = GetMthQuery(11, 1.0);
+  MthQuery q2 = GetMthQuery(11, 0.1);
+  EXPECT_NE(q1.sql.find("0.0001"), std::string::npos);
+  EXPECT_NE(q2.sql.find("0.0010"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mth
+}  // namespace mtbase

@@ -1,0 +1,133 @@
+// The paper's correctness validation (section 5): with C = 1 and
+// D = all tenants, every MT-H query must produce the plain TPC-H result on
+// the merged data, at every optimization level. The canonical rewrite also
+// serves as the gold standard that every optimized level must match.
+#include <gtest/gtest.h>
+
+#include "mth/runner.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mth {
+namespace {
+
+class ValidationEnv {
+ public:
+  static ValidationEnv& Get() {
+    static ValidationEnv env;
+    return env;
+  }
+
+  MthEnvironment* env() { return env_.get(); }
+  mt::Session* session() { return session_.get(); }
+
+ private:
+  ValidationEnv() {
+    MthConfig cfg;
+    cfg.scale_factor = 0.002;
+    cfg.num_tenants = 5;
+    cfg.distribution = MthConfig::Distribution::kZipf;
+    auto r = SetupEnvironment(cfg, engine::DbmsProfile::kPostgres, true);
+    if (!r.ok()) {
+      ADD_FAILURE() << r.status().ToString();
+      return;
+    }
+    env_ = std::move(r).value();
+    session_ = std::make_unique<mt::Session>(env_->middleware.get(), 1);
+    auto st = session_->Execute("SET SCOPE = \"IN ()\"");
+    if (!st.ok()) ADD_FAILURE() << st.status().ToString();
+  }
+
+  std::unique_ptr<MthEnvironment> env_;
+  std::unique_ptr<mt::Session> session_;
+};
+
+struct Case {
+  int query;
+  mt::OptLevel level;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Q%02d_%s", info.param.query,
+                mt::OptLevelName(info.param.level));
+  std::string s = buf;
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+class MthValidationTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MthValidationTest, MatchesTpchBaseline) {
+  auto& fixture = ValidationEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  MthQuery q = GetMthQuery(GetParam().query, fixture.env()->config.scale_factor);
+  ASSERT_OK_AND_ASSIGN(QueryRun base,
+                       RunTpchQuery(fixture.env()->tpch_db.get(), q.sql));
+  ASSERT_OK_AND_ASSIGN(QueryRun run,
+                       RunMthQuery(fixture.session(), q.sql, GetParam().level));
+  std::string why;
+  EXPECT_TRUE(ResultsEqual(base.result, run.result, &why))
+      << q.name << " at " << mt::OptLevelName(GetParam().level) << ": " << why
+      << "\nSQL sent to engine:\n"
+      << run.sql;
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (int q = 1; q <= 22; ++q) {
+    for (mt::OptLevel level :
+         {mt::OptLevel::kCanonical, mt::OptLevel::kO1, mt::OptLevel::kO2,
+          mt::OptLevel::kO3, mt::OptLevel::kO4, mt::OptLevel::kInlineOnly}) {
+      cases.push_back({q, level});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueriesAllLevels, MthValidationTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+// A different client (non-universal formats) must see the same *logical*
+// results: canonical is the gold standard for the optimized levels
+// (paper section 5, last bullet).
+TEST(MthClientFormatTest, OptimizedLevelsMatchCanonicalForClient2) {
+  auto& fixture = ValidationEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  mt::Session session(fixture.env()->middleware.get(), 2);
+  ASSERT_OK(session.Execute("SET SCOPE = \"IN ()\"").status());
+  for (int qn : {1, 6, 14, 22}) {
+    MthQuery q = GetMthQuery(qn, fixture.env()->config.scale_factor);
+    ASSERT_OK_AND_ASSIGN(QueryRun gold,
+                         RunMthQuery(&session, q.sql, mt::OptLevel::kCanonical));
+    for (mt::OptLevel level : {mt::OptLevel::kO2, mt::OptLevel::kO3,
+                               mt::OptLevel::kO4, mt::OptLevel::kInlineOnly}) {
+      ASSERT_OK_AND_ASSIGN(QueryRun run, RunMthQuery(&session, q.sql, level));
+      std::string why;
+      EXPECT_TRUE(ResultsEqual(gold.result, run.result, &why))
+          << q.name << " client 2 at " << mt::OptLevelName(level) << ": "
+          << why;
+    }
+  }
+}
+
+// Scoping a subset of tenants must return exactly those tenants' data.
+TEST(MthScopingTest, SingleTenantScopeSeesOnlyOwnRows) {
+  auto& fixture = ValidationEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  mt::Session session(fixture.env()->middleware.get(), 3);
+  // Default scope: D = {3}.
+  ASSERT_OK_AND_ASSIGN(auto rs,
+                       session.Execute("SELECT COUNT(*) FROM customer"));
+  ASSERT_OK_AND_ASSIGN(
+      auto direct,
+      fixture.env()->mth_db->Execute(
+          "SELECT COUNT(*) FROM customer WHERE ttid = 3"));
+  EXPECT_TRUE(rs.rows[0][0].StructuralEquals(direct.rows[0][0]));
+}
+
+}  // namespace
+}  // namespace mth
+}  // namespace mtbase

@@ -1,0 +1,80 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("SELECT a, b FROM t WHERE x >= 1.5"));
+  ASSERT_EQ(tokens.back().kind, TokenKind::kEnd);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[2].text, ",");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kSymbol);
+}
+
+TEST(LexerTest, Numbers) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("42 0.06 .5"));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDecimal);
+  EXPECT_EQ(tokens[1].text, "0.06");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDecimal);
+  EXPECT_EQ(tokens[2].text, ".5");
+}
+
+TEST(LexerTest, SingleQuotedStringWithEscape) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("'it''s'"));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, DoubleQuotedScopeString) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("SET SCOPE = \"IN (1,3,42)\""));
+  EXPECT_EQ(tokens[3].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[3].text, "IN (1,3,42)");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, Params) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("$1 + $2"));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kParam);
+  EXPECT_EQ(tokens[0].text, "1");
+  EXPECT_EQ(tokens[2].text, "2");
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("a <= b >= c <> d != e || f"));
+  EXPECT_EQ(tokens[1].text, "<=");
+  EXPECT_EQ(tokens[3].text, ">=");
+  EXPECT_EQ(tokens[5].text, "<>");
+  EXPECT_EQ(tokens[7].text, "<>");  // != normalized
+  EXPECT_EQ(tokens[9].text, "||");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("SELECT 1 -- trailing comment\n, 2"));
+  // SELECT 1 , 2 END
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2].text, ",");
+}
+
+TEST(LexerTest, AtSymbolForConversionAnnotations) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("@currencyToUniversal"));
+  EXPECT_EQ(tokens[0].text, "@");
+  EXPECT_EQ(tokens[1].text, "currencyToUniversal");
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(Tokenize("SELECT #").ok());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace mtbase

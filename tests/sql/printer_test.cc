@@ -1,0 +1,83 @@
+// Printer-specific behavior: precedence-aware parenthesization and literal
+// quoting. The broad round-trip coverage lives in parser_test.cc.
+#include "sql/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace sql {
+namespace {
+
+std::string Print(const std::string& expr) {
+  auto e = ParseExpression(expr);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return e.ok() ? PrintExpr(*e.value()) : "";
+}
+
+TEST(PrinterTest, DropsRedundantParens) {
+  EXPECT_EQ(Print("((a + b)) + c"), "a + b + c");
+  EXPECT_EQ(Print("a AND (b AND c)"), "a AND (b AND c)");  // right assoc kept
+  EXPECT_EQ(Print("(a * b) + c"), "a * b + c");
+}
+
+TEST(PrinterTest, KeepsNecessaryParens) {
+  EXPECT_EQ(Print("(a + b) * c"), "(a + b) * c");
+  EXPECT_EQ(Print("a * (b + c)"), "a * (b + c)");
+  EXPECT_EQ(Print("(a OR b) AND c"), "(a OR b) AND c");
+  EXPECT_EQ(Print("NOT (a AND b)"), "NOT (a AND b)");
+  EXPECT_EQ(Print("a - (b - c)"), "a - (b - c)");
+}
+
+TEST(PrinterTest, ComparisonsInsideLogic) {
+  EXPECT_EQ(Print("a = 1 AND b < 2 OR c >= 3"),
+            "a = 1 AND b < 2 OR c >= 3");
+}
+
+TEST(PrinterTest, StringQuoting) {
+  EXPECT_EQ(Print("'it''s'"), "'it''s'");
+  EXPECT_EQ(Print("''"), "''");
+  EXPECT_EQ(Print("'%green%'"), "'%green%'");
+}
+
+TEST(PrinterTest, DateAndIntervalLiterals) {
+  EXPECT_EQ(Print("DATE '1995-03-15'"), "DATE '1995-03-15'");
+  EXPECT_EQ(Print("d + INTERVAL '3' MONTH"), "d + INTERVAL '3' MONTH");
+}
+
+TEST(PrinterTest, PredicatesAndSubqueries) {
+  EXPECT_EQ(Print("x NOT IN (1, 2)"), "x NOT IN (1, 2)");
+  EXPECT_EQ(Print("x BETWEEN 1 AND 2"), "x BETWEEN 1 AND 2");
+  EXPECT_EQ(Print("x IS NOT NULL"), "x IS NOT NULL");
+  EXPECT_EQ(Print("NOT EXISTS (SELECT 1)"), "NOT EXISTS (SELECT 1)");
+  EXPECT_EQ(Print("(a, b) IN (SELECT x, y FROM t)"),
+            "(a, b) IN (SELECT x, y FROM t)");
+}
+
+TEST(PrinterTest, SelectClauses) {
+  auto sel = ParseSelect(
+      "SELECT DISTINCT a AS x FROM t u, (SELECT 1 AS one) AS d WHERE a > 0 "
+      "GROUP BY a HAVING COUNT(*) > 1 ORDER BY x DESC LIMIT 7");
+  ASSERT_OK(sel);
+  std::string text = PrintSelect(*sel.value());
+  EXPECT_NE(text.find("SELECT DISTINCT a AS x"), std::string::npos);
+  EXPECT_NE(text.find("FROM t u, (SELECT 1 AS one) AS d"), std::string::npos);
+  EXPECT_NE(text.find("ORDER BY x DESC LIMIT 7"), std::string::npos);
+}
+
+TEST(PrinterTest, ExprEqualsIsStructural) {
+  auto a = ParseExpression("x + 1 * y");
+  auto b = ParseExpression("x + (1 * y)");
+  auto c = ParseExpression("(x + 1) * y");
+  ASSERT_OK(a);
+  ASSERT_OK(b);
+  ASSERT_OK(c);
+  EXPECT_TRUE(ExprEquals(*a.value(), *b.value()));
+  EXPECT_FALSE(ExprEquals(*a.value(), *c.value()));
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace mtbase

@@ -1,0 +1,37 @@
+// Shared gtest helpers.
+#ifndef MTBASE_TESTS_TEST_UTIL_H_
+#define MTBASE_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace mtbase {
+
+inline const Status& ToStatus(const Status& s) { return s; }
+template <typename T>
+const Status& ToStatus(const Result<T>& r) {
+  return r.status();
+}
+
+#define ASSERT_OK(expr)                                              \
+  do {                                                               \
+    const auto& _r = (expr);                                         \
+    ASSERT_TRUE(_r.ok()) << ::mtbase::ToStatus(_r).ToString();       \
+  } while (0)
+
+#define EXPECT_OK(expr)                                              \
+  do {                                                               \
+    const auto& _r = (expr);                                         \
+    EXPECT_TRUE(_r.ok()) << ::mtbase::ToStatus(_r).ToString();       \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                      \
+  auto MTB_CONCAT(_res_, __LINE__) = (expr);                 \
+  ASSERT_TRUE(MTB_CONCAT(_res_, __LINE__).ok())              \
+      << MTB_CONCAT(_res_, __LINE__).status().ToString();    \
+  lhs = std::move(MTB_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace mtbase
+
+#endif  // MTBASE_TESTS_TEST_UTIL_H_
