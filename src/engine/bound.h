@@ -91,6 +91,19 @@ struct ColumnMeta {
 
 enum class JoinKind : uint8_t { kInner, kLeft, kSemi, kAnti };
 
+/// What a decorrelated join was unnested from; kNone for ordinary joins.
+/// EXPLAIN renders this so the chosen sub-query strategy (hash join vs
+/// per-row fallback) is visible, and the executor counts executions of
+/// decorrelated joins in ExecStats::decorrelated_execs.
+enum class SubqueryOrigin : uint8_t {
+  kNone,
+  kExists,
+  kNotExists,
+  kIn,
+  kNotIn,
+  kScalarAgg,
+};
+
 struct AggSpec {
   AggFunc func = AggFunc::kCountStar;
   BoundExprPtr arg;  // null for COUNT(*)
@@ -124,6 +137,12 @@ struct Plan {
   std::vector<BoundExprPtr> left_keys;   // over left layout
   std::vector<BoundExprPtr> right_keys;  // over right layout
   BoundExprPtr residual;                 // over concat(left, right) layout
+  SubqueryOrigin decorrelated_from = SubqueryOrigin::kNone;
+  /// NOT IN decorrelation: an anti join is only equivalent under SQL's
+  /// three-valued logic when it is null-aware. The first `naaj_in_keys`
+  /// key pairs are the IN tuple, the remainder are correlation keys.
+  bool null_aware = false;
+  size_t naaj_in_keys = 0;
 
   // kFilter
   BoundExprPtr predicate;

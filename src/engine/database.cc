@@ -94,7 +94,7 @@ Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteSelect(const sql::SelectStmt& sel) {
-  Planner planner(&catalog_, &udfs_);
+  Planner planner(&catalog_, &udfs_, planner_options_);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(sel));
   ExecContext ctx = MakeContext();
   MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan, &ctx));
@@ -135,7 +135,7 @@ Status Database::ExecuteCreateFunction(const sql::CreateFunctionStmt& cf) {
   udf->body_sql = cf.body_sql;
   udf->immutable = cf.immutable;
   MTB_ASSIGN_OR_RETURN(auto body, sql::ParseSelect(cf.body_sql));
-  Planner planner(&catalog_, &udfs_);
+  Planner planner(&catalog_, &udfs_, planner_options_);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(*body));
   udf->body_plan = std::shared_ptr<const Plan>(std::move(plan));
   return udfs_.Register(std::move(udf));
@@ -167,7 +167,7 @@ Status Database::ExecuteInsert(const sql::InsertStmt& ins) {
     MTB_ASSIGN_OR_RETURN(ResultSet rs, ExecuteSelect(*ins.select));
     source_rows = std::move(rs.rows);
   } else {
-    Planner planner(&catalog_, &udfs_);
+    Planner planner(&catalog_, &udfs_, planner_options_);
     ExecContext ctx = MakeContext();
     Row empty_row;
     for (const auto& value_row : ins.rows) {
@@ -201,7 +201,7 @@ Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& up) {
   const TableSchema& schema = table->schema();
   std::vector<ColumnMeta> layout;
   for (const auto& c : schema.columns) layout.push_back({up.table, c.name});
-  Planner planner(&catalog_, &udfs_);
+  Planner planner(&catalog_, &udfs_, planner_options_);
   BoundExprPtr where;
   if (up.where) {
     MTB_ASSIGN_OR_RETURN(where, planner.BindExpr(*up.where, layout));
@@ -242,7 +242,7 @@ Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& del) {
   const TableSchema& schema = table->schema();
   std::vector<ColumnMeta> layout;
   for (const auto& c : schema.columns) layout.push_back({del.table, c.name});
-  Planner planner(&catalog_, &udfs_);
+  Planner planner(&catalog_, &udfs_, planner_options_);
   BoundExprPtr where;
   if (del.where) {
     MTB_ASSIGN_OR_RETURN(where, planner.BindExpr(*del.where, layout));
@@ -320,7 +320,7 @@ Status Database::ValidateTable(const Table& table) {
   // Database-level check constraints (see paper Appendix A.1).
   for (const auto& check : schema.checks) {
     MTB_ASSIGN_OR_RETURN(auto expr, sql::ParseExpression(check.expr_sql));
-    Planner planner(&catalog_, &udfs_);
+    Planner planner(&catalog_, &udfs_, planner_options_);
     MTB_ASSIGN_OR_RETURN(auto bound, planner.BindExpr(*expr, {}));
     ExecContext ctx = MakeContext();
     Row empty;

@@ -50,6 +50,8 @@ class Database {
   ExecStats* stats() { return &stats_; }
   DbmsProfile profile() const { return profile_; }
   void set_profile(DbmsProfile p) { profile_ = p; }
+  const PlannerOptions& planner_options() const { return planner_options_; }
+  void set_planner_options(const PlannerOptions& o) { planner_options_ = o; }
 
  private:
   Result<ResultSet> ExecuteSelect(const sql::SelectStmt& sel);
@@ -66,6 +68,7 @@ class Database {
   UdfRegistry udfs_;
   ExecStats stats_;
   DbmsProfile profile_;
+  PlannerOptions planner_options_;
 };
 
 }  // namespace engine

@@ -520,7 +520,88 @@ Result<std::vector<Row>> ExecScan(const Plan& p, ExecContext* ctx) {
   return out;
 }
 
+/// Null-aware anti join (decorrelated NOT IN). Keys are split: the first
+/// `naaj_in_keys` pairs form the IN tuple, the rest are correlation keys.
+/// A left row survives iff its correlation group is empty, or the group has
+/// no NULL IN-tuple, the needle has no NULL, and the needle is absent.
+Result<std::vector<Row>> ExecNullAwareAntiJoin(const Plan& p,
+                                               ExecContext* ctx,
+                                               std::vector<Row> left_rows,
+                                               std::vector<Row> right_rows) {
+  const size_t n_in = p.naaj_in_keys;
+  struct Group {
+    std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq>
+        tuples;
+    bool has_null = false;
+  };
+  std::unordered_map<std::vector<Value>, Group, ValueVectorHash, ValueVectorEq>
+      groups;
+  for (const Row& r : right_rows) {
+    std::vector<Value> corr;
+    corr.reserve(p.right_keys.size() - n_in);
+    bool corr_null = false;
+    for (size_t k = n_in; k < p.right_keys.size(); ++k) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.right_keys[k], r, ctx));
+      corr_null = corr_null || v.is_null();
+      corr.push_back(std::move(v));
+    }
+    // A NULL correlation key never equals any outer value, so the row
+    // belongs to no group.
+    if (corr_null) continue;
+    std::vector<Value> tup;
+    tup.reserve(n_in);
+    bool tup_null = false;
+    for (size_t k = 0; k < n_in; ++k) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.right_keys[k], r, ctx));
+      tup_null = tup_null || v.is_null();
+      tup.push_back(std::move(v));
+    }
+    Group& g = groups[std::move(corr)];
+    if (tup_null) {
+      g.has_null = true;
+    } else {
+      g.tuples.insert(std::move(tup));
+    }
+  }
+  std::vector<Row> out;
+  for (Row& l : left_rows) {
+    std::vector<Value> corr;
+    corr.reserve(p.left_keys.size() - n_in);
+    bool corr_null = false;
+    for (size_t k = n_in; k < p.left_keys.size(); ++k) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.left_keys[k], l, ctx));
+      corr_null = corr_null || v.is_null();
+      corr.push_back(std::move(v));
+    }
+    const Group* g = nullptr;
+    if (!corr_null) {
+      auto it = groups.find(corr);
+      if (it != groups.end()) g = &it->second;
+    }
+    if (g == nullptr) {
+      // Empty set: NOT IN () is TRUE for any needle, even NULL.
+      out.push_back(std::move(l));
+      continue;
+    }
+    std::vector<Value> needle;
+    needle.reserve(n_in);
+    bool needle_null = false;
+    for (size_t k = 0; k < n_in; ++k) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.left_keys[k], l, ctx));
+      needle_null = needle_null || v.is_null();
+      needle.push_back(std::move(v));
+    }
+    ctx->stats->rows_joined++;
+    if (needle_null || g->has_null || g->tuples.count(needle)) continue;
+    out.push_back(std::move(l));
+  }
+  return out;
+}
+
 Result<std::vector<Row>> ExecJoin(const Plan& p, ExecContext* ctx) {
+  if (p.decorrelated_from != SubqueryOrigin::kNone) {
+    ctx->stats->decorrelated_execs++;
+  }
   MTB_ASSIGN_OR_RETURN(auto left_rows, ExecutePlan(*p.left, ctx));
   if (left_rows.empty() && p.join_kind != JoinKind::kInner) {
     // Left/semi/anti joins with an empty outer side produce nothing; inner
@@ -528,6 +609,10 @@ Result<std::vector<Row>> ExecJoin(const Plan& p, ExecContext* ctx) {
     return std::vector<Row>{};
   }
   MTB_ASSIGN_OR_RETURN(auto right_rows, ExecutePlan(*p.right, ctx));
+  if (p.null_aware && p.join_kind == JoinKind::kAnti) {
+    return ExecNullAwareAntiJoin(p, ctx, std::move(left_rows),
+                                 std::move(right_rows));
+  }
   std::vector<Row> out;
   const size_t right_width = p.right->columns.size();
 

@@ -39,6 +39,24 @@ const char* AggName(AggFunc f) {
   return "?";
 }
 
+const char* OriginName(SubqueryOrigin o) {
+  switch (o) {
+    case SubqueryOrigin::kNone:
+      return "";
+    case SubqueryOrigin::kExists:
+      return "EXISTS";
+    case SubqueryOrigin::kNotExists:
+      return "NOT EXISTS";
+    case SubqueryOrigin::kIn:
+      return "IN";
+    case SubqueryOrigin::kNotIn:
+      return "NOT IN";
+    case SubqueryOrigin::kScalarAgg:
+      return "scalar agg";
+  }
+  return "";
+}
+
 bool HasUdfCall(const BoundExpr& e) {
   if (e.kind == BoundExpr::Kind::kUdfCall) return true;
   for (const auto& a : e.args) {
@@ -56,6 +74,46 @@ bool AnyUdf(const std::vector<BoundExprPtr>& exprs) {
   return false;
 }
 
+void Render(const Plan& p, int depth, std::string* out);
+
+/// Render the sub-plans reachable from an expression. Correlated sub-queries
+/// that escaped decorrelation execute once per input row ("SubPlan");
+/// uncorrelated ones execute once and are cached ("InitPlan"). Together with
+/// the join annotations this makes the chosen sub-query strategy visible.
+void RenderExprSubplans(const BoundExpr& e, int depth, std::string* out) {
+  if (e.subplan) {
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    const char* what = "scalar";
+    if (e.kind == BoundExpr::Kind::kExistsSub) {
+      what = e.negated ? "NOT EXISTS" : "EXISTS";
+    } else if (e.kind == BoundExpr::Kind::kInSet) {
+      what = e.negated ? "NOT IN" : "IN";
+    }
+    if (e.correlated) {
+      *out += std::string("SubPlan (") + what + ", per-row)\n";
+    } else {
+      *out += std::string("InitPlan (") + what + ", cached)\n";
+    }
+    Render(*e.subplan, depth + 1, out);
+  }
+  for (const auto& a : e.args) RenderExprSubplans(*a, depth, out);
+  if (e.case_operand) RenderExprSubplans(*e.case_operand, depth, out);
+  if (e.else_expr) RenderExprSubplans(*e.else_expr, depth, out);
+}
+
+void RenderPlanSubplans(const Plan& p, int depth, std::string* out) {
+  auto walk = [&](const BoundExprPtr& e) {
+    if (e) RenderExprSubplans(*e, depth, out);
+  };
+  walk(p.scan_filter);
+  walk(p.predicate);
+  walk(p.residual);
+  for (const auto& e : p.exprs) walk(e);
+  for (const auto& e : p.left_keys) walk(e);
+  for (const auto& e : p.right_keys) walk(e);
+  for (const auto& a : p.aggs) walk(a.arg);
+}
+
 void Render(const Plan& p, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   switch (p.kind) {
@@ -66,6 +124,7 @@ void Render(const Plan& p, int depth, std::string* out) {
         *out += HasUdfCall(*p.scan_filter) ? " (filtered, udf)" : " (filtered)";
       }
       *out += "\n";
+      RenderPlanSubplans(p, depth + 1, out);
       return;
     case Plan::Kind::kJoin:
       *out += "HashJoin ";
@@ -73,7 +132,14 @@ void Render(const Plan& p, int depth, std::string* out) {
       if (p.left_keys.empty()) *out += " [nested-loop]";
       *out += " (" + std::to_string(p.left_keys.size()) + " keys";
       if (p.residual) *out += ", residual";
-      *out += ")\n";
+      *out += ")";
+      if (p.decorrelated_from != SubqueryOrigin::kNone) {
+        *out += std::string(" [decorrelated ") + OriginName(p.decorrelated_from);
+        if (p.null_aware) *out += ", null-aware";
+        *out += "]";
+      }
+      *out += "\n";
+      RenderPlanSubplans(p, depth + 1, out);
       Render(*p.left, depth + 1, out);
       Render(*p.right, depth + 1, out);
       return;
@@ -116,6 +182,7 @@ void Render(const Plan& p, int depth, std::string* out) {
       *out += "Distinct\n";
       break;
   }
+  RenderPlanSubplans(p, depth + 1, out);
   if (p.left) Render(*p.left, depth + 1, out);
 }
 
@@ -129,8 +196,9 @@ std::string ExplainPlan(const Plan& plan) {
 
 Result<std::string> ExplainSelect(const Catalog* catalog,
                                   const UdfRegistry* udfs,
-                                  const sql::SelectStmt& sel) {
-  Planner planner(catalog, udfs);
+                                  const sql::SelectStmt& sel,
+                                  const PlannerOptions& options) {
+  Planner planner(catalog, udfs, options);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(sel));
   return ExplainPlan(*plan);
 }

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "engine/bound.h"
 #include "engine/catalog.h"
+#include "engine/planner.h"
 #include "engine/udf.h"
 #include "sql/ast.h"
 
@@ -24,7 +25,8 @@ std::string ExplainPlan(const Plan& plan);
 /// Plan a SELECT against the catalog and explain it.
 Result<std::string> ExplainSelect(const Catalog* catalog,
                                   const UdfRegistry* udfs,
-                                  const sql::SelectStmt& sel);
+                                  const sql::SelectStmt& sel,
+                                  const PlannerOptions& options = {});
 
 }  // namespace engine
 }  // namespace mtbase

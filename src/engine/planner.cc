@@ -141,8 +141,9 @@ BoundExprPtr AndBound(BoundExprPtr a, BoundExprPtr b) {
 
 class PlannerImpl {
  public:
-  PlannerImpl(const Catalog* catalog, const UdfRegistry* udfs)
-      : catalog_(catalog), udfs_(udfs) {}
+  PlannerImpl(const Catalog* catalog, const UdfRegistry* udfs,
+              const PlannerOptions& options)
+      : catalog_(catalog), udfs_(udfs), options_(options) {}
 
   Result<PlanPtr> PlanSelect(const sql::SelectStmt& sel,
                              const BindScope* parent);
@@ -195,6 +196,7 @@ class PlannerImpl {
 
   const Catalog* catalog_;
   const UdfRegistry* udfs_;
+  PlannerOptions options_;
   int unnest_counter_ = 0;
 };
 
@@ -584,6 +586,12 @@ Result<bool> PlannerImpl::TryUnnestExistsOrIn(
     }
     if (!made_key) residuals.push_back(std::move(c));
   }
+  // IN with residual (non-equality) correlated conjuncts falls back to the
+  // per-row path: the decorrelated sub-query projects only the IN items and
+  // correlation keys, so a residual's references to other inner columns
+  // cannot bind (and the null-aware anti join for NOT IN would need
+  // per-group residual evaluation).
+  if (is_in && !residuals.empty()) return false;
   // Build the decorrelated sub-query.
   auto modified = std::make_unique<sql::SelectStmt>();
   for (const auto& t : sub.from) modified->from.push_back(t->Clone());
@@ -627,6 +635,19 @@ Result<bool> PlannerImpl::TryUnnestExistsOrIn(
   auto join = std::make_unique<Plan>();
   join->kind = Plan::Kind::kJoin;
   join->join_kind = negated ? JoinKind::kAnti : JoinKind::kSemi;
+  if (is_exists) {
+    join->decorrelated_from =
+        negated ? SubqueryOrigin::kNotExists : SubqueryOrigin::kExists;
+  } else {
+    join->decorrelated_from =
+        negated ? SubqueryOrigin::kNotIn : SubqueryOrigin::kIn;
+    if (negated) {
+      // x NOT IN (S) is NULL (never TRUE) when x is NULL or S contains a
+      // NULL; a plain anti join would keep such rows.
+      join->null_aware = true;
+      join->naaj_in_keys = sub.items.size();
+    }
+  }
   BindScope outer_scope{work_cols, parent};
   if (is_exists) {
     // The modified sub-query is SELECT * over its FROM, so its output slots
@@ -784,6 +805,7 @@ Result<bool> PlannerImpl::TryUnnestScalarAgg(
   auto join = std::make_unique<Plan>();
   join->kind = Plan::Kind::kJoin;
   join->join_kind = JoinKind::kLeft;
+  join->decorrelated_from = SubqueryOrigin::kScalarAgg;
   BindScope outer_scope{work_cols, parent};
   for (size_t i = 0; i < keys.size(); ++i) {
     MTB_ASSIGN_OR_RETURN(auto ok, Bind(*keys[i].outer, &outer_scope, nullptr));
@@ -867,6 +889,14 @@ Result<BoundExprPtr> PlannerImpl::Bind(const sql::Expr& e,
       return b;
     case K::kUnary: {
       MTB_ASSIGN_OR_RETURN(auto arg, Bind(*e.args[0], scope, agg));
+      // Fold NOT into EXISTS / IN-set nodes (their `negated` flag has the
+      // same three-valued semantics), so EXPLAIN labels the per-row
+      // fallback as NOT EXISTS / NOT IN rather than NOT over a sub-query.
+      if (e.op == "NOT" && (arg->kind == BoundExpr::Kind::kExistsSub ||
+                            arg->kind == BoundExpr::Kind::kInSet)) {
+        arg->negated = !arg->negated;
+        return arg;
+      }
       b->kind = e.op == "NOT" ? BoundExpr::Kind::kNot : BoundExpr::Kind::kNeg;
       b->args.push_back(std::move(arg));
       return b;
@@ -1233,12 +1263,15 @@ Result<PlanPtr> PlannerImpl::PlanSelect(const sql::SelectStmt& sel,
 
   // 6. Sub-query conjuncts correlated with this level: unnest or fall back.
   for (auto& c : subq_conjs) {
-    MTB_ASSIGN_OR_RETURN(
-        bool done, TryUnnestExistsOrIn(*c, level_cols, parent, &cur, &work_cols));
-    if (done) continue;
-    MTB_ASSIGN_OR_RETURN(
-        done, TryUnnestScalarAgg(*c, level_cols, parent, &cur, &work_cols));
-    if (done) continue;
+    if (options_.decorrelate_subqueries) {
+      MTB_ASSIGN_OR_RETURN(
+          bool done,
+          TryUnnestExistsOrIn(*c, level_cols, parent, &cur, &work_cols));
+      if (done) continue;
+      MTB_ASSIGN_OR_RETURN(
+          done, TryUnnestScalarAgg(*c, level_cols, parent, &cur, &work_cols));
+      if (done) continue;
+    }
     BindScope work_scope{&work_cols, parent};
     MTB_ASSIGN_OR_RETURN(auto b, Bind(*c, &work_scope, nullptr));
     auto filter = std::make_unique<Plan>();
@@ -1455,13 +1488,13 @@ Result<PlanPtr> PlannerImpl::PlanSelect(const sql::SelectStmt& sel,
 // ---------------------------------------------------------------------------
 
 Result<PlanPtr> Planner::PlanSelect(const sql::SelectStmt& sel) const {
-  PlannerImpl impl(catalog_, udfs_);
+  PlannerImpl impl(catalog_, udfs_, options_);
   return impl.PlanSelect(sel, nullptr);
 }
 
 Result<BoundExprPtr> Planner::BindExpr(
     const sql::Expr& e, const std::vector<ColumnMeta>& layout) const {
-  PlannerImpl impl(catalog_, udfs_);
+  PlannerImpl impl(catalog_, udfs_, options_);
   BindScope scope{&layout, nullptr};
   return impl.Bind(e, &scope, nullptr);
 }

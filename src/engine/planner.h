@@ -21,10 +21,19 @@
 namespace mtbase {
 namespace engine {
 
+struct PlannerOptions {
+  /// Rewrite correlated equality-EXISTS/NOT EXISTS/IN sub-queries into hash
+  /// semi-/anti-joins. Off forces the per-row fallback everywhere — the
+  /// O(outer rows) baseline that regression tests and benchmarks compare
+  /// against.
+  bool decorrelate_subqueries = true;
+};
+
 class Planner {
  public:
-  Planner(const Catalog* catalog, const UdfRegistry* udfs)
-      : catalog_(catalog), udfs_(udfs) {}
+  Planner(const Catalog* catalog, const UdfRegistry* udfs,
+          const PlannerOptions& options = PlannerOptions())
+      : catalog_(catalog), udfs_(udfs), options_(options) {}
 
   /// Plan a top-level SELECT.
   Result<PlanPtr> PlanSelect(const sql::SelectStmt& sel) const;
@@ -37,6 +46,7 @@ class Planner {
  private:
   const Catalog* catalog_;
   const UdfRegistry* udfs_;
+  PlannerOptions options_;
 };
 
 }  // namespace engine

@@ -18,6 +18,7 @@ struct ExecStats {
   uint64_t udf_cache_hits = 0;   // invocations answered from the result cache
   uint64_t subquery_execs = 0;   // per-row (correlated) sub-query executions
   uint64_t initplan_execs = 0;   // one-off sub-query executions
+  uint64_t decorrelated_execs = 0;  // decorrelated sub-query joins executed
 
   void Reset() { *this = ExecStats(); }
   uint64_t total_udf_invocations() const { return udf_calls + udf_cache_hits; }

@@ -321,7 +321,7 @@ Result<std::string> Session::Explain(const std::string& mtsql) {
     MTB_ASSIGN_OR_RETURN(
         std::string text,
         engine::ExplainSelect(mw_->db()->catalog(), mw_->db()->udfs(),
-                              *s.select));
+                              *s.select, mw_->db()->planner_options()));
     out += text;
   }
   return out;

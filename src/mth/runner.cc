@@ -18,6 +18,7 @@ engine::ExecStats Delta(const engine::ExecStats& before,
   d.udf_cache_hits = after.udf_cache_hits - before.udf_cache_hits;
   d.subquery_execs = after.subquery_execs - before.subquery_execs;
   d.initplan_execs = after.initplan_execs - before.initplan_execs;
+  d.decorrelated_execs = after.decorrelated_execs - before.decorrelated_execs;
   return d;
 }
 
