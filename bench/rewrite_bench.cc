@@ -1,13 +1,14 @@
 // Micro-benchmarks for the middleware itself: parse + rewrite + print cost
 // per optimization level (the overhead MTBase adds in front of the DBMS),
-// plus an ablation of the aggregation-distribution pass across conversion
-// function classes (DESIGN.md "Table 2" row).
+// plus a prepare-vs-oneshot comparison showing what the prepared-statement
+// API amortizes away on repeated execution.
 #include <benchmark/benchmark.h>
 
 #include "mt/mtbase.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "mth/queries.h"
+#include "mth/runner.h"
 #include "mth/schema.h"
 
 namespace {
@@ -144,6 +145,92 @@ void BM_ParseMthQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParseMthQuery)->DenseRange(1, 22)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Prepare-vs-oneshot: the amortized win of the prepared-statement API.
+//
+// Both benchmarks execute the same MT-H query against the same tiny loaded
+// database (execution cost is deliberately small so compilation shows).
+// Oneshot pays parse + rewrite + optimize + print + plan on every iteration;
+// Prepared pays it once in an untimed warm-up and then only runs the cached
+// plan.
+// ---------------------------------------------------------------------------
+
+struct ExecFixture {
+  static ExecFixture& Get() {
+    static ExecFixture f;
+    return f;
+  }
+
+  ExecFixture() {
+    mth::MthConfig cfg;
+    cfg.scale_factor = 0.001;
+    cfg.num_tenants = 3;
+    cfg.distribution = mth::MthConfig::Distribution::kUniform;
+    auto r = mth::SetupEnvironment(cfg, engine::DbmsProfile::kPostgres,
+                                   /*with_baseline=*/false);
+    if (!r.ok()) return;
+    env = std::move(r).value();
+    session = std::make_unique<mt::Session>(env->middleware.get(), 1);
+    ok = session->Execute("SET SCOPE = \"IN ()\"").ok();
+  }
+
+  std::unique_ptr<mth::MthEnvironment> env;
+  std::unique_ptr<mt::Session> session;
+  bool ok = false;
+};
+
+void BM_OneshotMthExecute(benchmark::State& state) {
+  auto& f = ExecFixture::Get();
+  if (!f.ok) {
+    state.SkipWithError("fixture setup failed");
+    return;
+  }
+  std::string sql = mth::GetMthQuery(static_cast<int>(state.range(0)), 0.001).sql;
+  for (auto _ : state) {
+    auto r = mth::RunMthQuery(f.session.get(), sql, mt::OptLevel::kO4);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+}
+
+void BM_PreparedMthExecute(benchmark::State& state) {
+  auto& f = ExecFixture::Get();
+  if (!f.ok) {
+    state.SkipWithError("fixture setup failed");
+    return;
+  }
+  std::string sql = mth::GetMthQuery(static_cast<int>(state.range(0)), 0.001).sql;
+  auto pr = mth::PrepareMthQuery(f.session.get(), sql, mt::OptLevel::kO4);
+  if (!pr.ok()) {
+    state.SkipWithError(pr.status().ToString().c_str());
+    return;
+  }
+  mth::PreparedMthQuery prepared = std::move(pr).value();
+  auto warm = mth::RunPrepared(&prepared);  // untimed compile
+  if (!warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = mth::RunPrepared(&prepared);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+}
+
+BENCHMARK(BM_OneshotMthExecute)
+    ->Arg(6)
+    ->Arg(22)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PreparedMthExecute)
+    ->Arg(6)
+    ->Arg(22)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

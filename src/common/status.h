@@ -76,6 +76,13 @@ class Status {
 
 const char* StatusCodeName(StatusCode code);
 
+/// Prefix a script error with the failing statement's 1-based position —
+/// shared by every ';'-separated ExecuteScript implementation.
+inline Status AtScriptStatement(size_t index, const Status& st) {
+  return Status(st.code(),
+                "statement " + std::to_string(index) + ": " + st.message());
+}
+
 }  // namespace mtbase
 
 /// Propagate a non-OK Status to the caller.

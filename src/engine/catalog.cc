@@ -35,6 +35,7 @@ Status Catalog::CreateTable(TableSchema schema) {
     return Status::AlreadyExists("relation " + schema.name + " already exists");
   }
   tables_[key] = std::make_unique<Table>(std::move(schema));
+  ++version_;
   return Status::OK();
 }
 
@@ -45,6 +46,7 @@ Status Catalog::CreateView(std::string name,
     return Status::AlreadyExists("relation " + name + " already exists");
   }
   views_[key] = ViewDef{std::move(name), std::move(select)};
+  ++version_;
   return Status::OK();
 }
 
@@ -52,6 +54,7 @@ Status Catalog::DropTable(const std::string& name) {
   if (!tables_.erase(ToLowerCopy(name))) {
     return Status::NotFound("table " + name + " does not exist");
   }
+  ++version_;
   return Status::OK();
 }
 
@@ -59,6 +62,7 @@ Status Catalog::DropView(const std::string& name) {
   if (!views_.erase(ToLowerCopy(name))) {
     return Status::NotFound("view " + name + " does not exist");
   }
+  ++version_;
   return Status::OK();
 }
 

@@ -50,9 +50,15 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Monotonic DDL counter: bumped by every CreateTable/CreateView/Drop*.
+  /// Prepared plans snapshot it and recompile when it moved (plans hold raw
+  /// Table pointers, so any catalog mutation invalidates them).
+  uint64_t version() const { return version_; }
+
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, ViewDef> views_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace engine

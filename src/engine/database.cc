@@ -24,53 +24,147 @@ std::string ResultSet::ToString(size_t max_rows) const {
   return out;
 }
 
-ExecContext Database::MakeContext() {
+ExecContext Database::MakeContext(const std::vector<Value>* params) {
   ExecContext ctx;
   ctx.stats = &stats_;
   ctx.profile = profile_;
+  ctx.params = params;
   return ctx;
 }
 
-Result<ResultSet> Database::Execute(const std::string& sql) {
+// ---------------------------------------------------------------------------
+// PreparedPlan
+// ---------------------------------------------------------------------------
+
+Status PreparedPlan::Compile() {
+  // Invalidate first: a failed recompile (e.g. against a dropped table) must
+  // not leave a handle that silently executes the stale plan.
+  compiled_ = false;
+  plan_.reset();
+  ++db_->stats_.prepare_count;
+  const sql::SelectStmt* sel =
+      stmt_.kind == sql::Stmt::Kind::kSelect ? stmt_.select.get()
+      : stmt_.kind == sql::Stmt::Kind::kInsert ? stmt_.insert->select.get()
+                                               : nullptr;
+  if (sel != nullptr) {
+    Planner planner(&db_->catalog_, &db_->udfs_, db_->planner_options_);
+    MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(*sel));
+    ++db_->stats_.statements_planned;
+    column_names_.clear();
+    for (const auto& c : plan->columns) column_names_.push_back(c.name);
+    plan_ = std::shared_ptr<const Plan>(std::move(plan));
+  }
+  compiled_version_ = db_->compilation_version();
+  compiled_ = true;
+  fresh_compile_ = true;
+  return Status::OK();
+}
+
+Result<ResultSet> PreparedPlan::Execute(const std::vector<Value>& params) {
+  if (static_cast<int>(params.size()) < param_count_) {
+    return Status::InvalidArgument(
+        "prepared statement needs " + std::to_string(param_count_) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  if (db_->udf_plans_stale_) db_->RefreshUdfPlans();
+  if (!compiled_ || compiled_version_ != db_->compilation_version()) {
+    MTB_RETURN_IF_ERROR(Compile());
+  }
+  // The first execution after a compile is amortization, not reuse.
+  if (fresh_compile_) {
+    fresh_compile_ = false;
+  } else {
+    ++db_->stats_.plan_cache_hits;
+  }
+  const std::vector<Value>* bound = params.empty() ? nullptr : &params;
+  if (stmt_.kind == sql::Stmt::Kind::kSelect) {
+    ExecContext ctx = db_->MakeContext(bound);
+    MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan_, &ctx));
+    ResultSet rs;
+    rs.column_names = column_names_;
+    rs.rows = std::move(rows);
+    return rs;
+  }
+  if (stmt_.kind == sql::Stmt::Kind::kInsert && plan_ != nullptr) {
+    // INSERT ... SELECT with the source planned once at compile time.
+    MTB_RETURN_IF_ERROR(db_->ExecuteInsert(*stmt_.insert, bound, plan_.get()));
+    return ResultSet();
+  }
+  return db_->ExecuteStmt(stmt_, bound);
+}
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+Result<PreparedPlan> Database::Prepare(const std::string& sql) {
+  ++stats_.statements_parsed;
   MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(sql));
-  return ExecuteStmt(stmt);
+  return PrepareStmt(std::move(stmt), sql);
+}
+
+Result<PreparedPlan> Database::PrepareStmt(sql::Stmt stmt,
+                                           std::string sql_text) {
+  if (stmt.kind == sql::Stmt::Kind::kSetScope) {
+    return Status::InvalidArgument(
+        "SET SCOPE is an MTSQL statement; the engine only accepts SQL");
+  }
+  PreparedPlan plan;
+  plan.db_ = this;
+  plan.sql_ = std::move(sql_text);
+  plan.param_count_ = sql::MaxParamIndex(stmt);
+  plan.stmt_ = std::move(stmt);
+  MTB_RETURN_IF_ERROR(plan.Compile());
+  return plan;
+}
+
+Result<ResultSet> Database::Execute(const std::string& sql) {
+  MTB_ASSIGN_OR_RETURN(PreparedPlan plan, Prepare(sql));
+  return plan.Execute();
 }
 
 Result<ResultSet> Database::ExecuteScript(const std::string& sql) {
   MTB_ASSIGN_OR_RETURN(auto stmts, sql::ParseScript(sql));
+  stats_.statements_parsed += stmts.size();
   ResultSet last;
-  for (const auto& s : stmts) {
-    MTB_ASSIGN_OR_RETURN(last, ExecuteStmt(s));
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    auto r = ExecuteStmt(stmts[i]);
+    if (!r.ok()) return AtScriptStatement(i + 1, r.status());
+    last = std::move(r).value();
   }
   return last;
 }
 
-Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt) {
+Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt,
+                                        const std::vector<Value>* params) {
+  if (udf_plans_stale_) RefreshUdfPlans();
   ResultSet empty;
   switch (stmt.kind) {
     case sql::Stmt::Kind::kSelect:
-      return ExecuteSelect(*stmt.select);
+      return ExecuteSelect(*stmt.select, params);
     case sql::Stmt::Kind::kCreateTable:
       MTB_RETURN_IF_ERROR(ExecuteCreateTable(*stmt.create_table));
+      udf_plans_stale_ = true;
       return empty;
     case sql::Stmt::Kind::kCreateView:
       MTB_RETURN_IF_ERROR(catalog_.CreateView(stmt.create_view->name,
                                               stmt.create_view->select->Clone()));
+      udf_plans_stale_ = true;
       return empty;
     case sql::Stmt::Kind::kCreateFunction:
       MTB_RETURN_IF_ERROR(ExecuteCreateFunction(*stmt.create_function));
       return empty;
     case sql::Stmt::Kind::kInsert:
-      MTB_RETURN_IF_ERROR(ExecuteInsert(*stmt.insert));
+      MTB_RETURN_IF_ERROR(ExecuteInsert(*stmt.insert, params));
       return empty;
     case sql::Stmt::Kind::kUpdate: {
-      MTB_ASSIGN_OR_RETURN(int64_t n, ExecuteUpdate(*stmt.update));
+      MTB_ASSIGN_OR_RETURN(int64_t n, ExecuteUpdate(*stmt.update, params));
       empty.column_names = {"updated"};
       empty.rows.push_back({Value::Int(n)});
       return empty;
     }
     case sql::Stmt::Kind::kDelete: {
-      MTB_ASSIGN_OR_RETURN(int64_t n, ExecuteDelete(*stmt.del));
+      MTB_ASSIGN_OR_RETURN(int64_t n, ExecuteDelete(*stmt.del, params));
       empty.column_names = {"deleted"};
       empty.rows.push_back({Value::Int(n)});
       return empty;
@@ -88,15 +182,31 @@ Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt) {
       } else {
         MTB_RETURN_IF_ERROR(catalog_.DropView(stmt.drop->name));
       }
+      udf_plans_stale_ = true;
       return empty;
   }
   return Status::Internal("unhandled statement kind");
 }
 
-Result<ResultSet> Database::ExecuteSelect(const sql::SelectStmt& sel) {
+void Database::RefreshUdfPlans() {
+  udf_plans_stale_ = false;
+  for (Udf* udf : udfs_.All()) {
+    udf->body_plan.reset();
+    auto body = sql::ParseSelect(udf->body_sql);
+    if (!body.ok()) continue;
+    Planner planner(&catalog_, &udfs_, planner_options_);
+    auto plan = planner.PlanSelect(*body.value());
+    if (!plan.ok()) continue;  // references dropped objects; stays null
+    udf->body_plan = std::shared_ptr<const Plan>(std::move(plan).value());
+  }
+}
+
+Result<ResultSet> Database::ExecuteSelect(const sql::SelectStmt& sel,
+                                          const std::vector<Value>* params) {
   Planner planner(&catalog_, &udfs_, planner_options_);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(sel));
-  ExecContext ctx = MakeContext();
+  ++stats_.statements_planned;
+  ExecContext ctx = MakeContext(params);
   MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan, &ctx));
   ResultSet rs;
   for (const auto& c : plan->columns) rs.column_names.push_back(c.name);
@@ -137,11 +247,14 @@ Status Database::ExecuteCreateFunction(const sql::CreateFunctionStmt& cf) {
   MTB_ASSIGN_OR_RETURN(auto body, sql::ParseSelect(cf.body_sql));
   Planner planner(&catalog_, &udfs_, planner_options_);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(*body));
+  ++stats_.statements_planned;
   udf->body_plan = std::shared_ptr<const Plan>(std::move(plan));
   return udfs_.Register(std::move(udf));
 }
 
-Status Database::ExecuteInsert(const sql::InsertStmt& ins) {
+Status Database::ExecuteInsert(const sql::InsertStmt& ins,
+                               const std::vector<Value>* params,
+                               const Plan* select_plan) {
   Table* table = catalog_.FindTable(ins.table);
   if (table == nullptr) {
     return Status::NotFound("table " + ins.table + " does not exist");
@@ -163,12 +276,15 @@ Status Database::ExecuteInsert(const sql::InsertStmt& ins) {
     }
   }
   std::vector<Row> source_rows;
-  if (ins.select) {
-    MTB_ASSIGN_OR_RETURN(ResultSet rs, ExecuteSelect(*ins.select));
+  if (select_plan != nullptr) {
+    ExecContext ctx = MakeContext(params);
+    MTB_ASSIGN_OR_RETURN(source_rows, ExecutePlan(*select_plan, &ctx));
+  } else if (ins.select) {
+    MTB_ASSIGN_OR_RETURN(ResultSet rs, ExecuteSelect(*ins.select, params));
     source_rows = std::move(rs.rows);
   } else {
     Planner planner(&catalog_, &udfs_, planner_options_);
-    ExecContext ctx = MakeContext();
+    ExecContext ctx = MakeContext(params);
     Row empty_row;
     for (const auto& value_row : ins.rows) {
       Row r;
@@ -193,7 +309,8 @@ Status Database::ExecuteInsert(const sql::InsertStmt& ins) {
   return Status::OK();
 }
 
-Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& up) {
+Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& up,
+                                        const std::vector<Value>* params) {
   Table* table = catalog_.FindTable(up.table);
   if (table == nullptr) {
     return Status::NotFound("table " + up.table + " does not exist");
@@ -216,7 +333,7 @@ Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& up) {
     MTB_ASSIGN_OR_RETURN(auto bound, planner.BindExpr(*expr, layout));
     sets.emplace_back(idx, std::move(bound));
   }
-  ExecContext ctx = MakeContext();
+  ExecContext ctx = MakeContext(params);
   int64_t updated = 0;
   for (Row& r : *table->mutable_rows()) {
     if (where) {
@@ -234,7 +351,8 @@ Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& up) {
   return updated;
 }
 
-Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& del) {
+Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& del,
+                                        const std::vector<Value>* params) {
   Table* table = catalog_.FindTable(del.table);
   if (table == nullptr) {
     return Status::NotFound("table " + del.table + " does not exist");
@@ -247,7 +365,7 @@ Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& del) {
   if (del.where) {
     MTB_ASSIGN_OR_RETURN(where, planner.BindExpr(*del.where, layout));
   }
-  ExecContext ctx = MakeContext();
+  ExecContext ctx = MakeContext(params);
   auto* rows = table->mutable_rows();
   std::vector<Row> kept;
   kept.reserve(rows->size());
@@ -334,6 +452,7 @@ Status Database::ValidateTable(const Table& table) {
 }
 
 Status Database::ValidateConstraints(const std::string& table) {
+  if (udf_plans_stale_) RefreshUdfPlans();  // check exprs may call UDFs
   if (!table.empty()) {
     const Table* t = catalog_.FindTable(table);
     if (t == nullptr) {

@@ -3,11 +3,18 @@
 // Accepts plain SQL text (the output of the MTSQL-to-SQL rewriter), parses,
 // plans and executes it. Plays the role of "PostgreSQL" or "System C" in the
 // paper's architecture (Figure 4), selected by DbmsProfile.
+//
+// The execution API is prepared-statement shaped: Prepare() compiles a
+// statement once (parse + bind + plan), PreparedPlan::Execute() runs it many
+// times with $n / ? parameter bindings. One-shot Execute() is prepare +
+// execute. Prepared handles snapshot the catalog/UDF compilation version and
+// transparently recompile after DDL.
 #ifndef MTBASE_ENGINE_DATABASE_H_
 #define MTBASE_ENGINE_DATABASE_H_
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -21,6 +28,8 @@
 namespace mtbase {
 namespace engine {
 
+class Database;
+
 struct ResultSet {
   std::vector<std::string> column_names;
   std::vector<Row> rows;
@@ -28,17 +37,69 @@ struct ResultSet {
   std::string ToString(size_t max_rows = 25) const;
 };
 
+/// A statement compiled once and executable many times. SELECTs (and the
+/// SELECT source of INSERT ... SELECT) carry the fully bound physical plan;
+/// other DML keeps the parsed AST (expression binding is part of its
+/// per-execution row work). Execute() revalidates the handle against the
+/// database's compilation version and recompiles transparently when DDL
+/// moved it; every execution after the first one per compilation counts as
+/// ExecStats::plan_cache_hits.
+class PreparedPlan {
+ public:
+  PreparedPlan(PreparedPlan&&) = default;
+  PreparedPlan& operator=(PreparedPlan&&) = default;
+
+  /// Run the statement with `params` bound to $1..$n (left to right for ?).
+  Result<ResultSet> Execute(const std::vector<Value>& params = {});
+
+  /// Number of parameter slots the statement references.
+  int param_count() const { return param_count_; }
+  /// The SQL text this handle was prepared from.
+  const std::string& sql() const { return sql_; }
+  /// Output column names (SELECT only; empty otherwise).
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+ private:
+  friend class Database;
+  PreparedPlan() = default;
+
+  /// (Re)compile from the stored AST; clears the stale plan first so a
+  /// failed recompile (e.g. a dropped table) cannot leave a usable handle.
+  Status Compile();
+
+  Database* db_ = nullptr;
+  std::string sql_;
+  sql::Stmt stmt_;
+  int param_count_ = 0;
+  bool compiled_ = false;
+  bool fresh_compile_ = false;  // first Execute after Compile is not a hit
+  uint64_t compiled_version_ = 0;
+  // SELECT: the statement's plan. INSERT ... SELECT: the source plan.
+  std::shared_ptr<const Plan> plan_;
+  std::vector<std::string> column_names_;
+};
+
 class Database {
  public:
   explicit Database(DbmsProfile profile = DbmsProfile::kPostgres)
       : profile_(profile) {}
 
-  /// Execute one statement given as SQL text.
+  /// Compile one statement for repeated execution.
+  Result<PreparedPlan> Prepare(const std::string& sql);
+  /// Same, from an already parsed statement (the MT middleware prepares the
+  /// rewritten AST directly and only keeps `sql_text` for display).
+  Result<PreparedPlan> PrepareStmt(sql::Stmt stmt, std::string sql_text);
+
+  /// Execute one statement given as SQL text (prepare + execute).
   Result<ResultSet> Execute(const std::string& sql);
   /// Execute a ';'-separated script; returns the last statement's result.
+  /// Errors are prefixed with the 1-based statement index.
   Result<ResultSet> ExecuteScript(const std::string& sql);
-  /// Execute a parsed statement.
-  Result<ResultSet> ExecuteStmt(const sql::Stmt& stmt);
+  /// Execute a parsed statement with optional $n parameter bindings.
+  Result<ResultSet> ExecuteStmt(const sql::Stmt& stmt,
+                                const std::vector<Value>* params = nullptr);
 
   /// Validate primary keys, foreign keys and check constraints of `table`
   /// (all tables if empty). Deferred validation keeps bulk loads fast.
@@ -51,24 +112,55 @@ class Database {
   DbmsProfile profile() const { return profile_; }
   void set_profile(DbmsProfile p) { profile_ = p; }
   const PlannerOptions& planner_options() const { return planner_options_; }
-  void set_planner_options(const PlannerOptions& o) { planner_options_ = o; }
+  void set_planner_options(const PlannerOptions& o) {
+    planner_options_ = o;
+    ++options_version_;
+    udf_plans_stale_ = true;  // body plans embed the planner options too
+  }
+
+  /// Monotonic compilation version: moves on any DDL (tables, views, UDFs)
+  /// or planner-option change. Prepared plans compiled at an older version
+  /// recompile on their next Execute.
+  uint64_t compilation_version() const {
+    return catalog_.version() + udfs_.version() + options_version_;
+  }
 
  private:
-  Result<ResultSet> ExecuteSelect(const sql::SelectStmt& sel);
+  friend class PreparedPlan;
+
+  Result<ResultSet> ExecuteSelect(const sql::SelectStmt& sel,
+                                  const std::vector<Value>* params = nullptr);
   Status ExecuteCreateTable(const sql::CreateTableStmt& ct);
   Status ExecuteCreateFunction(const sql::CreateFunctionStmt& cf);
-  Status ExecuteInsert(const sql::InsertStmt& ins);
-  Result<int64_t> ExecuteUpdate(const sql::UpdateStmt& up);
-  Result<int64_t> ExecuteDelete(const sql::DeleteStmt& del);
+  /// `select_plan` optionally carries a precompiled plan for the
+  /// INSERT ... SELECT source (prepared inserts plan it once).
+  Status ExecuteInsert(const sql::InsertStmt& ins,
+                       const std::vector<Value>* params,
+                       const Plan* select_plan = nullptr);
+  Result<int64_t> ExecuteUpdate(const sql::UpdateStmt& up,
+                                const std::vector<Value>* params);
+  Result<int64_t> ExecuteDelete(const sql::DeleteStmt& del,
+                                const std::vector<Value>* params);
   Status ValidateTable(const Table& table);
 
-  ExecContext MakeContext();
+  /// Replan every UDF body: body plans hold raw Table pointers and embed
+  /// planner options, so catalog DDL or an options change would otherwise
+  /// leave them dangling/stale. Mutations only mark `udf_plans_stale_`;
+  /// the refresh runs lazily before the next execution, so a schema script
+  /// with many DDL statements pays for one refresh, not one per statement.
+  /// Bodies that no longer plan (dropped objects) become null — executing
+  /// them errors cleanly — until a later DDL makes them valid again.
+  void RefreshUdfPlans();
+
+  ExecContext MakeContext(const std::vector<Value>* params = nullptr);
 
   Catalog catalog_;
   UdfRegistry udfs_;
   ExecStats stats_;
   DbmsProfile profile_;
   PlannerOptions planner_options_;
+  uint64_t options_version_ = 0;
+  bool udf_plans_stale_ = false;
 };
 
 }  // namespace engine

@@ -485,6 +485,10 @@ Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args,
       return it->second;
     }
   }
+  if (udf.body_plan == nullptr) {
+    return Status::InvalidArgument("function " + udf.name +
+                                   " references dropped objects; recreate it");
+  }
   ctx->stats->udf_calls++;
   const std::vector<Value>* saved = ctx->params;
   ctx->params = &args;

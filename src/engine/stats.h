@@ -20,8 +20,59 @@ struct ExecStats {
   uint64_t initplan_execs = 0;   // one-off sub-query executions
   uint64_t decorrelated_execs = 0;  // decorrelated sub-query joins executed
 
+  // Prepared-statement compilation counters. Tests assert O(1) compilation
+  // timing-independently: re-executing a prepared statement under an
+  // unchanged fingerprint must leave the first three at zero and only bump
+  // the cache hits.
+  uint64_t statements_parsed = 0;     // SQL/MTSQL texts run through the parser
+  uint64_t statements_rewritten = 0;  // MTSQL-to-SQL rewriter invocations
+  uint64_t statements_planned = 0;    // planner compilations of a SELECT
+  uint64_t prepare_count = 0;   // statement compilations via Prepare
+  // Prepared executions that reused an earlier compilation (the first
+  // execution after each compile amortizes it and is not a hit).
+  uint64_t plan_cache_hits = 0;
+  uint64_t rewrite_cache_hits = 0;  // executions reusing a cached rewrite
+
   void Reset() { *this = ExecStats(); }
   uint64_t total_udf_invocations() const { return udf_calls + udf_cache_hits; }
+
+  /// Field-wise difference (counters are monotonic; use via StatsScope).
+  ExecStats operator-(const ExecStats& o) const {
+    ExecStats d;
+    d.rows_scanned = rows_scanned - o.rows_scanned;
+    d.rows_joined = rows_joined - o.rows_joined;
+    d.udf_calls = udf_calls - o.udf_calls;
+    d.udf_cache_hits = udf_cache_hits - o.udf_cache_hits;
+    d.subquery_execs = subquery_execs - o.subquery_execs;
+    d.initplan_execs = initplan_execs - o.initplan_execs;
+    d.decorrelated_execs = decorrelated_execs - o.decorrelated_execs;
+    d.statements_parsed = statements_parsed - o.statements_parsed;
+    d.statements_rewritten = statements_rewritten - o.statements_rewritten;
+    d.statements_planned = statements_planned - o.statements_planned;
+    d.prepare_count = prepare_count - o.prepare_count;
+    d.plan_cache_hits = plan_cache_hits - o.plan_cache_hits;
+    d.rewrite_cache_hits = rewrite_cache_hits - o.rewrite_cache_hits;
+    return d;
+  }
+};
+
+/// RAII counter snapshot: scopes ExecStats deltas to a region of code without
+/// resetting the live (cumulative) counters, so independent measurements can
+/// nest and interleave.
+///
+///   StatsScope scope(db.stats());
+///   ... run statements ...
+///   ExecStats d = scope.Delta();
+class StatsScope {
+ public:
+  explicit StatsScope(const ExecStats* live) : live_(live), start_(*live) {}
+  ExecStats Delta() const { return *live_ - start_; }
+  /// Re-anchor the snapshot to the current counter values.
+  void Restart() { start_ = *live_; }
+
+ private:
+  const ExecStats* live_;
+  ExecStats start_;
 };
 
 /// Which DBMS the engine impersonates (DESIGN.md section 2).

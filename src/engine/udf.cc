@@ -11,7 +11,15 @@ Status UdfRegistry::Register(std::unique_ptr<Udf> udf) {
     return Status::AlreadyExists("function " + udf->name + " already exists");
   }
   udfs_[key] = std::move(udf);
+  ++version_;
   return Status::OK();
+}
+
+std::vector<Udf*> UdfRegistry::All() {
+  std::vector<Udf*> out;
+  out.reserve(udfs_.size());
+  for (auto& [key, udf] : udfs_) out.push_back(udf.get());
+  return out;
 }
 
 const Udf* UdfRegistry::Find(const std::string& name) const {

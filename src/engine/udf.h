@@ -26,7 +26,9 @@ struct Udf {
   sql::TypeDecl return_type;
   std::string body_sql;
   bool immutable = false;
-  /// Planned once at CREATE FUNCTION time (like a prepared statement).
+  /// Planned at CREATE FUNCTION time (like a prepared statement) and
+  /// replanned after catalog DDL (plans hold raw Table pointers). Null when
+  /// the body references dropped objects; executing it then is an error.
   std::shared_ptr<const Plan> body_plan;
 };
 
@@ -36,8 +38,16 @@ class UdfRegistry {
   const Udf* Find(const std::string& name) const;
   bool Contains(const std::string& name) const { return Find(name) != nullptr; }
 
+  /// All registered functions, for body replanning after DDL.
+  std::vector<Udf*> All();
+
+  /// Monotonic registration counter; part of the Database compilation
+  /// version, so prepared plans recompile after CREATE FUNCTION.
+  uint64_t version() const { return version_; }
+
  private:
   std::unordered_map<std::string, std::unique_ptr<Udf>> udfs_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace engine

@@ -39,6 +39,7 @@ Status ConversionRegistry::Register(ConversionPair pair) {
   pairs_.push_back(std::move(pair));
   by_fn_[to_key] = {idx, true};
   by_fn_[from_key] = {idx, false};
+  ++epoch_;
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #ifndef MTBASE_MT_CONVERSION_H_
 #define MTBASE_MT_CONVERSION_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -69,9 +70,15 @@ class ConversionRegistry {
                                        bool* is_to_universal) const;
   bool IsConversionFunction(const std::string& fn_name) const;
 
+  /// Monotonic counter bumped by every Register. Prepared MTSQL queries key
+  /// their cached rewrite on it: conversion pairs drive the rewriter and
+  /// the optimizer, so late registration must invalidate.
+  uint64_t epoch() const { return epoch_; }
+
  private:
   std::vector<ConversionPair> pairs_;
   std::unordered_map<std::string, std::pair<size_t, bool>> by_fn_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace mt

@@ -49,6 +49,7 @@ Status MTSchema::RegisterTable(const sql::CreateTableStmt& ct) {
     info.columns.push_back(std::move(col));
   }
   tables_[key] = std::move(info);
+  ++epoch_;
   return Status::OK();
 }
 
@@ -56,6 +57,7 @@ Status MTSchema::DropTable(const std::string& name) {
   if (!tables_.erase(ToLowerCopy(name))) {
     return Status::NotFound("MT table " + name + " does not exist");
   }
+  ++epoch_;
   return Status::OK();
 }
 

@@ -61,8 +61,14 @@ class MTSchema {
 
   std::vector<std::string> TenantSpecificTables() const;
 
+  /// Monotonic counter bumped by every RegisterTable/DropTable. Prepared
+  /// MTSQL queries key their cached rewrite on it, so MT DDL transparently
+  /// invalidates them.
+  uint64_t epoch() const { return epoch_; }
+
  private:
   std::unordered_map<std::string, MTTableInfo> tables_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace mt

@@ -17,13 +17,19 @@ Result<Privilege> ParsePrivilege(const std::string& name) {
 
 void PrivilegeManager::Grant(int64_t owner, const std::string& table,
                              Privilege priv, int64_t grantee) {
-  grants_[{owner, ToLowerCopy(table), static_cast<int>(priv)}].insert(grantee);
+  // Only a state change moves the epoch: a redundant re-grant must not
+  // invalidate every cached prepared query.
+  if (grants_[{owner, ToLowerCopy(table), static_cast<int>(priv)}]
+          .insert(grantee)
+          .second) {
+    ++epoch_;
+  }
 }
 
 void PrivilegeManager::Revoke(int64_t owner, const std::string& table,
                               Privilege priv, int64_t grantee) {
   auto it = grants_.find({owner, ToLowerCopy(table), static_cast<int>(priv)});
-  if (it != grants_.end()) it->second.erase(grantee);
+  if (it != grants_.end() && it->second.erase(grantee) > 0) ++epoch_;
 }
 
 bool PrivilegeManager::Has(int64_t owner, const std::string& table,

@@ -48,6 +48,10 @@ class PrivilegeManager {
                                     const std::vector<std::string>& ts_tables,
                                     int64_t client) const;
 
+  /// Monotonic counter bumped by every Grant/Revoke. Prepared MTSQL queries
+  /// key their cached rewrite on it, so DCL transparently invalidates them.
+  uint64_t epoch() const { return epoch_; }
+
  private:
   struct Key {
     int64_t owner;
@@ -60,6 +64,7 @@ class PrivilegeManager {
     }
   };
   std::map<Key, std::set<int64_t>> grants_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace mt

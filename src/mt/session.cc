@@ -13,7 +13,10 @@ namespace mt {
 
 void Middleware::RegisterTenant(int64_t ttid) {
   auto it = std::lower_bound(tenants_.begin(), tenants_.end(), ttid);
-  if (it == tenants_.end() || *it != ttid) tenants_.insert(it, ttid);
+  if (it == tenants_.end() || *it != ttid) {
+    tenants_.insert(it, ttid);
+    ++tenant_epoch_;
+  }
 }
 
 bool Middleware::IsAllTenants(const std::vector<int64_t>& dataset) const {
@@ -196,6 +199,12 @@ Result<std::vector<sql::Stmt>> Session::RewriteStmt(
     const sql::Stmt& stmt, std::vector<int64_t>* dataset_out) {
   MTB_ASSIGN_OR_RETURN(std::vector<int64_t> dataset, ResolveDataset(stmt));
   if (dataset_out != nullptr) *dataset_out = dataset;
+  return RewriteWithDataset(stmt, dataset);
+}
+
+Result<std::vector<sql::Stmt>> Session::RewriteWithDataset(
+    const sql::Stmt& stmt, const std::vector<int64_t>& dataset) {
+  ++mw_->db()->stats()->statements_rewritten;
   Rewriter rewriter(mw_->schema(), mw_->conversions(), client_, dataset,
                     OptionsFor(dataset));
   MTB_ASSIGN_OR_RETURN(auto stmts, rewriter.RewriteStatement(stmt));
@@ -208,6 +217,92 @@ Result<std::vector<sql::Stmt>> Session::RewriteStmt(
     }
   }
   return stmts;
+}
+
+bool Session::MatchesCompilationKey(const CompilationKey& key) const {
+  return key.valid && key.client == client_ && key.level == level_ &&
+         key.scope_kind == scope_.kind && key.scope_text == scope_.text &&
+         key.privilege_epoch == mw_->privileges()->epoch() &&
+         key.schema_epoch == mw_->schema()->epoch() &&
+         key.tenant_epoch == mw_->tenant_epoch() &&
+         key.conversion_epoch == mw_->conversions()->epoch() &&
+         key.engine_version == mw_->db()->compilation_version();
+}
+
+CompilationKey Session::CurrentCompilationKey() const {
+  CompilationKey key;
+  key.valid = true;
+  key.client = client_;
+  key.level = level_;
+  key.scope_kind = scope_.kind;
+  key.scope_text = scope_.text;
+  key.privilege_epoch = mw_->privileges()->epoch();
+  key.schema_epoch = mw_->schema()->epoch();
+  key.tenant_epoch = mw_->tenant_epoch();
+  key.conversion_epoch = mw_->conversions()->epoch();
+  key.engine_version = mw_->db()->compilation_version();
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery
+// ---------------------------------------------------------------------------
+
+PreparedQuery::PreparedQuery(Session* session, sql::Stmt stmt,
+                             std::string mtsql)
+    : session_(session),
+      mtsql_(std::move(mtsql)),
+      stmt_(std::move(stmt)),
+      param_count_(sql::MaxParamIndex(stmt_)) {}
+
+Status PreparedQuery::Recompile(const std::vector<int64_t>& dataset) {
+  // Invalidate first so a failed compile cannot leave a usable stale handle.
+  key_.valid = false;
+  plans_.clear();
+  sql_.clear();
+  CompilationKey key = session_->CurrentCompilationKey();
+  key.dataset = dataset;
+  MTB_ASSIGN_OR_RETURN(auto stmts,
+                       session_->RewriteWithDataset(stmt_, dataset));
+  for (auto& s : stmts) {
+    std::string text = sql::PrintStmt(s);
+    if (!sql_.empty()) sql_ += ";\n";
+    sql_ += text;
+    MTB_ASSIGN_OR_RETURN(
+        auto plan,
+        session_->mw_->db()->PrepareStmt(std::move(s), std::move(text)));
+    plans_.push_back(std::move(plan));
+  }
+  key_ = std::move(key);
+  return Status::OK();
+}
+
+Result<engine::ResultSet> PreparedQuery::Execute(
+    const std::vector<Value>& params) {
+  std::vector<int64_t> dataset;
+  bool resolved = false;
+  if (session_->scope_.kind == Scope::Kind::kComplex) {
+    // A complex scope is data-dependent: re-resolve D' on every execution
+    // and key the cache on the resolved tenant set.
+    MTB_ASSIGN_OR_RETURN(dataset, session_->ResolveDataset(stmt_));
+    resolved = true;
+  }
+  bool hit = session_->MatchesCompilationKey(key_) &&
+             (!resolved || dataset == key_.dataset);
+  if (!hit) {
+    if (!resolved) {
+      MTB_ASSIGN_OR_RETURN(dataset, session_->ResolveDataset(stmt_));
+    }
+    MTB_RETURN_IF_ERROR(Recompile(dataset));
+  } else {
+    ++session_->mw_->db()->stats()->rewrite_cache_hits;
+  }
+  session_->last_sql_ = sql_;
+  engine::ResultSet last;
+  for (auto& plan : plans_) {
+    MTB_ASSIGN_OR_RETURN(last, plan.Execute(params));
+  }
+  return last;
 }
 
 Status Session::HandleGrant(const sql::GrantStmt& grant) {
@@ -298,16 +393,52 @@ Result<engine::ResultSet> Session::ExecuteStmt(const sql::Stmt& stmt) {
   }
 }
 
-Result<engine::ResultSet> Session::Execute(const std::string& mtsql) {
+Result<engine::ResultSet> Session::ExecuteOwned(sql::Stmt stmt) {
+  switch (stmt.kind) {
+    case sql::Stmt::Kind::kSelect:
+    case sql::Stmt::Kind::kInsert:
+    case sql::Stmt::Kind::kUpdate:
+    case sql::Stmt::Kind::kDelete: {
+      // One-shot = prepare + execute through the same compilation path the
+      // prepared API uses.
+      PreparedQuery pq(this, std::move(stmt), std::string());
+      return pq.Execute();
+    }
+    default:
+      return ExecuteStmt(stmt);
+  }
+}
+
+Result<PreparedQuery> Session::Prepare(const std::string& mtsql) {
+  ++mw_->db()->stats()->statements_parsed;
   MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
-  return ExecuteStmt(stmt);
+  switch (stmt.kind) {
+    case sql::Stmt::Kind::kSelect:
+    case sql::Stmt::Kind::kInsert:
+    case sql::Stmt::Kind::kUpdate:
+    case sql::Stmt::Kind::kDelete:
+      return PreparedQuery(this, std::move(stmt), mtsql);
+    default:
+      return Status::InvalidArgument(
+          "only queries and DML can be prepared; run session, DCL and DDL "
+          "statements through Execute()");
+  }
+}
+
+Result<engine::ResultSet> Session::Execute(const std::string& mtsql) {
+  ++mw_->db()->stats()->statements_parsed;
+  MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
+  return ExecuteOwned(std::move(stmt));
 }
 
 Result<engine::ResultSet> Session::ExecuteScript(const std::string& mtsql) {
   MTB_ASSIGN_OR_RETURN(auto stmts, sql::ParseScript(mtsql));
+  mw_->db()->stats()->statements_parsed += stmts.size();
   engine::ResultSet last;
-  for (const auto& s : stmts) {
-    MTB_ASSIGN_OR_RETURN(last, ExecuteStmt(s));
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    auto r = ExecuteOwned(std::move(stmts[i]));
+    if (!r.ok()) return AtScriptStatement(i + 1, r.status());
+    last = std::move(r).value();
   }
   return last;
 }

@@ -5,6 +5,15 @@
 // Database. A Session represents one client connection: the client's ttid C
 // is fixed at connection time, the SCOPE runtime parameter defines D, and
 // every statement is rewritten to plain SQL, printed and sent to the engine.
+//
+// The execution API is prepared-statement shaped: Session::Prepare() parses
+// an MTSQL query or DML statement once and returns a PreparedQuery whose
+// Execute() caches the rewritten SQL *and* the engine plans, keyed by a
+// compilation fingerprint (client ttid, optimization level, scope/dataset,
+// privilege/schema/tenant epochs and the engine catalog version). SET SCOPE,
+// GRANT/REVOKE, DDL and tenant registration move an epoch and transparently
+// invalidate; re-executing under an unchanged fingerprint skips the parser,
+// the rewriter and the planner entirely.
 #ifndef MTBASE_MT_SESSION_H_
 #define MTBASE_MT_SESSION_H_
 
@@ -25,6 +34,27 @@
 namespace mtbase {
 namespace mt {
 
+class Session;
+
+/// Everything a cached rewrite's validity depends on. Compared field-wise on
+/// every PreparedQuery::Execute — the hit path stays allocation-free (the
+/// key is only materialized when recompiling).
+struct CompilationKey {
+  bool valid = false;  // false until the first successful compile
+  int64_t client = 0;
+  OptLevel level = OptLevel::kO4;
+  Scope::Kind scope_kind = Scope::Kind::kDefault;
+  std::string scope_text;  // canonical: scopes are only set via Scope::Parse
+  uint64_t privilege_epoch = 0;
+  uint64_t schema_epoch = 0;
+  uint64_t tenant_epoch = 0;
+  uint64_t conversion_epoch = 0;
+  uint64_t engine_version = 0;
+  /// Complex scopes only: the resolved D' (data-dependent, re-resolved and
+  /// re-compared on every execution).
+  std::vector<int64_t> dataset;
+};
+
 class Middleware {
  public:
   explicit Middleware(engine::Database* db) : db_(db) {}
@@ -41,12 +71,60 @@ class Middleware {
   const std::vector<int64_t>& tenants() const { return tenants_; }
   bool IsAllTenants(const std::vector<int64_t>& dataset) const;
 
+  /// Monotonic counter bumped by RegisterTenant; part of every prepared
+  /// query's fingerprint (datasets like "IN ()" resolve against the
+  /// registry, so registration must invalidate cached rewrites).
+  uint64_t tenant_epoch() const { return tenant_epoch_; }
+
  private:
   engine::Database* db_;
   MTSchema schema_;
   ConversionRegistry conversions_;
   PrivilegeManager privileges_;
   std::vector<int64_t> tenants_;
+  uint64_t tenant_epoch_ = 0;
+};
+
+/// An MTSQL statement parsed once and executable many times. The first
+/// Execute() (and every Execute() after the fingerprint moved) resolves the
+/// dataset, rewrites, optimizes, prints and prepares the engine plans; an
+/// Execute() under an unchanged fingerprint reuses all of it and only runs
+/// the compiled plans (ExecStats::rewrite_cache_hits / plan_cache_hits).
+///
+/// Complex scopes ("FROM ... WHERE ...") are data-dependent, so their
+/// dataset is re-resolved on every Execute and folded into the fingerprint;
+/// simple and default scopes derive purely from the epochs and skip
+/// resolution on a hit.
+class PreparedQuery {
+ public:
+  PreparedQuery(PreparedQuery&&) = default;
+  PreparedQuery& operator=(PreparedQuery&&) = default;
+
+  /// Execute with `params` bound to the statement's $n / ? placeholders.
+  /// Parameters pass through the rewriter untouched (they are constants in
+  /// C's own format, like literals) and bind at the engine.
+  Result<engine::ResultSet> Execute(const std::vector<Value>& params = {});
+
+  /// The MTSQL text this handle was prepared from.
+  const std::string& mtsql() const { return mtsql_; }
+  /// The currently cached rewritten SQL (empty before the first Execute).
+  const std::string& sql() const { return sql_; }
+  /// Number of parameter slots the statement references.
+  int param_count() const { return param_count_; }
+
+ private:
+  friend class Session;
+  PreparedQuery(Session* session, sql::Stmt stmt, std::string mtsql);
+
+  Status Recompile(const std::vector<int64_t>& dataset);
+
+  Session* session_;
+  std::string mtsql_;
+  sql::Stmt stmt_;
+  int param_count_ = 0;
+  CompilationKey key_;  // invalid until the first successful compile
+  std::string sql_;
+  std::vector<engine::PreparedPlan> plans_;
 };
 
 class Session {
@@ -60,9 +138,16 @@ class Session {
   void set_optimization_level(OptLevel level) { level_ = level; }
   OptLevel optimization_level() const { return level_; }
 
+  /// Parse an MTSQL query or DML statement once for repeated execution.
+  /// SET SCOPE, DCL and DDL are session/metadata operations and cannot be
+  /// prepared — run them through Execute().
+  Result<PreparedQuery> Prepare(const std::string& mtsql);
+
   /// Execute one MTSQL statement (SET SCOPE, DDL, DML, DCL or query).
+  /// Queries and DML run through the prepared path (prepare + execute).
   Result<engine::ResultSet> Execute(const std::string& mtsql);
-  /// Execute a ';'-separated MTSQL script; returns the last result.
+  /// Execute a ';'-separated MTSQL script; returns the last result. Errors
+  /// are prefixed with the 1-based statement index.
   Result<engine::ResultSet> ExecuteScript(const std::string& mtsql);
 
   /// Rewrite a query without executing it (returns the SQL text that would
@@ -84,9 +169,22 @@ class Session {
   Result<std::vector<int64_t>> ResolveDataset(const sql::Stmt& stmt);
 
  private:
+  friend class PreparedQuery;
+
   Result<engine::ResultSet> ExecuteStmt(const sql::Stmt& stmt);
+  /// Route an owned statement: queries and DML through the prepared path,
+  /// everything else through ExecuteStmt.
+  Result<engine::ResultSet> ExecuteOwned(sql::Stmt stmt);
   Result<std::vector<sql::Stmt>> RewriteStmt(const sql::Stmt& stmt,
                                              std::vector<int64_t>* dataset_out);
+  /// Rewrite + optimize against an already resolved dataset D'.
+  Result<std::vector<sql::Stmt>> RewriteWithDataset(
+      const sql::Stmt& stmt, const std::vector<int64_t>& dataset);
+  /// Does `key` still describe the current session/middleware state
+  /// (everything except a complex scope's dataset)? Allocation-free.
+  bool MatchesCompilationKey(const CompilationKey& key) const;
+  /// Materialize the current compilation key (dataset left empty).
+  CompilationKey CurrentCompilationKey() const;
   Status HandleGrant(const sql::GrantStmt& grant);
   RewriteOptions OptionsFor(const std::vector<int64_t>& dataset) const;
   void CollectTsTables(const sql::Stmt& stmt,

@@ -7,49 +7,46 @@
 namespace mtbase {
 namespace mth {
 
-namespace {
-
-engine::ExecStats Delta(const engine::ExecStats& before,
-                        const engine::ExecStats& after) {
-  engine::ExecStats d;
-  d.rows_scanned = after.rows_scanned - before.rows_scanned;
-  d.rows_joined = after.rows_joined - before.rows_joined;
-  d.udf_calls = after.udf_calls - before.udf_calls;
-  d.udf_cache_hits = after.udf_cache_hits - before.udf_cache_hits;
-  d.subquery_execs = after.subquery_execs - before.subquery_execs;
-  d.initplan_execs = after.initplan_execs - before.initplan_execs;
-  d.decorrelated_execs = after.decorrelated_execs - before.decorrelated_execs;
-  return d;
+Result<PreparedMthQuery> PrepareMthQuery(mt::Session* session,
+                                         const std::string& sql,
+                                         mt::OptLevel level) {
+  session->set_optimization_level(level);
+  MTB_ASSIGN_OR_RETURN(mt::PreparedQuery query, session->Prepare(sql));
+  return PreparedMthQuery{session, level, std::move(query)};
 }
 
-}  // namespace
-
-Result<QueryRun> RunMthQuery(mt::Session* session, const std::string& sql,
-                             mt::OptLevel level) {
-  session->set_optimization_level(level);
+Result<QueryRun> RunPrepared(PreparedMthQuery* prepared) {
+  prepared->session->set_optimization_level(prepared->level);
   QueryRun run;
-  engine::ExecStats before = *session->middleware()->db()->stats();
+  engine::StatsScope stats(prepared->session->middleware()->db()->stats());
   auto t0 = std::chrono::steady_clock::now();
-  auto result = session->Execute(sql);
+  auto result = prepared->query.Execute();
   auto t1 = std::chrono::steady_clock::now();
   if (!result.ok()) return result.status();
   run.seconds = std::chrono::duration<double>(t1 - t0).count();
   run.result = std::move(result).value();
-  run.stats = Delta(before, *session->middleware()->db()->stats());
-  run.sql = session->last_sql();
+  run.stats = stats.Delta();
+  run.sql = prepared->query.sql();
   return run;
+}
+
+Result<QueryRun> RunMthQuery(mt::Session* session, const std::string& sql,
+                             mt::OptLevel level) {
+  MTB_ASSIGN_OR_RETURN(PreparedMthQuery prepared,
+                       PrepareMthQuery(session, sql, level));
+  return RunPrepared(&prepared);
 }
 
 Result<QueryRun> RunTpchQuery(engine::Database* db, const std::string& sql) {
   QueryRun run;
-  engine::ExecStats before = *db->stats();
+  engine::StatsScope stats(db->stats());
   auto t0 = std::chrono::steady_clock::now();
   auto result = db->Execute(sql);
   auto t1 = std::chrono::steady_clock::now();
   if (!result.ok()) return result.status();
   run.seconds = std::chrono::duration<double>(t1 - t0).count();
   run.result = std::move(result).value();
-  run.stats = Delta(before, *db->stats());
+  run.stats = stats.Delta();
   run.sql = sql;
   return run;
 }

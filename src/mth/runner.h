@@ -20,7 +20,26 @@ struct QueryRun {
   std::string sql;          // the SQL text sent to the engine
 };
 
-/// Run one MT-H query through the middleware at the given level.
+/// An MT-H query prepared once against a session for repeated execution.
+/// The first RunPrepared() compiles (rewrite + plan); later runs under an
+/// unchanged scope reuse the cached artifacts — the amortized per-request
+/// cost a multi-tenant front-end actually pays.
+struct PreparedMthQuery {
+  mt::Session* session = nullptr;
+  mt::OptLevel level = mt::OptLevel::kO4;
+  mt::PreparedQuery query;
+};
+
+/// Parse an MT-H query once for repeated execution at the given level.
+Result<PreparedMthQuery> PrepareMthQuery(mt::Session* session,
+                                         const std::string& sql,
+                                         mt::OptLevel level);
+
+/// Execute a prepared MT-H query, timing it and collecting per-run stats.
+Result<QueryRun> RunPrepared(PreparedMthQuery* prepared);
+
+/// Run one MT-H query through the middleware at the given level
+/// (one-shot: prepare + execute).
 Result<QueryRun> RunMthQuery(mt::Session* session, const std::string& sql,
                              mt::OptLevel level);
 

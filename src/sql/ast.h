@@ -79,6 +79,16 @@ ExprPtr ScalarSubquery(std::unique_ptr<SelectStmt> q);
 /// Conjunction of all exprs (nullptr if empty, the expr itself if single).
 ExprPtr AndAll(std::vector<ExprPtr> exprs);
 
+// -- parameter placeholders ---------------------------------------------------
+
+struct Stmt;
+
+/// Highest $n / ? parameter index referenced (0 if none). Prepared
+/// statements use this as the number of bind values Execute() requires.
+int MaxParamIndex(const Expr& e);
+int MaxParamIndex(const SelectStmt& s);
+int MaxParamIndex(const Stmt& s);
+
 // -- statements ---------------------------------------------------------------
 
 struct OrderItem {

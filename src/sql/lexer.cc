@@ -91,7 +91,7 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
         tok.kind = TokenKind::kSymbol;
         tok.text = two == "!=" ? "<>" : two;
         i += 2;
-      } else if (std::string("(),.;=<>+-*/@").find(c) != std::string::npos) {
+      } else if (std::string("(),.;=<>+-*/@?").find(c) != std::string::npos) {
         tok.kind = TokenKind::kSymbol;
         tok.text = std::string(1, c);
         ++i;

@@ -82,6 +82,9 @@ class Parser {
   bool IsReserved(const std::string& word) const;
 
   std::vector<Token> tokens_;
+  int max_param_ = 0;  // highest parameter index seen in this statement
+  bool saw_question_param_ = false;
+  bool saw_dollar_param_ = false;
   size_t pos_ = 0;
 };
 
@@ -285,10 +288,34 @@ Result<ExprPtr> Parser::ParsePrimary() {
     return StrLit(t.text);
   }
   if (t.kind == TokenKind::kParam) {
+    if (saw_question_param_) {
+      return Err("cannot mix '?' and '$n' parameter placeholders");
+    }
+    // The lexer guarantees digits only; bound the width before stoi so an
+    // absurd index cannot throw, and reject $0 (parameters are 1-based).
+    if (t.text.size() > 4 || std::stoi(t.text) < 1) {
+      return Err("parameter index must be between $1 and $9999");
+    }
     Advance();
+    saw_dollar_param_ = true;
     auto e = std::make_unique<Expr>();
     e->kind = ExprKind::kParam;
     e->param_index = std::stoi(t.text);
+    if (e->param_index > max_param_) max_param_ = e->param_index;
+    return ExprPtr(std::move(e));
+  }
+  // '?' placeholders are numbered left to right within one statement.
+  // Mixing them with explicit $n is rejected (the two numbering schemes
+  // would silently alias slots otherwise).
+  if (IsSym("?")) {
+    if (saw_dollar_param_) {
+      return Err("cannot mix '?' and '$n' parameter placeholders");
+    }
+    Advance();
+    saw_question_param_ = true;
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kParam;
+    e->param_index = ++max_param_;
     return ExprPtr(std::move(e));
   }
   // Parenthesized expression, row expression, or scalar subquery.
@@ -853,6 +880,10 @@ Result<Stmt> Parser::ParseDrop() {
 }
 
 Result<Stmt> Parser::ParseStmt() {
+  // '?' numbering and the placeholder-style check restart per statement.
+  max_param_ = 0;
+  saw_question_param_ = false;
+  saw_dollar_param_ = false;
   if (IsKw("SELECT")) {
     Stmt stmt;
     stmt.kind = Stmt::Kind::kSelect;

@@ -13,8 +13,8 @@ enum class TokenKind {
   kInteger,      // 42
   kDecimal,      // 0.06
   kString,       // 'abc' or "abc"
-  kParam,        // $1
-  kSymbol,       // ( ) , . ; = <> < <= > >= + - * / || @
+  kParam,        // $1 or ? (auto-numbered by the parser)
+  kSymbol,       // ( ) , . ; = <> < <= > >= + - * / || @ ?
 };
 
 struct Token {

@@ -25,48 +25,48 @@ class PlannerTest : public ::testing::Test {
 };
 
 TEST_F(PlannerTest, JoinDoesNotExplode) {
-  db_.stats()->Reset();
+  StatsScope stats(db_.stats());
   ASSERT_OK_AND_ASSIGN(
       auto rs, db_.Execute("SELECT COUNT(*) FROM big a, big b WHERE a.id = "
                            "b.id AND a.grp = 3"));
   EXPECT_EQ(rs.rows[0][0].int_value(), 100);
   // A hash join touches each pair once; a nested loop would visit 10^6.
-  EXPECT_LT(db_.stats()->rows_joined, 2000u);
+  EXPECT_LT(stats.Delta().rows_joined, 2000u);
 }
 
 TEST_F(PlannerTest, FilterPushdownLimitsJoinInput) {
-  db_.stats()->Reset();
+  StatsScope stats(db_.stats());
   ASSERT_OK(db_.Execute("SELECT COUNT(*) FROM big a, big b WHERE a.id = b.id "
                         "AND a.grp = 3 AND b.grp = 3")
                 .status());
-  EXPECT_LT(db_.stats()->rows_joined, 200u);
+  EXPECT_LT(stats.Delta().rows_joined, 200u);
 }
 
 TEST_F(PlannerTest, ExistsBecomesSemiJoinNotPerRow) {
-  db_.stats()->Reset();
+  StatsScope stats(db_.stats());
   ASSERT_OK_AND_ASSIGN(
       auto rs,
       db_.Execute("SELECT COUNT(*) FROM big a WHERE EXISTS (SELECT * FROM "
                   "big b WHERE b.id = a.id AND b.v > 50)"));
   EXPECT_GT(rs.rows[0][0].int_value(), 0);
-  EXPECT_EQ(db_.stats()->subquery_execs, 0u);  // decorrelated
+  EXPECT_EQ(stats.Delta().subquery_execs, 0u);  // decorrelated
 }
 
 TEST_F(PlannerTest, CorrelatedScalarAggBecomesGroupJoin) {
-  db_.stats()->Reset();
+  StatsScope stats(db_.stats());
   ASSERT_OK(db_.Execute("SELECT COUNT(*) FROM big a WHERE a.v > (SELECT "
                         "AVG(b.v) FROM big b WHERE b.grp = a.grp)")
                 .status());
-  EXPECT_EQ(db_.stats()->subquery_execs, 0u);
+  EXPECT_EQ(stats.Delta().subquery_execs, 0u);
 }
 
 TEST_F(PlannerTest, UncorrelatedInSubqueryEvaluatedOnce) {
-  db_.stats()->Reset();
+  StatsScope stats(db_.stats());
   ASSERT_OK(db_.Execute("SELECT COUNT(*) FROM big WHERE grp IN (SELECT grp "
                         "FROM big WHERE v = 7)")
                 .status());
-  EXPECT_EQ(db_.stats()->initplan_execs, 1u);
-  EXPECT_EQ(db_.stats()->subquery_execs, 0u);
+  EXPECT_EQ(stats.Delta().initplan_execs, 1u);
+  EXPECT_EQ(stats.Delta().subquery_execs, 0u);
 }
 
 TEST_F(PlannerTest, ViewExpandsInline) {

@@ -54,11 +54,14 @@ class SubqueryDecorrelationTest : public ::testing::Test {
     PlannerOptions opt;
     opt.decorrelate_subqueries = decorrelate;
     db_.set_planner_options(opt);
-    db_.stats()->Reset();
-    return db_.Execute(sql);
+    StatsScope stats(db_.stats());
+    auto r = db_.Execute(sql);
+    run_stats_ = stats.Delta();
+    return r;
   }
 
   Database db_;
+  ExecStats run_stats_;  // delta of the last Run()
 };
 
 constexpr char kQ21Style[] =
@@ -74,15 +77,15 @@ constexpr char kQ21Style[] =
 TEST_F(SubqueryDecorrelationTest, Q21StyleExecutesConstantSubqueryJoins) {
   ASSERT_OK_AND_ASSIGN(ResultSet fast, Run(kQ21Style, true));
   // Decorrelated: both sub-queries became hash joins, executed once each.
-  EXPECT_EQ(db_.stats()->subquery_execs, 0u);
-  EXPECT_EQ(db_.stats()->decorrelated_execs, 2u);
+  EXPECT_EQ(run_stats_.subquery_execs, 0u);
+  EXPECT_EQ(run_stats_.decorrelated_execs, 2u);
 
   ASSERT_OK_AND_ASSIGN(ResultSet slow, Run(kQ21Style, false));
   // Fallback: each correlated sub-query runs once per outer row (the AND
   // short-circuits NOT EXISTS for some rows), so the count scales with the
   // table, not the query: 50 late line items -> 50 EXISTS + 44 NOT EXISTS.
-  EXPECT_EQ(db_.stats()->decorrelated_execs, 0u);
-  EXPECT_EQ(db_.stats()->subquery_execs, 94u);
+  EXPECT_EQ(run_stats_.decorrelated_execs, 0u);
+  EXPECT_EQ(run_stats_.subquery_execs, 94u);
 
   ExpectSameResults(fast, slow);
   EXPECT_FALSE(fast.rows.empty());
@@ -95,9 +98,9 @@ TEST_F(SubqueryDecorrelationTest, CorrelatedInMatchesFallback) {
       "                  WHERE l2.okey = l1.okey AND l2.late = 1) "
       "ORDER BY okey, skey";
   ASSERT_OK_AND_ASSIGN(ResultSet fast, Run(sql, true));
-  EXPECT_EQ(db_.stats()->subquery_execs, 0u);
+  EXPECT_EQ(run_stats_.subquery_execs, 0u);
   ASSERT_OK_AND_ASSIGN(ResultSet slow, Run(sql, false));
-  EXPECT_GT(db_.stats()->subquery_execs, 0u);
+  EXPECT_GT(run_stats_.subquery_execs, 0u);
   ExpectSameResults(fast, slow);
 }
 
@@ -111,7 +114,7 @@ TEST_F(SubqueryDecorrelationTest, CorrelatedInWithResidualFallsBack) {
       "WHERE l1.skey IN (SELECT l2.skey FROM li l2 WHERE l2.okey > l1.okey) "
       "  AND l1.okey >= 38 ORDER BY okey, skey";
   ASSERT_OK_AND_ASSIGN(ResultSet fast, Run(sql, true));
-  EXPECT_GT(db_.stats()->subquery_execs, 0u);  // fell back per-row
+  EXPECT_GT(run_stats_.subquery_execs, 0u);  // fell back per-row
   ASSERT_OK_AND_ASSIGN(ResultSet slow, Run(sql, false));
   ExpectSameResults(fast, slow);
   EXPECT_FALSE(fast.rows.empty());
@@ -130,9 +133,9 @@ TEST_F(SubqueryDecorrelationTest, NotInWithInnerNullsMatchesFallback) {
       "SELECT a FROM t WHERE a NOT IN "
       "(SELECT b FROM s WHERE s.g = t.g) ORDER BY a";
   ASSERT_OK_AND_ASSIGN(ResultSet fast, Run(sql, true));
-  EXPECT_EQ(db_.stats()->subquery_execs, 0u);
+  EXPECT_EQ(run_stats_.subquery_execs, 0u);
   ASSERT_OK_AND_ASSIGN(ResultSet slow, Run(sql, false));
-  EXPECT_GT(db_.stats()->subquery_execs, 0u);
+  EXPECT_GT(run_stats_.subquery_execs, 0u);
   ExpectSameResults(fast, slow);
   // g=1: inner set {1, NULL} filters both a=1 (match) and a=2 (NULL).
   // g=2: inner set {2} keeps a=3; a=NULL is filtered (NULL NOT IN {2}).

@@ -1,0 +1,286 @@
+// Prepared MTSQL queries: cached rewrite + engine plans keyed by the
+// compilation fingerprint, and transparent invalidation on SET SCOPE,
+// GRANT/REVOKE, tenant registration and DDL. Stale-plan checks are
+// byte-parity: after an invalidating event the SQL a prepared handle sends
+// must equal a fresh rewrite under the new state.
+#include <gtest/gtest.h>
+
+#include "mt/mtbase.h"
+#include "mt/session.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mt {
+namespace {
+
+class PreparedQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    mw_ = std::make_unique<Middleware>(db_.get());
+    mw_->RegisterTenant(0);
+    mw_->RegisterTenant(1);
+    ASSERT_OK(db_->ExecuteScript(R"(
+      CREATE TABLE Tenant (T_tenant_key INTEGER NOT NULL, T_currency_key INTEGER NOT NULL);
+      CREATE TABLE CurrencyTransform (CT_currency_key INTEGER NOT NULL,
+        CT_to_universal DECIMAL(15,6) NOT NULL, CT_from_universal DECIMAL(15,6) NOT NULL);
+      INSERT INTO Tenant VALUES (0, 0), (1, 1);
+      INSERT INTO CurrencyTransform VALUES (0, 1, 1), (1, 0.5, 2);
+      CREATE FUNCTION currencyToUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+        AS 'SELECT CT_to_universal*$1 FROM Tenant, CurrencyTransform WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key' LANGUAGE SQL IMMUTABLE;
+      CREATE FUNCTION currencyFromUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+        AS 'SELECT CT_from_universal*$1 FROM Tenant, CurrencyTransform WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key' LANGUAGE SQL IMMUTABLE;
+    )"));
+    ConversionPair currency;
+    currency.name = "currency";
+    currency.to_universal = "currencyToUniversal";
+    currency.from_universal = "currencyFromUniversal";
+    currency.cls = ConversionClass::kMultiplicative;
+    currency.inline_spec.kind = InlineSpec::Kind::kMultiplicative;
+    currency.inline_spec.tenant_fk = "T_currency_key";
+    currency.inline_spec.meta_table = "CurrencyTransform";
+    currency.inline_spec.meta_key = "CT_currency_key";
+    currency.inline_spec.to_col = "CT_to_universal";
+    currency.inline_spec.from_col = "CT_from_universal";
+    ASSERT_OK(mw_->conversions()->Register(currency));
+
+    Session admin(mw_.get(), 0);
+    ASSERT_OK(admin.Execute(R"(CREATE TABLE Employees SPECIFIC (
+        E_emp_id INTEGER NOT NULL SPECIFIC,
+        E_name VARCHAR(25) NOT NULL COMPARABLE,
+        E_salary DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+        E_age INTEGER NOT NULL COMPARABLE))"));
+    ASSERT_OK(admin.Execute(
+        "INSERT INTO Employees VALUES (0,'Patrick',50000,30),"
+        "(1,'John',70000,28),(2,'Alice',150000,46)"));
+    Session t1(mw_.get(), 1);
+    ASSERT_OK(t1.Execute(
+        "INSERT INTO Employees VALUES (0,'Allan',160000,25),"
+        "(1,'Nancy',400000,72),(2,'Ed',2000000,46)"));
+    ASSERT_OK(t1.Execute("GRANT READ ON DATABASE TO 0"));
+  }
+
+  /// Byte parity: the SQL a prepared handle just executed must equal the
+  /// SQL a fresh rewrite produces under the session's current state.
+  void ExpectFreshParity(Session* s, PreparedQuery* pq) {
+    ASSERT_OK_AND_ASSIGN(std::string fresh, s->Rewrite(pq->mtsql()));
+    EXPECT_EQ(pq->sql(), fresh);
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<Middleware> mw_;
+};
+
+constexpr char kQuery[] = "SELECT E_name, E_salary FROM Employees";
+
+TEST_F(PreparedQueryTest, ReExecutionSkipsCompilationEntirely) {
+  Session s(mw_.get(), 0);
+  ASSERT_OK(s.SetScope("IN (0, 1)"));
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK_AND_ASSIGN(auto first, pq.Execute());
+  EXPECT_EQ(first.rows.size(), 6u);
+  ExpectFreshParity(&s, &pq);
+
+  engine::StatsScope scope(db_->stats());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto rs, pq.Execute());
+    EXPECT_EQ(rs.rows.size(), 6u);
+  }
+  engine::ExecStats d = scope.Delta();
+  EXPECT_EQ(d.statements_parsed, 0u);
+  EXPECT_EQ(d.statements_rewritten, 0u);
+  EXPECT_EQ(d.statements_planned, 0u);
+  EXPECT_EQ(d.prepare_count, 0u);
+  EXPECT_EQ(d.rewrite_cache_hits, 3u);
+  EXPECT_EQ(d.plan_cache_hits, 3u);
+}
+
+TEST_F(PreparedQueryTest, SetScopeInvalidates) {
+  Session s(mw_.get(), 0);
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK_AND_ASSIGN(auto own, pq.Execute());
+  EXPECT_EQ(own.rows.size(), 3u);
+  std::string own_sql = pq.sql();
+
+  ASSERT_OK(s.Execute("SET SCOPE = \"IN (0, 1)\""));
+  engine::StatsScope scope(db_->stats());
+  ASSERT_OK_AND_ASSIGN(auto all, pq.Execute());
+  EXPECT_EQ(all.rows.size(), 6u);
+  EXPECT_EQ(scope.Delta().statements_rewritten, 1u);
+  EXPECT_EQ(scope.Delta().rewrite_cache_hits, 0u);
+  EXPECT_NE(pq.sql(), own_sql);
+  ExpectFreshParity(&s, &pq);
+
+  // Setting the same scope again re-validates without another rewrite.
+  ASSERT_OK(s.Execute("SET SCOPE = \"IN (0, 1)\""));
+  scope.Restart();
+  ASSERT_OK(pq.Execute().status());
+  EXPECT_EQ(scope.Delta().statements_rewritten, 0u);
+  EXPECT_EQ(scope.Delta().rewrite_cache_hits, 1u);
+}
+
+TEST_F(PreparedQueryTest, GrantRevokeInvalidates) {
+  Session s(mw_.get(), 0);
+  ASSERT_OK(s.SetScope("IN (0, 1)"));
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK_AND_ASSIGN(auto rs, pq.Execute());
+  EXPECT_EQ(rs.rows.size(), 6u);
+
+  // Tenant 1 withdraws read access: D' shrinks to {0}; the stale cached
+  // rewrite (with tenant 1 in the D-filter) must not be reused.
+  Session t1(mw_.get(), 1);
+  ASSERT_OK(t1.Execute("REVOKE READ ON DATABASE FROM 0"));
+  ASSERT_OK_AND_ASSIGN(rs, pq.Execute());
+  EXPECT_EQ(rs.rows.size(), 3u);
+  ExpectFreshParity(&s, &pq);
+
+  ASSERT_OK(t1.Execute("GRANT READ ON DATABASE TO 0"));
+  ASSERT_OK_AND_ASSIGN(rs, pq.Execute());
+  EXPECT_EQ(rs.rows.size(), 6u);
+  ExpectFreshParity(&s, &pq);
+}
+
+TEST_F(PreparedQueryTest, RegisterTenantInvalidates) {
+  Session s(mw_.get(), 0);
+  // The empty simple scope resolves against the tenant registry.
+  ASSERT_OK(s.SetScope("IN ()"));
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK_AND_ASSIGN(auto rs, pq.Execute());
+  EXPECT_EQ(rs.rows.size(), 6u);
+
+  mw_->RegisterTenant(2);
+  // New tenant metadata (currency 0) so conversion joins cover tenant 2.
+  ASSERT_OK(db_->Execute("INSERT INTO Tenant VALUES (2, 0)").status());
+  Session t2(mw_.get(), 2);
+  ASSERT_OK(t2.Execute("INSERT INTO Employees VALUES (0,'Zoe',1000,20)"));
+  ASSERT_OK(t2.Execute("GRANT READ ON DATABASE TO 0"));
+  ASSERT_OK_AND_ASSIGN(rs, pq.Execute());
+  EXPECT_EQ(rs.rows.size(), 7u);
+  ExpectFreshParity(&s, &pq);
+}
+
+TEST_F(PreparedQueryTest, DdlInvalidates) {
+  Session s(mw_.get(), 0);
+  ASSERT_OK(s.SetScope("IN (0, 1)"));
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK(pq.Execute().status());
+
+  Session admin(mw_.get(), 0);
+  ASSERT_OK(admin.Execute(
+      "CREATE TABLE Projects SPECIFIC (P_id INTEGER NOT NULL SPECIFIC)"));
+  engine::StatsScope scope(db_->stats());
+  ASSERT_OK_AND_ASSIGN(auto rs, pq.Execute());
+  EXPECT_EQ(rs.rows.size(), 6u);
+  EXPECT_EQ(scope.Delta().statements_rewritten, 1u);  // recompiled, no reuse
+  ExpectFreshParity(&s, &pq);
+}
+
+TEST_F(PreparedQueryTest, ConversionRegistrationInvalidates) {
+  Session s(mw_.get(), 0);
+  ASSERT_OK(s.SetScope("IN (0, 1)"));
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK(pq.Execute().status());
+
+  // Conversion pairs drive the rewriter/optimizer, so registering one must
+  // move the fingerprint and force a recompile on the next Execute.
+  ConversionPair phone;
+  phone.name = "phone";
+  phone.to_universal = "phoneToUniversal";
+  phone.from_universal = "phoneFromUniversal";
+  phone.cls = ConversionClass::kEqualityOnly;
+  ASSERT_OK(mw_->conversions()->Register(phone));
+  engine::StatsScope scope(db_->stats());
+  ASSERT_OK(pq.Execute().status());
+  EXPECT_EQ(scope.Delta().statements_rewritten, 1u);
+  EXPECT_EQ(scope.Delta().rewrite_cache_hits, 0u);
+  ExpectFreshParity(&s, &pq);
+}
+
+TEST_F(PreparedQueryTest, ComplexScopeReResolvesDataset) {
+  Session s(mw_.get(), 0);
+  // Every tenant with an employee older than 50 — data-dependent, so the
+  // dataset is re-resolved per execution and keyed into the fingerprint.
+  ASSERT_OK(s.SetScope("FROM Employees WHERE E_age > 50"));
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK_AND_ASSIGN(auto rs, pq.Execute());
+  EXPECT_EQ(rs.rows.size(), 3u);  // only tenant 1 (Nancy, 72)
+
+  // Tenant 0 now qualifies too: the cached single-tenant rewrite is stale.
+  Session admin(mw_.get(), 0);
+  ASSERT_OK(admin.Execute("INSERT INTO Employees VALUES (3,'Gus',9000,80)"));
+  ASSERT_OK_AND_ASSIGN(rs, pq.Execute());
+  EXPECT_EQ(rs.rows.size(), 7u);
+  ExpectFreshParity(&s, &pq);
+}
+
+TEST_F(PreparedQueryTest, ParamsPassThroughRewrite) {
+  Session s(mw_.get(), 1);
+  // Client 1 pays 2 units per USD (CT_from_universal = 2): Patrick's 50000
+  // USD displays as 100000. The $1 bound value compares against converted
+  // salaries in C's own format.
+  ASSERT_OK(s.SetScope("IN (0, 1)"));
+  Session t0(mw_.get(), 0);
+  ASSERT_OK(t0.Execute("GRANT READ ON DATABASE TO 1"));
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery pq,
+      s.Prepare("SELECT COUNT(*) FROM Employees WHERE E_salary <= $1"));
+  EXPECT_EQ(pq.param_count(), 1);
+  ASSERT_OK_AND_ASSIGN(auto rs, pq.Execute({Value::Int(100000)}));
+  EXPECT_EQ(rs.rows[0][0].int_value(), 1);  // Patrick only
+  ASSERT_OK_AND_ASSIGN(rs, pq.Execute({Value::Int(160000)}));
+  EXPECT_EQ(rs.rows[0][0].int_value(), 3);  // + John (140000), Allan
+}
+
+TEST_F(PreparedQueryTest, OptimizationLevelChangeRecompiles) {
+  Session s(mw_.get(), 0);
+  ASSERT_OK(s.SetScope("IN (0, 1)"));
+  s.set_optimization_level(OptLevel::kCanonical);
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK(pq.Execute().status());
+  std::string canonical = pq.sql();
+  s.set_optimization_level(OptLevel::kO4);
+  ASSERT_OK(pq.Execute().status());
+  EXPECT_NE(pq.sql(), canonical);
+  ExpectFreshParity(&s, &pq);
+}
+
+TEST_F(PreparedQueryTest, SessionStatementsNotPreparable) {
+  Session s(mw_.get(), 0);
+  EXPECT_EQ(s.Prepare("SET SCOPE = \"IN ()\"").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.Prepare("GRANT READ ON DATABASE TO 1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.Prepare("CREATE TABLE X (a INTEGER)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PreparedQueryTest, ScriptErrorsCarryStatementIndex) {
+  Session s(mw_.get(), 0);
+  auto r = s.ExecuteScript(
+      "SELECT COUNT(*) FROM Employees;"
+      "SELECT nope FROM Employees;"
+      "SELECT 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("statement 2:"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(PreparedQueryTest, PreparedDmlExpandsPerTenant) {
+  Session s(mw_.get(), 0);
+  ASSERT_OK(s.SetScope("IN (0, 1)"));
+  Session t1(mw_.get(), 1);
+  ASSERT_OK(t1.Execute("GRANT ALL ON DATABASE TO 0"));
+  // Tenant-specific INSERT expands into one statement per tenant in D'
+  // (paper Appendix A.2), all prepared as separate engine plans.
+  ASSERT_OK_AND_ASSIGN(
+      PreparedQuery pq,
+      s.Prepare("INSERT INTO Employees VALUES (9,'Tmp',1000,33)"));
+  ASSERT_OK(pq.Execute().status());
+  EXPECT_NE(pq.sql().find(";\n"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(auto rs, s.Execute("SELECT COUNT(*) FROM Employees"));
+  EXPECT_EQ(rs.rows[0][0].int_value(), 8);
+}
+
+}  // namespace
+}  // namespace mt
+}  // namespace mtbase

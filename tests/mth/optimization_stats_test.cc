@@ -150,6 +150,35 @@ TEST(OptimizationStatsTest, PostgresProfileCachesConstantConversions) {
   EXPECT_GT(run.stats.udf_cache_hits, run.stats.udf_calls);
 }
 
+// The prepared-statement acceptance property: re-executing a prepared MT-H
+// query under an unchanged SCOPE performs zero parser, rewriter and planner
+// invocations — compilation is O(1) in the number of executions, asserted
+// through ExecStats rather than wall-clock.
+TEST(PreparedMthTest, ReExecutionIsCompilationFree) {
+  auto& f = StatsFixture::Get();
+  ASSERT_NE(f.env(), nullptr);
+  for (int qn : {1, 6, 22}) {
+    MthQuery q = GetMthQuery(qn, f.env()->config.scale_factor);
+    ASSERT_OK_AND_ASSIGN(PreparedMthQuery prepared,
+                         PrepareMthQuery(f.session(), q.sql, mt::OptLevel::kO4));
+    ASSERT_OK_AND_ASSIGN(QueryRun first, RunPrepared(&prepared));
+    engine::StatsScope scope(f.env()->mth_db->stats());
+    ASSERT_OK_AND_ASSIGN(QueryRun second, RunPrepared(&prepared));
+    ASSERT_OK_AND_ASSIGN(QueryRun third, RunPrepared(&prepared));
+    engine::ExecStats d = scope.Delta();
+    EXPECT_EQ(d.statements_parsed, 0u) << q.name;
+    EXPECT_EQ(d.statements_rewritten, 0u) << q.name;
+    EXPECT_EQ(d.statements_planned, 0u) << q.name;
+    EXPECT_EQ(d.prepare_count, 0u) << q.name;
+    EXPECT_EQ(d.rewrite_cache_hits, 2u) << q.name;
+    EXPECT_GE(d.plan_cache_hits, 2u) << q.name;
+    // Cached re-execution returns the same rows as the first run.
+    std::string why;
+    EXPECT_TRUE(ResultsEqual(first.result, second.result, &why)) << why;
+    EXPECT_TRUE(ResultsEqual(first.result, third.result, &why)) << why;
+  }
+}
+
 }  // namespace
 }  // namespace mth
 }  // namespace mtbase

@@ -219,6 +219,35 @@ TEST(ParserTest, TrailingInputRejected) {
   EXPECT_FALSE(ParseStatement("SELECT 1 SELECT 2").ok());
 }
 
+TEST(ParserTest, ParameterPlaceholders) {
+  // '?' auto-numbers left to right; '$n' is explicit.
+  ASSERT_OK_AND_ASSIGN(
+      Stmt stmt, ParseStatement("SELECT a FROM t WHERE a = ? AND b = ?"));
+  EXPECT_EQ(MaxParamIndex(stmt), 2);
+  ASSERT_OK_AND_ASSIGN(
+      stmt, ParseStatement("SELECT a FROM t WHERE a = $2 AND b = $1"));
+  EXPECT_EQ(MaxParamIndex(stmt), 2);
+  // Numbering restarts per statement in a script.
+  ASSERT_OK_AND_ASSIGN(auto stmts,
+                       ParseScript("SELECT ?; SELECT ? + ?"));
+  ASSERT_EQ(stmts.size(), 2u);
+  EXPECT_EQ(MaxParamIndex(stmts[0]), 1);
+  EXPECT_EQ(MaxParamIndex(stmts[1]), 2);
+  // Placeholders print as $n (the canonical form the engine re-parses).
+  ASSERT_OK_AND_ASSIGN(stmt, ParseStatement("SELECT a FROM t WHERE a = ?"));
+  EXPECT_NE(PrintStmt(stmt).find("$1"), std::string::npos);
+}
+
+TEST(ParserTest, BadParameterPlaceholdersRejected) {
+  // Mixing the two numbering schemes would silently alias slots.
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE a = $1 AND b = ?").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE a = ? AND b = $1").ok());
+  // Parameters are 1-based and bounded; $0 and absurd indices are errors,
+  // not crashes.
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE a = $0").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE a = $99999999999999").ok());
+}
+
 // Print -> parse -> print must be a fixpoint for a spread of queries: the
 // middleware relies on this (it sends printed SQL to the engine).
 class RoundTripTest : public ::testing::TestWithParam<const char*> {};
