@@ -70,9 +70,24 @@ int64_t EnvInt(const char* name, int64_t def) {
   return v != nullptr ? std::atoll(v) : def;
 }
 
+int ParseThreadsFlag(int* argc, char** argv) {
+  int threads = static_cast<int>(EnvInt("MTH_THREADS", 0));
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      --i;
+    }
+  }
+  return threads;
+}
+
 int RunTableBench(int argc, char** argv, const TableSpec& spec) {
   double sf = EnvDouble("MTH_SF", 0.005);
   int64_t tenants = EnvInt("MTH_TENANTS", 10);
+  int threads = ParseThreadsFlag(&argc, argv);
 
   MthConfig cfg;
   cfg.scale_factor = sf;
@@ -94,6 +109,12 @@ int RunTableBench(int argc, char** argv, const TableSpec& spec) {
   if (!base_data.ok()) return 1;
   engine::Database baseline(spec.profile);
   if (!mth::LoadTpch(&baseline, base_data.value()).ok()) return 1;
+  if (threads != 0) {
+    mth::SetMthThreads(env.get(), threads);
+    engine::PlannerOptions base_opts = baseline.planner_options();
+    base_opts.max_threads = threads;
+    baseline.set_planner_options(base_opts);
+  }
 
   mt::Session session = env->OpenSession(1);
   std::string scope;
@@ -165,11 +186,13 @@ int RunTableBench(int argc, char** argv, const TableSpec& spec) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
   // Paper-style table: one row per level, one column per query.
-  std::printf("\n%s — response times [sec], sf=%g, T=%ld, C=1, D=%s, %s\n",
+  std::printf("\n%s — response times [sec], sf=%g, T=%ld, C=1, D=%s, %s, "
+              "threads=%s\n",
               spec.title, sf, static_cast<long>(tenants), scope.c_str(),
               spec.profile == engine::DbmsProfile::kPostgres
                   ? "PostgreSQL profile"
-                  : "System C profile");
+                  : "System C profile",
+              threads == 0 ? "auto" : std::to_string(threads).c_str());
   std::printf("%-10s", "Level");
   for (const auto& q : queries) std::printf(" %8s", q.name.c_str());
   std::printf("\n");
@@ -195,6 +218,7 @@ int RunScalingBench(int argc, char** argv, const char* title,
                     engine::DbmsProfile profile) {
   double sf = EnvDouble("MTH_SF", 0.005);
   int64_t max_t = EnvInt("MTH_MAX_T", 1000);
+  int threads = ParseThreadsFlag(&argc, argv);
   const int query_numbers[] = {1, 6, 22};
   std::vector<int64_t> tenant_counts;
   for (int64_t t = 1; t <= max_t; t *= 10) tenant_counts.push_back(t);
@@ -229,6 +253,7 @@ int RunScalingBench(int argc, char** argv, const char* title,
       return 1;
     }
     envs[t] = std::move(env_r).value();
+    if (threads != 0) mth::SetMthThreads(envs[t].get(), threads);
     sessions[t] =
         std::make_unique<mt::Session>(envs[t]->middleware.get(), 1);
     if (!sessions[t]->Execute("SET SCOPE = \"IN ()\"").ok()) return 1;

@@ -10,6 +10,8 @@
 //   MTH_SF        scale factor (default 0.005)
 //   MTH_TENANTS   tenant count for the table benches (default 10)
 //   MTH_MAX_T     largest tenant count for the scaling figures (default 1000)
+//   MTH_THREADS   intra-query thread budget (0 = auto, 1 = serial; the
+//                 --threads=N command-line flag overrides it)
 #ifndef MTBASE_BENCH_BENCH_COMMON_H_
 #define MTBASE_BENCH_BENCH_COMMON_H_
 
@@ -42,6 +44,11 @@ int RunScalingBench(int argc, char** argv, const char* title,
 
 double EnvDouble(const char* name, double def);
 int64_t EnvInt(const char* name, int64_t def);
+
+/// Resolve the intra-query thread budget for a bench binary: a --threads=N
+/// argument (stripped from argv so google-benchmark never sees it) wins over
+/// the MTH_THREADS environment variable; 0 means the engine default (auto).
+int ParseThreadsFlag(int* argc, char** argv);
 
 }  // namespace bench
 }  // namespace mtbase

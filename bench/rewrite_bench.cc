@@ -4,6 +4,9 @@
 // API amortizes away on repeated execution.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
+#include "bench/bench_common.h"
 #include "mt/mtbase.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -232,10 +235,100 @@ BENCHMARK(BM_PreparedMthExecute)
     ->Arg(22)
     ->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------------------
+// Intra-query parallelism sweep: Q1 (scan + aggregate), Q6 (scan-heavy) and
+// Q3 (join-heavy) at 1/2/4 worker threads over a larger data set
+// (MTH_PAR_SF, default 0.01 — lineitem ~60k rows). Each cell reports a
+// "speedup_vs_1t" counter: per-iteration time of the 1-thread cell of the
+// same query divided by this cell's per-iteration time (the 1-thread cell
+// runs first and anchors the baseline).
+// ---------------------------------------------------------------------------
+
+struct ParallelSweepFixture {
+  static ParallelSweepFixture& Get() {
+    static ParallelSweepFixture f;
+    return f;
+  }
+
+  ParallelSweepFixture() {
+    mth::MthConfig cfg;
+    sf = bench::EnvDouble("MTH_PAR_SF", 0.01);
+    cfg.scale_factor = sf;
+    cfg.num_tenants = 3;
+    cfg.distribution = mth::MthConfig::Distribution::kUniform;
+    auto r = mth::SetupEnvironment(cfg, engine::DbmsProfile::kPostgres,
+                                   /*with_baseline=*/false);
+    if (!r.ok()) return;
+    env = std::move(r).value();
+    session = std::make_unique<mt::Session>(env->middleware.get(), 1);
+    ok = session->Execute("SET SCOPE = \"IN ()\"").ok();
+  }
+
+  std::unique_ptr<mth::MthEnvironment> env;
+  std::unique_ptr<mt::Session> session;
+  std::map<int, double> baseline_secs;  // per-query 1-thread per-iter time
+  double sf = 0.01;
+  bool ok = false;
+};
+
+void BM_ParallelThreadsSweep(benchmark::State& state) {
+  auto& f = ParallelSweepFixture::Get();
+  if (!f.ok) {
+    state.SkipWithError("fixture setup failed");
+    return;
+  }
+  const int query = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  mth::SetMthThreads(f.env.get(), threads);
+  std::string sql = mth::GetMthQuery(query, f.sf).sql;
+  auto pr = mth::PrepareMthQuery(f.session.get(), sql, mt::OptLevel::kO4);
+  if (!pr.ok()) {
+    state.SkipWithError(pr.status().ToString().c_str());
+    return;
+  }
+  mth::PreparedMthQuery prepared = std::move(pr).value();
+  auto warm = mth::RunPrepared(&prepared);  // untimed compile
+  if (!warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    return;
+  }
+  double total = 0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    auto r = mth::RunPrepared(&prepared);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    total += r.value().seconds;
+    ++iters;
+  }
+  mth::SetMthThreads(f.env.get(), 1);
+  const double per_iter = iters > 0 ? total / iters : 0;
+  if (threads == 1) f.baseline_secs[query] = per_iter;
+  auto it = f.baseline_secs.find(query);
+  state.counters["speedup_vs_1t"] =
+      it != f.baseline_secs.end() && per_iter > 0 ? it->second / per_iter : 0;
+}
+
+void RegisterParallelSweep() {
+  for (int q : {1, 6, 3}) {
+    for (int t : {1, 2, 4}) {  // the 1-thread cell anchors the baseline
+      std::string name = "BM_ParallelThreadsSweep/Q" + std::to_string(q) +
+                         "/threads:" + std::to_string(t);
+      benchmark::RegisterBenchmark(name.c_str(), BM_ParallelThreadsSweep)
+          ->Args({q, t})
+          ->Iterations(5)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   RegisterAll();
+  RegisterParallelSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -124,6 +124,13 @@ struct Plan {
 
   std::vector<ColumnMeta> columns;  // output layout
 
+  /// Set by the planner (parallel::MarkParallelSafe): this operator's own
+  /// expressions are free of outer references, sub-plans and UDF calls, so the
+  /// executor may evaluate them from worker threads. Children carry their own
+  /// flag; the executor additionally gates on input size and the configured
+  /// thread budget.
+  bool parallel_safe = false;
+
   // kScan
   const Table* table = nullptr;
   BoundExprPtr scan_filter;

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/str_util.h"
+#include "engine/parallel/parallel.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 
@@ -29,6 +30,8 @@ ExecContext Database::MakeContext(const std::vector<Value>* params) {
   ctx.stats = &stats_;
   ctx.profile = profile_;
   ctx.params = params;
+  ctx.max_threads = parallel::ResolveMaxThreads(planner_options_.max_threads);
+  ctx.min_parallel_rows = planner_options_.min_parallel_rows;
   return ctx;
 }
 
@@ -36,11 +39,28 @@ ExecContext Database::MakeContext(const std::vector<Value>* params) {
 // PreparedPlan
 // ---------------------------------------------------------------------------
 
+/// Bound DML: everything a prepared INSERT/UPDATE/DELETE needs at execution
+/// time without touching the binder again. The raw Table pointer is safe for
+/// the same reason cached SELECT plans are: any catalog DDL moves the
+/// compilation version and forces a recompile before the next execution.
+struct BoundDmlPlan {
+  Table* table = nullptr;
+  BoundExprPtr where;                                // UPDATE / DELETE
+  std::vector<std::pair<int, BoundExprPtr>> sets;    // UPDATE assignments
+  std::vector<int> targets;                          // INSERT column slots
+  std::vector<std::vector<BoundExprPtr>> value_rows; // INSERT ... VALUES
+};
+
+PreparedPlan::PreparedPlan(PreparedPlan&&) noexcept = default;
+PreparedPlan& PreparedPlan::operator=(PreparedPlan&&) noexcept = default;
+PreparedPlan::~PreparedPlan() = default;
+
 Status PreparedPlan::Compile() {
   // Invalidate first: a failed recompile (e.g. against a dropped table) must
   // not leave a handle that silently executes the stale plan.
   compiled_ = false;
   plan_.reset();
+  dml_.reset();
   ++db_->stats_.prepare_count;
   const sql::SelectStmt* sel =
       stmt_.kind == sql::Stmt::Kind::kSelect ? stmt_.select.get()
@@ -53,6 +73,14 @@ Status PreparedPlan::Compile() {
     column_names_.clear();
     for (const auto& c : plan->columns) column_names_.push_back(c.name);
     plan_ = std::shared_ptr<const Plan>(std::move(plan));
+  }
+  if (stmt_.kind == sql::Stmt::Kind::kInsert ||
+      stmt_.kind == sql::Stmt::Kind::kUpdate ||
+      stmt_.kind == sql::Stmt::Kind::kDelete) {
+    MTB_ASSIGN_OR_RETURN(dml_, db_->BindDml(stmt_));
+    // The bind is this statement's compilation — unless the INSERT ... SELECT
+    // source plan above already counted it.
+    if (sel == nullptr) ++db_->stats_.statements_planned;
   }
   compiled_version_ = db_->compilation_version();
   compiled_ = true;
@@ -85,12 +113,28 @@ Result<ResultSet> PreparedPlan::Execute(const std::vector<Value>& params) {
     rs.rows = std::move(rows);
     return rs;
   }
-  if (stmt_.kind == sql::Stmt::Kind::kInsert && plan_ != nullptr) {
-    // INSERT ... SELECT with the source planned once at compile time.
-    MTB_RETURN_IF_ERROR(db_->ExecuteInsert(*stmt_.insert, bound, plan_.get()));
-    return ResultSet();
+  // DML executes its bound form: no per-execution binder work.
+  switch (stmt_.kind) {
+    case sql::Stmt::Kind::kInsert:
+      MTB_RETURN_IF_ERROR(db_->ExecuteBoundInsert(*dml_, plan_.get(), bound));
+      return ResultSet();
+    case sql::Stmt::Kind::kUpdate: {
+      MTB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteBoundUpdate(*dml_, bound));
+      ResultSet rs;
+      rs.column_names = {"updated"};
+      rs.rows.push_back({Value::Int(n)});
+      return rs;
+    }
+    case sql::Stmt::Kind::kDelete: {
+      MTB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteBoundDelete(*dml_, bound));
+      ResultSet rs;
+      rs.column_names = {"deleted"};
+      rs.rows.push_back({Value::Int(n)});
+      return rs;
+    }
+    default:
+      return db_->ExecuteStmt(stmt_, bound);
   }
-  return db_->ExecuteStmt(stmt_, bound);
 }
 
 // ---------------------------------------------------------------------------
@@ -155,16 +199,26 @@ Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt,
       MTB_RETURN_IF_ERROR(ExecuteCreateFunction(*stmt.create_function));
       return empty;
     case sql::Stmt::Kind::kInsert:
-      MTB_RETURN_IF_ERROR(ExecuteInsert(*stmt.insert, params));
+      // Ad-hoc DML shares the prepared path's bound form; only the
+      // INSERT ... SELECT source still plans per execution here.
+      if (stmt.insert->select) {
+        MTB_RETURN_IF_ERROR(ExecuteInsert(*stmt.insert, params));
+      } else {
+        MTB_ASSIGN_OR_RETURN(auto dml, BindDml(stmt));
+        MTB_RETURN_IF_ERROR(ExecuteBoundInsert(*dml, nullptr, params));
+      }
       return empty;
     case sql::Stmt::Kind::kUpdate: {
-      MTB_ASSIGN_OR_RETURN(int64_t n, ExecuteUpdate(*stmt.update, params));
+      // Ad-hoc DML shares the prepared path's bound form (bind + execute).
+      MTB_ASSIGN_OR_RETURN(auto dml, BindDml(stmt));
+      MTB_ASSIGN_OR_RETURN(int64_t n, ExecuteBoundUpdate(*dml, params));
       empty.column_names = {"updated"};
       empty.rows.push_back({Value::Int(n)});
       return empty;
     }
     case sql::Stmt::Kind::kDelete: {
-      MTB_ASSIGN_OR_RETURN(int64_t n, ExecuteDelete(*stmt.del, params));
+      MTB_ASSIGN_OR_RETURN(auto dml, BindDml(stmt));
+      MTB_ASSIGN_OR_RETURN(int64_t n, ExecuteBoundDelete(*dml, params));
       empty.column_names = {"deleted"};
       empty.rows.push_back({Value::Int(n)});
       return empty;
@@ -252,14 +306,28 @@ Status Database::ExecuteCreateFunction(const sql::CreateFunctionStmt& cf) {
   return udfs_.Register(std::move(udf));
 }
 
-Status Database::ExecuteInsert(const sql::InsertStmt& ins,
-                               const std::vector<Value>* params,
-                               const Plan* select_plan) {
-  Table* table = catalog_.FindTable(ins.table);
-  if (table == nullptr) {
-    return Status::NotFound("table " + ins.table + " does not exist");
-  }
+namespace {
+
+/// Map source rows through the target column slots and append to the table.
+Status ApplyInsertRows(Table* table, const std::vector<int>& targets,
+                       std::vector<Row> source_rows) {
   const TableSchema& schema = table->schema();
+  for (Row& src : source_rows) {
+    if (src.size() != targets.size()) {
+      return Status::InvalidArgument("INSERT arity mismatch");
+    }
+    Row row(schema.columns.size());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      row[static_cast<size_t>(targets[i])] = std::move(src[i]);
+    }
+    MTB_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+/// Resolve the INSERT target column list to schema slots.
+Result<std::vector<int>> ResolveInsertTargets(const sql::InsertStmt& ins,
+                                              const TableSchema& schema) {
   std::vector<int> targets;
   if (ins.columns.empty()) {
     for (size_t i = 0; i < schema.columns.size(); ++i) {
@@ -275,73 +343,111 @@ Status Database::ExecuteInsert(const sql::InsertStmt& ins,
       targets.push_back(idx);
     }
   }
+  return targets;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BoundDmlPlan>> Database::BindDml(const sql::Stmt& stmt) {
+  auto dml = std::make_unique<BoundDmlPlan>();
+  Planner planner(&catalog_, &udfs_, planner_options_);
+  switch (stmt.kind) {
+    case sql::Stmt::Kind::kInsert: {
+      const sql::InsertStmt& ins = *stmt.insert;
+      dml->table = catalog_.FindTable(ins.table);
+      if (dml->table == nullptr) {
+        return Status::NotFound("table " + ins.table + " does not exist");
+      }
+      MTB_ASSIGN_OR_RETURN(dml->targets,
+                           ResolveInsertTargets(ins, dml->table->schema()));
+      for (const auto& value_row : ins.rows) {
+        std::vector<BoundExprPtr> bound_row;
+        bound_row.reserve(value_row.size());
+        for (const auto& e : value_row) {
+          MTB_ASSIGN_OR_RETURN(auto bound, planner.BindExpr(*e, {}));
+          bound_row.push_back(std::move(bound));
+        }
+        dml->value_rows.push_back(std::move(bound_row));
+      }
+      break;
+    }
+    case sql::Stmt::Kind::kUpdate: {
+      const sql::UpdateStmt& up = *stmt.update;
+      dml->table = catalog_.FindTable(up.table);
+      if (dml->table == nullptr) {
+        return Status::NotFound("table " + up.table + " does not exist");
+      }
+      const TableSchema& schema = dml->table->schema();
+      std::vector<ColumnMeta> layout;
+      for (const auto& c : schema.columns) layout.push_back({up.table, c.name});
+      if (up.where) {
+        MTB_ASSIGN_OR_RETURN(dml->where, planner.BindExpr(*up.where, layout));
+      }
+      for (const auto& [col, expr] : up.assignments) {
+        int idx = schema.FindColumn(col);
+        if (idx < 0) {
+          return Status::NotFound("column " + col + " does not exist in " +
+                                  up.table);
+        }
+        MTB_ASSIGN_OR_RETURN(auto bound, planner.BindExpr(*expr, layout));
+        dml->sets.emplace_back(idx, std::move(bound));
+      }
+      break;
+    }
+    case sql::Stmt::Kind::kDelete: {
+      const sql::DeleteStmt& del = *stmt.del;
+      dml->table = catalog_.FindTable(del.table);
+      if (dml->table == nullptr) {
+        return Status::NotFound("table " + del.table + " does not exist");
+      }
+      std::vector<ColumnMeta> layout;
+      for (const auto& c : dml->table->schema().columns) {
+        layout.push_back({del.table, c.name});
+      }
+      if (del.where) {
+        MTB_ASSIGN_OR_RETURN(dml->where, planner.BindExpr(*del.where, layout));
+      }
+      break;
+    }
+    default:
+      return Status::Internal("BindDml called on a non-DML statement");
+  }
+  return dml;
+}
+
+Status Database::ExecuteBoundInsert(const BoundDmlPlan& dml,
+                                    const Plan* select_plan,
+                                    const std::vector<Value>* params) {
   std::vector<Row> source_rows;
+  ExecContext ctx = MakeContext(params);
   if (select_plan != nullptr) {
-    ExecContext ctx = MakeContext(params);
     MTB_ASSIGN_OR_RETURN(source_rows, ExecutePlan(*select_plan, &ctx));
-  } else if (ins.select) {
-    MTB_ASSIGN_OR_RETURN(ResultSet rs, ExecuteSelect(*ins.select, params));
-    source_rows = std::move(rs.rows);
   } else {
-    Planner planner(&catalog_, &udfs_, planner_options_);
-    ExecContext ctx = MakeContext(params);
     Row empty_row;
-    for (const auto& value_row : ins.rows) {
+    for (const auto& bound_row : dml.value_rows) {
       Row r;
-      for (const auto& e : value_row) {
-        MTB_ASSIGN_OR_RETURN(auto bound, planner.BindExpr(*e, {}));
-        MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*bound, empty_row, &ctx));
+      r.reserve(bound_row.size());
+      for (const auto& e : bound_row) {
+        MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, empty_row, &ctx));
         r.push_back(std::move(v));
       }
       source_rows.push_back(std::move(r));
     }
   }
-  for (const Row& src : source_rows) {
-    if (src.size() != targets.size()) {
-      return Status::InvalidArgument("INSERT arity mismatch");
-    }
-    Row row(schema.columns.size());
-    for (size_t i = 0; i < targets.size(); ++i) {
-      row[static_cast<size_t>(targets[i])] = src[i];
-    }
-    MTB_RETURN_IF_ERROR(table->Insert(std::move(row)));
-  }
-  return Status::OK();
+  return ApplyInsertRows(dml.table, dml.targets, std::move(source_rows));
 }
 
-Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& up,
-                                        const std::vector<Value>* params) {
-  Table* table = catalog_.FindTable(up.table);
-  if (table == nullptr) {
-    return Status::NotFound("table " + up.table + " does not exist");
-  }
-  const TableSchema& schema = table->schema();
-  std::vector<ColumnMeta> layout;
-  for (const auto& c : schema.columns) layout.push_back({up.table, c.name});
-  Planner planner(&catalog_, &udfs_, planner_options_);
-  BoundExprPtr where;
-  if (up.where) {
-    MTB_ASSIGN_OR_RETURN(where, planner.BindExpr(*up.where, layout));
-  }
-  std::vector<std::pair<int, BoundExprPtr>> sets;
-  for (const auto& [col, expr] : up.assignments) {
-    int idx = schema.FindColumn(col);
-    if (idx < 0) {
-      return Status::NotFound("column " + col + " does not exist in " +
-                              up.table);
-    }
-    MTB_ASSIGN_OR_RETURN(auto bound, planner.BindExpr(*expr, layout));
-    sets.emplace_back(idx, std::move(bound));
-  }
+Result<int64_t> Database::ExecuteBoundUpdate(const BoundDmlPlan& dml,
+                                             const std::vector<Value>* params) {
   ExecContext ctx = MakeContext(params);
   int64_t updated = 0;
-  for (Row& r : *table->mutable_rows()) {
-    if (where) {
-      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*where, r, &ctx));
+  for (Row& r : *dml.table->mutable_rows()) {
+    if (dml.where) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*dml.where, r, &ctx));
       if (!IsTrue(v)) continue;
     }
     Row next = r;
-    for (const auto& [idx, expr] : sets) {
+    for (const auto& [idx, expr] : dml.sets) {
       MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, r, &ctx));
       next[static_cast<size_t>(idx)] = std::move(v);
     }
@@ -351,29 +457,17 @@ Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStmt& up,
   return updated;
 }
 
-Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& del,
-                                        const std::vector<Value>* params) {
-  Table* table = catalog_.FindTable(del.table);
-  if (table == nullptr) {
-    return Status::NotFound("table " + del.table + " does not exist");
-  }
-  const TableSchema& schema = table->schema();
-  std::vector<ColumnMeta> layout;
-  for (const auto& c : schema.columns) layout.push_back({del.table, c.name});
-  Planner planner(&catalog_, &udfs_, planner_options_);
-  BoundExprPtr where;
-  if (del.where) {
-    MTB_ASSIGN_OR_RETURN(where, planner.BindExpr(*del.where, layout));
-  }
+Result<int64_t> Database::ExecuteBoundDelete(const BoundDmlPlan& dml,
+                                             const std::vector<Value>* params) {
   ExecContext ctx = MakeContext(params);
-  auto* rows = table->mutable_rows();
+  auto* rows = dml.table->mutable_rows();
   std::vector<Row> kept;
   kept.reserve(rows->size());
   int64_t deleted = 0;
   for (Row& r : *rows) {
     bool remove = true;
-    if (where) {
-      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*where, r, &ctx));
+    if (dml.where) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*dml.where, r, &ctx));
       remove = IsTrue(v);
     }
     if (remove) {
@@ -384,6 +478,22 @@ Result<int64_t> Database::ExecuteDelete(const sql::DeleteStmt& del,
   }
   *rows = std::move(kept);
   return deleted;
+}
+
+Status Database::ExecuteInsert(const sql::InsertStmt& ins,
+                               const std::vector<Value>* params) {
+  Table* table = catalog_.FindTable(ins.table);
+  if (table == nullptr) {
+    return Status::NotFound("table " + ins.table + " does not exist");
+  }
+  MTB_ASSIGN_OR_RETURN(std::vector<int> targets,
+                       ResolveInsertTargets(ins, table->schema()));
+  if (!ins.select) {
+    return Status::Internal(
+        "INSERT ... VALUES executes through the bound DML path");
+  }
+  MTB_ASSIGN_OR_RETURN(ResultSet rs, ExecuteSelect(*ins.select, params));
+  return ApplyInsertRows(table, targets, std::move(rs.rows));
 }
 
 Status Database::ValidateTable(const Table& table) {

@@ -37,17 +37,23 @@ struct ResultSet {
   std::string ToString(size_t max_rows = 25) const;
 };
 
+/// Bound form of prepared DML: UPDATE/DELETE predicates and assignments and
+/// INSERT targets/VALUES expressions, bound once at compile time (defined in
+/// database.cc).
+struct BoundDmlPlan;
+
 /// A statement compiled once and executable many times. SELECTs (and the
 /// SELECT source of INSERT ... SELECT) carry the fully bound physical plan;
-/// other DML keeps the parsed AST (expression binding is part of its
-/// per-execution row work). Execute() revalidates the handle against the
-/// database's compilation version and recompiles transparently when DDL
-/// moved it; every execution after the first one per compilation counts as
-/// ExecStats::plan_cache_hits.
+/// INSERT/UPDATE/DELETE carry a BoundDmlPlan (targets, predicates and
+/// assignment/value expressions bound once — re-execution is bind-free).
+/// Execute() revalidates the handle against the database's compilation
+/// version and recompiles transparently when DDL moved it; every execution
+/// after the first one per compilation counts as ExecStats::plan_cache_hits.
 class PreparedPlan {
  public:
-  PreparedPlan(PreparedPlan&&) = default;
-  PreparedPlan& operator=(PreparedPlan&&) = default;
+  PreparedPlan(PreparedPlan&&) noexcept;
+  PreparedPlan& operator=(PreparedPlan&&) noexcept;
+  ~PreparedPlan();
 
   /// Run the statement with `params` bound to $1..$n (left to right for ?).
   Result<ResultSet> Execute(const std::vector<Value>& params = {});
@@ -78,6 +84,8 @@ class PreparedPlan {
   uint64_t compiled_version_ = 0;
   // SELECT: the statement's plan. INSERT ... SELECT: the source plan.
   std::shared_ptr<const Plan> plan_;
+  // INSERT/UPDATE/DELETE: the statement's bound form.
+  std::unique_ptr<BoundDmlPlan> dml_;
   std::vector<std::string> column_names_;
 };
 
@@ -130,17 +138,22 @@ class Database {
 
   Result<ResultSet> ExecuteSelect(const sql::SelectStmt& sel,
                                   const std::vector<Value>* params = nullptr);
+  /// Bind a DML statement's expressions once for repeated execution
+  /// (PreparedPlan::Compile counts the compilation).
+  Result<std::unique_ptr<BoundDmlPlan>> BindDml(const sql::Stmt& stmt);
+  /// `select_plan` carries the precompiled INSERT ... SELECT source, if any.
+  Status ExecuteBoundInsert(const BoundDmlPlan& dml, const Plan* select_plan,
+                            const std::vector<Value>* params);
+  Result<int64_t> ExecuteBoundUpdate(const BoundDmlPlan& dml,
+                                     const std::vector<Value>* params);
+  Result<int64_t> ExecuteBoundDelete(const BoundDmlPlan& dml,
+                                     const std::vector<Value>* params);
   Status ExecuteCreateTable(const sql::CreateTableStmt& ct);
   Status ExecuteCreateFunction(const sql::CreateFunctionStmt& cf);
-  /// `select_plan` optionally carries a precompiled plan for the
-  /// INSERT ... SELECT source (prepared inserts plan it once).
+  /// Ad-hoc INSERT ... SELECT (plans the source per execution; prepared
+  /// inserts and VALUES go through BindDml / ExecuteBoundInsert).
   Status ExecuteInsert(const sql::InsertStmt& ins,
-                       const std::vector<Value>* params,
-                       const Plan* select_plan = nullptr);
-  Result<int64_t> ExecuteUpdate(const sql::UpdateStmt& up,
-                                const std::vector<Value>* params);
-  Result<int64_t> ExecuteDelete(const sql::DeleteStmt& del,
-                                const std::vector<Value>* params);
+                       const std::vector<Value>* params);
   Status ValidateTable(const Table& table);
 
   /// Replan every UDF body: body plans hold raw Table pointers and embed

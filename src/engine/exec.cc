@@ -4,6 +4,7 @@
 
 #include "common/str_util.h"
 #include "engine/catalog.h"
+#include "engine/parallel/parallel.h"
 #include "engine/udf.h"
 
 namespace mtbase {
@@ -506,22 +507,8 @@ Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args,
 // ---------------------------------------------------------------------------
 
 Result<std::vector<Row>> ExecScan(const Plan& p, ExecContext* ctx) {
-  std::vector<Row> out;
-  if (p.table == nullptr) {
-    out.emplace_back();  // one empty row (SELECT without FROM, dummy input)
-    return out;
-  }
-  const auto& rows = p.table->rows();
-  ctx->stats->rows_scanned += rows.size();
-  out.reserve(p.scan_filter ? rows.size() / 4 : rows.size());
-  for (const Row& r : rows) {
-    if (p.scan_filter) {
-      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.scan_filter, r, ctx));
-      if (!IsTrue(v)) continue;
-    }
-    out.push_back(r);
-  }
-  return out;
+  size_t n = p.table != nullptr ? p.table->rows().size() : 0;
+  return parallel::ScanExec(p, ctx, parallel::PlanWorkers(p, n, *ctx));
 }
 
 /// Null-aware anti join (decorrelated NOT IN). Keys are split: the first
@@ -617,6 +604,14 @@ Result<std::vector<Row>> ExecJoin(const Plan& p, ExecContext* ctx) {
     return ExecNullAwareAntiJoin(p, ctx, std::move(left_rows),
                                  std::move(right_rows));
   }
+  if (!p.left_keys.empty()) {
+    // Hash join (single code path for serial and morsel-parallel execution).
+    int workers = parallel::PlanWorkers(
+        p, std::max(left_rows.size(), right_rows.size()), *ctx);
+    return parallel::HashJoinExec(p, ctx, std::move(left_rows),
+                                  std::move(right_rows), workers);
+  }
+
   std::vector<Row> out;
   const size_t right_width = p.right->columns.size();
 
@@ -628,231 +623,40 @@ Result<std::vector<Row>> ExecJoin(const Plan& p, ExecContext* ctx) {
     return row;
   };
 
-  if (p.left_keys.empty()) {
-    // Nested-loop join (cross product with optional residual).
-    for (const Row& l : left_rows) {
-      bool matched = false;
-      for (const Row& r : right_rows) {
-        Row joined = concat(l, r);
-        ctx->stats->rows_joined++;
-        if (p.residual) {
-          MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.residual, joined, ctx));
-          if (!IsTrue(v)) continue;
-        }
-        matched = true;
-        if (p.join_kind == JoinKind::kInner || p.join_kind == JoinKind::kLeft) {
-          out.push_back(std::move(joined));
-        } else if (p.join_kind == JoinKind::kSemi) {
-          break;
-        } else {  // anti
-          break;
-        }
-      }
-      if (!matched && p.join_kind == JoinKind::kLeft) {
-        Row joined = l;
-        joined.resize(l.size() + right_width);
-        out.push_back(std::move(joined));
-      }
-      if (p.join_kind == JoinKind::kSemi && matched) out.push_back(l);
-      if (p.join_kind == JoinKind::kAnti && !matched) out.push_back(l);
-    }
-    return out;
-  }
-
-  // Hash join: build on the right side.
-  std::unordered_map<std::vector<Value>, std::vector<size_t>, ValueVectorHash,
-                     ValueVectorEq>
-      table;
-  table.reserve(right_rows.size());
-  for (size_t i = 0; i < right_rows.size(); ++i) {
-    std::vector<Value> key;
-    key.reserve(p.right_keys.size());
-    bool null_key = false;
-    for (const auto& k : p.right_keys) {
-      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, right_rows[i], ctx));
-      null_key = null_key || v.is_null();
-      key.push_back(std::move(v));
-    }
-    if (null_key) continue;  // NULL keys never match an equality
-    table[std::move(key)].push_back(i);
-  }
+  // Nested-loop join (cross product with optional residual).
   for (const Row& l : left_rows) {
-    std::vector<Value> key;
-    key.reserve(p.left_keys.size());
-    bool null_key = false;
-    for (const auto& k : p.left_keys) {
-      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, l, ctx));
-      null_key = null_key || v.is_null();
-      key.push_back(std::move(v));
-    }
     bool matched = false;
-    if (!null_key) {
-      auto it = table.find(key);
-      if (it != table.end()) {
-        for (size_t ri : it->second) {
-          Row joined = concat(l, right_rows[ri]);
-          ctx->stats->rows_joined++;
-          if (p.residual) {
-            MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.residual, joined, ctx));
-            if (!IsTrue(v)) continue;
-          }
-          matched = true;
-          if (p.join_kind == JoinKind::kInner ||
-              p.join_kind == JoinKind::kLeft) {
-            out.push_back(std::move(joined));
-          } else {
-            break;  // semi/anti only need existence
-          }
-        }
+    for (const Row& r : right_rows) {
+      Row joined = concat(l, r);
+      ctx->stats->rows_joined++;
+      if (p.residual) {
+        MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.residual, joined, ctx));
+        if (!IsTrue(v)) continue;
+      }
+      matched = true;
+      if (p.join_kind == JoinKind::kInner || p.join_kind == JoinKind::kLeft) {
+        out.push_back(std::move(joined));
+      } else if (p.join_kind == JoinKind::kSemi) {
+        break;
+      } else {  // anti
+        break;
       }
     }
-    switch (p.join_kind) {
-      case JoinKind::kInner:
-        break;
-      case JoinKind::kLeft:
-        if (!matched) {
-          Row joined = l;
-          joined.resize(l.size() + right_width);
-          out.push_back(std::move(joined));
-        }
-        break;
-      case JoinKind::kSemi:
-        if (matched) out.push_back(l);
-        break;
-      case JoinKind::kAnti:
-        if (!matched) out.push_back(l);
-        break;
+    if (!matched && p.join_kind == JoinKind::kLeft) {
+      Row joined = l;
+      joined.resize(l.size() + right_width);
+      out.push_back(std::move(joined));
     }
+    if (p.join_kind == JoinKind::kSemi && matched) out.push_back(l);
+    if (p.join_kind == JoinKind::kAnti && !matched) out.push_back(l);
   }
   return out;
 }
 
-struct AggAccum {
-  int64_t count = 0;
-  Value sum;
-  Value min;
-  Value max;
-  std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq>
-      distinct;
-};
-
 Result<std::vector<Row>> ExecAggregate(const Plan& p, ExecContext* ctx) {
   MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*p.left, ctx));
-  std::unordered_map<std::vector<Value>, std::vector<AggAccum>, ValueVectorHash,
-                     ValueVectorEq>
-      groups;
-  std::vector<const std::vector<Value>*> group_order;
-  for (const Row& r : rows) {
-    std::vector<Value> key;
-    key.reserve(p.exprs.size());
-    for (const auto& g : p.exprs) {
-      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, r, ctx));
-      key.push_back(std::move(v));
-    }
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      it = groups.emplace(std::move(key), std::vector<AggAccum>(p.aggs.size()))
-               .first;
-      group_order.push_back(&it->first);
-    }
-    auto& accs = it->second;
-    for (size_t i = 0; i < p.aggs.size(); ++i) {
-      const AggSpec& spec = p.aggs[i];
-      AggAccum& acc = accs[i];
-      if (spec.func == AggFunc::kCountStar) {
-        acc.count++;
-        continue;
-      }
-      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*spec.arg, r, ctx));
-      if (v.is_null()) continue;
-      if (spec.distinct) {
-        std::vector<Value> dkey{v};
-        if (!acc.distinct.insert(std::move(dkey)).second) continue;
-      }
-      acc.count++;
-      switch (spec.func) {
-        case AggFunc::kSum:
-        case AggFunc::kAvg: {
-          if (acc.sum.is_null()) {
-            acc.sum = v;
-          } else {
-            MTB_ASSIGN_OR_RETURN(acc.sum, NumericAdd(acc.sum, v));
-          }
-          break;
-        }
-        case AggFunc::kMin: {
-          if (acc.min.is_null()) {
-            acc.min = v;
-          } else {
-            MTB_ASSIGN_OR_RETURN(int c, v.Compare(acc.min));
-            if (c < 0) acc.min = v;
-          }
-          break;
-        }
-        case AggFunc::kMax: {
-          if (acc.max.is_null()) {
-            acc.max = v;
-          } else {
-            MTB_ASSIGN_OR_RETURN(int c, v.Compare(acc.max));
-            if (c > 0) acc.max = v;
-          }
-          break;
-        }
-        default:
-          break;  // kCount just counts
-      }
-    }
-  }
-  // Aggregation over an empty input without GROUP BY yields one row.
-  std::vector<Row> out;
-  if (groups.empty() && p.exprs.empty()) {
-    Row r;
-    for (const AggSpec& spec : p.aggs) {
-      if (spec.func == AggFunc::kCount || spec.func == AggFunc::kCountStar) {
-        r.push_back(Value::Int(0));
-      } else {
-        r.push_back(Value::Null());
-      }
-    }
-    out.push_back(std::move(r));
-    return out;
-  }
-  out.reserve(groups.size());
-  for (const auto* key : group_order) {
-    auto& accs = groups.find(*key)->second;
-    Row r = *key;
-    for (size_t i = 0; i < p.aggs.size(); ++i) {
-      const AggSpec& spec = p.aggs[i];
-      AggAccum& acc = accs[i];
-      switch (spec.func) {
-        case AggFunc::kCountStar:
-        case AggFunc::kCount:
-          r.push_back(Value::Int(acc.count));
-          break;
-        case AggFunc::kSum:
-          r.push_back(acc.sum);
-          break;
-        case AggFunc::kAvg: {
-          if (acc.count == 0) {
-            r.push_back(Value::Null());
-          } else {
-            MTB_ASSIGN_OR_RETURN(
-                Value avg, NumericDiv(acc.sum, Value::Int(acc.count)));
-            r.push_back(std::move(avg));
-          }
-          break;
-        }
-        case AggFunc::kMin:
-          r.push_back(acc.min);
-          break;
-        case AggFunc::kMax:
-          r.push_back(acc.max);
-          break;
-      }
-    }
-    out.push_back(std::move(r));
-  }
-  return out;
+  int workers = parallel::PlanWorkers(p, rows.size(), *ctx);
+  return parallel::AggregateExec(p, ctx, std::move(rows), workers);
 }
 
 Result<std::vector<Row>> ExecSort(const Plan& p, ExecContext* ctx) {
@@ -879,28 +683,13 @@ Result<std::vector<Row>> ExecutePlan(const Plan& plan, ExecContext* ctx) {
       return ExecJoin(plan, ctx);
     case Plan::Kind::kFilter: {
       MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan.left, ctx));
-      std::vector<Row> out;
-      out.reserve(rows.size());
-      for (Row& r : rows) {
-        MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*plan.predicate, r, ctx));
-        if (IsTrue(v)) out.push_back(std::move(r));
-      }
-      return out;
+      int workers = parallel::PlanWorkers(plan, rows.size(), *ctx);
+      return parallel::FilterExec(plan, ctx, std::move(rows), workers);
     }
     case Plan::Kind::kProject: {
       MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan.left, ctx));
-      std::vector<Row> out;
-      out.reserve(rows.size());
-      for (const Row& r : rows) {
-        Row projected;
-        projected.reserve(plan.exprs.size());
-        for (const auto& e : plan.exprs) {
-          MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, r, ctx));
-          projected.push_back(std::move(v));
-        }
-        out.push_back(std::move(projected));
-      }
-      return out;
+      int workers = parallel::PlanWorkers(plan, rows.size(), *ctx);
+      return parallel::ProjectExec(plan, ctx, std::move(rows), workers);
     }
     case Plan::Kind::kAggregate:
       return ExecAggregate(plan, ctx);

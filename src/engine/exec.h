@@ -23,6 +23,13 @@ struct ExecContext {
   ExecStats* stats = nullptr;
   DbmsProfile profile = DbmsProfile::kPostgres;
 
+  /// Resolved intra-query thread budget (PlannerOptions::max_threads with
+  /// 0 = auto already resolved via MTBASE_THREADS / hardware_concurrency).
+  /// 1 = serial. Worker contexts always carry 1: parallel regions never nest.
+  int max_threads = 1;
+  /// Inputs smaller than this never parallelize (PlannerOptions knob).
+  size_t min_parallel_rows = 4096;
+
   /// Rows of enclosing queries for correlated sub-query evaluation;
   /// OuterSlot(depth = 1) reads the innermost enclosing row.
   std::vector<const Row*> outer_stack;

@@ -1,11 +1,27 @@
 #include "engine/explain.h"
 
+#include "engine/parallel/parallel.h"
 #include "engine/planner.h"
 
 namespace mtbase {
 namespace engine {
 
 namespace {
+
+/// Rendering context for the parallel annotations (null = omit them).
+struct ExplainCtx {
+  int threads = 1;
+  size_t min_rows = 0;
+};
+
+/// Append " [parallel: N threads]" when the operator is parallel-safe and
+/// its static input estimate clears the min_parallel_rows gate — i.e. it
+/// would plausibly run morsel-parallel at execution time.
+void AppendParallel(const Plan& p, const ExplainCtx* ctx, std::string* out) {
+  if (ctx == nullptr || ctx->threads <= 1 || !p.parallel_safe) return;
+  if (parallel::EstimatePlanRows(p) < ctx->min_rows) return;
+  *out += " [parallel: " + std::to_string(ctx->threads) + " threads]";
+}
 
 const char* JoinKindName(JoinKind k) {
   switch (k) {
@@ -74,13 +90,14 @@ bool AnyUdf(const std::vector<BoundExprPtr>& exprs) {
   return false;
 }
 
-void Render(const Plan& p, int depth, std::string* out);
+void Render(const Plan& p, int depth, const ExplainCtx* ctx, std::string* out);
 
 /// Render the sub-plans reachable from an expression. Correlated sub-queries
 /// that escaped decorrelation execute once per input row ("SubPlan");
 /// uncorrelated ones execute once and are cached ("InitPlan"). Together with
 /// the join annotations this makes the chosen sub-query strategy visible.
-void RenderExprSubplans(const BoundExpr& e, int depth, std::string* out) {
+void RenderExprSubplans(const BoundExpr& e, int depth, const ExplainCtx* ctx,
+                        std::string* out) {
   if (e.subplan) {
     out->append(static_cast<size_t>(depth) * 2, ' ');
     const char* what = "scalar";
@@ -94,16 +111,17 @@ void RenderExprSubplans(const BoundExpr& e, int depth, std::string* out) {
     } else {
       *out += std::string("InitPlan (") + what + ", cached)\n";
     }
-    Render(*e.subplan, depth + 1, out);
+    Render(*e.subplan, depth + 1, ctx, out);
   }
-  for (const auto& a : e.args) RenderExprSubplans(*a, depth, out);
-  if (e.case_operand) RenderExprSubplans(*e.case_operand, depth, out);
-  if (e.else_expr) RenderExprSubplans(*e.else_expr, depth, out);
+  for (const auto& a : e.args) RenderExprSubplans(*a, depth, ctx, out);
+  if (e.case_operand) RenderExprSubplans(*e.case_operand, depth, ctx, out);
+  if (e.else_expr) RenderExprSubplans(*e.else_expr, depth, ctx, out);
 }
 
-void RenderPlanSubplans(const Plan& p, int depth, std::string* out) {
+void RenderPlanSubplans(const Plan& p, int depth, const ExplainCtx* ctx,
+                        std::string* out) {
   auto walk = [&](const BoundExprPtr& e) {
-    if (e) RenderExprSubplans(*e, depth, out);
+    if (e) RenderExprSubplans(*e, depth, ctx, out);
   };
   walk(p.scan_filter);
   walk(p.predicate);
@@ -114,7 +132,8 @@ void RenderPlanSubplans(const Plan& p, int depth, std::string* out) {
   for (const auto& a : p.aggs) walk(a.arg);
 }
 
-void Render(const Plan& p, int depth, std::string* out) {
+void Render(const Plan& p, int depth, const ExplainCtx* ctx,
+            std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   switch (p.kind) {
     case Plan::Kind::kScan:
@@ -123,35 +142,40 @@ void Render(const Plan& p, int depth, std::string* out) {
       if (p.scan_filter) {
         *out += HasUdfCall(*p.scan_filter) ? " (filtered, udf)" : " (filtered)";
       }
+      AppendParallel(p, ctx, out);
       *out += "\n";
-      RenderPlanSubplans(p, depth + 1, out);
+      RenderPlanSubplans(p, depth + 1, ctx, out);
       return;
     case Plan::Kind::kJoin:
       *out += "HashJoin ";
       *out += JoinKindName(p.join_kind);
-      if (p.left_keys.empty()) *out += " [nested-loop]";
       *out += " (" + std::to_string(p.left_keys.size()) + " keys";
       if (p.residual) *out += ", residual";
       *out += ")";
+      if (p.left_keys.empty()) *out += " [nested-loop]";
       if (p.decorrelated_from != SubqueryOrigin::kNone) {
         *out += std::string(" [decorrelated ") + OriginName(p.decorrelated_from);
         if (p.null_aware) *out += ", null-aware";
         *out += "]";
       }
+      AppendParallel(p, ctx, out);
       *out += "\n";
-      RenderPlanSubplans(p, depth + 1, out);
-      Render(*p.left, depth + 1, out);
-      Render(*p.right, depth + 1, out);
+      RenderPlanSubplans(p, depth + 1, ctx, out);
+      Render(*p.left, depth + 1, ctx, out);
+      Render(*p.right, depth + 1, ctx, out);
       return;
     case Plan::Kind::kFilter:
       *out += "Filter";
       if (p.predicate && HasUdfCall(*p.predicate)) *out += " (udf)";
+      AppendParallel(p, ctx, out);
       *out += "\n";
       break;
     case Plan::Kind::kProject:
       *out += "Project (" + std::to_string(p.exprs.size()) + " columns";
       if (AnyUdf(p.exprs)) *out += ", udf";
-      *out += ")\n";
+      *out += ")";
+      AppendParallel(p, ctx, out);
+      *out += "\n";
       break;
     case Plan::Kind::kAggregate: {
       *out += "Aggregate (groups: " + std::to_string(p.exprs.size()) +
@@ -164,7 +188,9 @@ void Render(const Plan& p, int depth, std::string* out) {
         udf = udf || (a.arg && HasUdfCall(*a.arg));
       }
       if (udf) *out += ", udf";
-      *out += ")\n";
+      *out += ")";
+      AppendParallel(p, ctx, out);
+      *out += "\n";
       break;
     }
     case Plan::Kind::kSort: {
@@ -182,15 +208,22 @@ void Render(const Plan& p, int depth, std::string* out) {
       *out += "Distinct\n";
       break;
   }
-  RenderPlanSubplans(p, depth + 1, out);
-  if (p.left) Render(*p.left, depth + 1, out);
+  RenderPlanSubplans(p, depth + 1, ctx, out);
+  if (p.left) Render(*p.left, depth + 1, ctx, out);
 }
 
 }  // namespace
 
-std::string ExplainPlan(const Plan& plan) {
+std::string ExplainPlan(const Plan& plan, const PlannerOptions* options) {
   std::string out;
-  Render(plan, 0, &out);
+  if (options != nullptr) {
+    ExplainCtx ctx;
+    ctx.threads = parallel::ResolveMaxThreads(options->max_threads);
+    ctx.min_rows = options->min_parallel_rows;
+    Render(plan, 0, &ctx, &out);
+  } else {
+    Render(plan, 0, nullptr, &out);
+  }
   return out;
 }
 
@@ -200,7 +233,7 @@ Result<std::string> ExplainSelect(const Catalog* catalog,
                                   const PlannerOptions& options) {
   Planner planner(catalog, udfs, options);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(sel));
-  return ExplainPlan(*plan);
+  return ExplainPlan(*plan, &options);
 }
 
 }  // namespace engine

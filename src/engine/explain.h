@@ -17,12 +17,34 @@ namespace engine {
 /// Render a physical plan as an indented operator tree, e.g.
 ///   Sort (keys: 1 DESC)
 ///     Aggregate (groups: 1, aggs: SUM, COUNT)
-///       HashJoin INNER (2 keys)
-///         Scan lineitem (filtered)
+///       HashJoin INNER (2 keys) [parallel: 4 threads]
+///         Scan lineitem (filtered) [parallel: 4 threads]
 ///         Scan orders
-std::string ExplainPlan(const Plan& plan);
+///
+/// Line grammar — every operator renders on one line as
+///
+///   <Operator>[ <subject>][ (<details>)][ [<annotation>]]...
+///
+/// where <subject> is e.g. the scanned table or the join kind, (<details>)
+/// are operator parameters (key counts, group counts, sort keys, "filtered",
+/// "udf"), and each trailing [<annotation>] names an execution strategy:
+///
+///   [nested-loop]                          join without equi keys
+///   [decorrelated <ORIGIN>[, null-aware]]  sub-query unnested into this join
+///                                          (ORIGIN: EXISTS / NOT EXISTS /
+///                                          IN / NOT IN / scalar agg)
+///   [parallel: N threads]                  operator is parallel-safe and its
+///                                          estimated input clears the
+///                                          min_parallel_rows gate, so it
+///                                          would run morsel-parallel with
+///                                          the configured thread budget N
+///
+/// Sub-plans that escaped decorrelation render as indented "SubPlan (<kind>,
+/// per-row)" / "InitPlan (<kind>, cached)" trees under their operator.
+std::string ExplainPlan(const Plan& plan, const PlannerOptions* options = nullptr);
 
-/// Plan a SELECT against the catalog and explain it.
+/// Plan a SELECT against the catalog and explain it (parallel annotations
+/// reflect `options`).
 Result<std::string> ExplainSelect(const Catalog* catalog,
                                   const UdfRegistry* udfs,
                                   const sql::SelectStmt& sel,

@@ -1,0 +1,89 @@
+// Morsel-driven parallel execution (the engine's intra-query parallelism).
+//
+// Design (after Leis et al., "Morsel-Driven Parallelism", and the scale-out
+// serving systems cited in the roadmap): operator inputs are split into
+// fixed-size morsels pulled from an atomic counter by a small worker set
+// (TaskPool). Each worker evaluates into a per-morsel output buffer with a
+// thread-local ExecContext/ExecStats; the region concatenates buffers in
+// morsel order and folds worker counters back, so the observable behavior —
+// row order, error choice, statistics totals — is byte-identical to the
+// serial executor. Hash joins build partitioned tables (per-worker key
+// extraction over contiguous chunks, per-partition merge preserving global
+// row order) and probe in morsels; aggregation accumulates into per-chunk
+// hash tables merged in chunk order, preserving first-appearance group
+// order. Chunk-ordered merging is exact for INT/DECIMAL arithmetic; only
+// SUM/AVG over DOUBLE re-associates floating-point addition and may differ
+// from the serial left-fold in the last bits (deterministic for a fixed
+// thread count).
+//
+// Safety: a plan node may only run parallel when the planner marked it
+// parallel-safe — its own expressions contain no outer references, no
+// sub-plans (their per-statement InitPlan caches are serial state) and no
+// UDF calls (bodies execute nested plans against shared caches, and
+// non-IMMUTABLE bodies may be nondeterministic). Everything else falls back
+// to the serial path, which remains the single source of truth for
+// semantics: the same per-row code runs with workers == 1.
+#ifndef MTBASE_ENGINE_PARALLEL_PARALLEL_H_
+#define MTBASE_ENGINE_PARALLEL_PARALLEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace mtbase {
+namespace engine {
+
+struct ExecContext;
+struct Plan;
+
+namespace parallel {
+
+/// Rows per morsel. The min_parallel_rows knob (default 4096) keeps inputs
+/// below a few morsels serial.
+inline constexpr size_t kMorselRows = 1024;
+
+/// Resolve the PlannerOptions::max_threads knob: > 0 is taken as-is, 0 means
+/// the MTBASE_THREADS environment variable, else hardware_concurrency.
+/// Always returns >= 1.
+int ResolveMaxThreads(int configured);
+
+/// Recursively mark every node of `plan` (including sub-plans reachable from
+/// its expressions) with Plan::parallel_safe. Called by the planner on every
+/// freshly built plan.
+void MarkParallelSafe(Plan* plan);
+
+/// Workers an operator should use for an input of `input_rows` (1 = serial):
+/// gated on the node's parallel_safe flag, the context's thread budget and
+/// min_parallel_rows, then capped by the morsel count.
+int PlanWorkers(const Plan& plan, size_t input_rows, const ExecContext& ctx);
+
+/// Static upper-bound row estimate (sum of descendant base-table sizes).
+/// EXPLAIN uses it to decide whether an operator would plausibly clear the
+/// min_parallel_rows gate at runtime.
+size_t EstimatePlanRows(const Plan& plan);
+
+// Unified operator implementations: with workers == 1 they run the exact
+// serial loops the executor always had; with workers > 1 the same per-row
+// code runs inside morsel workers. exec.cc dispatches here.
+Result<std::vector<Row>> ScanExec(const Plan& p, ExecContext* ctx,
+                                  int workers);
+Result<std::vector<Row>> FilterExec(const Plan& p, ExecContext* ctx,
+                                    std::vector<Row> input, int workers);
+Result<std::vector<Row>> ProjectExec(const Plan& p, ExecContext* ctx,
+                                     std::vector<Row> input, int workers);
+/// Equi-key hash join (inner/left/semi/anti; the null-aware anti join and
+/// the key-less nested loop stay in exec.cc).
+Result<std::vector<Row>> HashJoinExec(const Plan& p, ExecContext* ctx,
+                                      std::vector<Row> left_rows,
+                                      std::vector<Row> right_rows,
+                                      int workers);
+Result<std::vector<Row>> AggregateExec(const Plan& p, ExecContext* ctx,
+                                       std::vector<Row> input, int workers);
+
+}  // namespace parallel
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_PARALLEL_PARALLEL_H_

@@ -1,0 +1,758 @@
+#include "engine/parallel/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "engine/catalog.h"
+#include "engine/exec.h"
+#include "engine/parallel/task_pool.h"
+
+namespace mtbase {
+namespace engine {
+namespace parallel {
+
+// ---------------------------------------------------------------------------
+// Knob resolution and plan marking
+// ---------------------------------------------------------------------------
+
+int ResolveMaxThreads(int configured) {
+  if (configured > 0) return configured;
+  static const int auto_threads = [] {
+    if (const char* env = std::getenv("MTBASE_THREADS")) {
+      int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+  }();
+  return auto_threads;
+}
+
+namespace {
+
+bool ExprParallelSafe(const BoundExpr& e) {
+  if (e.subplan != nullptr) return false;  // InitPlan caches are serial state
+  if (e.kind == BoundExpr::Kind::kUdfCall) return false;  // nested plan exec
+  if (e.kind == BoundExpr::Kind::kOuterSlot) return false;
+  for (const auto& a : e.args) {
+    if (!ExprParallelSafe(*a)) return false;
+  }
+  if (e.case_operand && !ExprParallelSafe(*e.case_operand)) return false;
+  if (e.else_expr && !ExprParallelSafe(*e.else_expr)) return false;
+  return true;
+}
+
+bool SafeOrNull(const BoundExprPtr& e) { return !e || ExprParallelSafe(*e); }
+
+bool AllSafe(const std::vector<BoundExprPtr>& exprs) {
+  for (const auto& e : exprs) {
+    if (!SafeOrNull(e)) return false;
+  }
+  return true;
+}
+
+/// Sub-plans hang off expressions as shared_ptr<const Plan>; marking happens
+/// while the planner still exclusively owns the freshly built tree, so the
+/// const_cast cannot race with execution.
+void MarkExprSubplans(const BoundExpr& e) {
+  if (e.subplan != nullptr) MarkParallelSafe(const_cast<Plan*>(e.subplan.get()));
+  for (const auto& a : e.args) MarkExprSubplans(*a);
+  if (e.case_operand) MarkExprSubplans(*e.case_operand);
+  if (e.else_expr) MarkExprSubplans(*e.else_expr);
+}
+
+void MarkSubplans(const BoundExprPtr& e) {
+  if (e) MarkExprSubplans(*e);
+}
+
+}  // namespace
+
+void MarkParallelSafe(Plan* p) {
+  if (p == nullptr) return;
+  MarkParallelSafe(p->left.get());
+  MarkParallelSafe(p->right.get());
+  MarkSubplans(p->scan_filter);
+  MarkSubplans(p->predicate);
+  MarkSubplans(p->residual);
+  for (const auto& e : p->exprs) MarkSubplans(e);
+  for (const auto& e : p->left_keys) MarkSubplans(e);
+  for (const auto& e : p->right_keys) MarkSubplans(e);
+  for (const auto& a : p->aggs) MarkSubplans(a.arg);
+
+  bool safe = false;
+  switch (p->kind) {
+    case Plan::Kind::kScan:
+      safe = p->table != nullptr && SafeOrNull(p->scan_filter);
+      break;
+    case Plan::Kind::kJoin:
+      // Hash joins only; the nested loop and the null-aware anti join keep
+      // their serial implementations.
+      safe = !p->left_keys.empty() && !p->null_aware &&
+             AllSafe(p->left_keys) && AllSafe(p->right_keys) &&
+             SafeOrNull(p->residual);
+      break;
+    case Plan::Kind::kFilter:
+      safe = SafeOrNull(p->predicate);
+      break;
+    case Plan::Kind::kProject:
+      safe = AllSafe(p->exprs);
+      break;
+    case Plan::Kind::kAggregate: {
+      safe = AllSafe(p->exprs);
+      for (const auto& a : p->aggs) {
+        // DISTINCT partials cannot be merged without recomputing from the
+        // value sets; those aggregations stay serial.
+        safe = safe && !a.distinct && SafeOrNull(a.arg);
+      }
+      break;
+    }
+    case Plan::Kind::kSort:
+    case Plan::Kind::kLimit:
+    case Plan::Kind::kDistinct:
+      safe = false;  // inherently order-/state-sequential operators
+      break;
+  }
+  p->parallel_safe = safe;
+}
+
+size_t EstimatePlanRows(const Plan& p) {
+  if (p.kind == Plan::Kind::kScan) {
+    return p.table != nullptr ? p.table->rows().size() : 1;
+  }
+  size_t n = 0;
+  if (p.left) n += EstimatePlanRows(*p.left);
+  if (p.right) n += EstimatePlanRows(*p.right);
+  return n;
+}
+
+namespace {
+
+/// Morsel size shrinks with the min_parallel_rows knob so tests that lower
+/// the gate still split small inputs into enough morsels to parallelize.
+/// Boundaries never affect results: outputs concatenate in morsel order.
+size_t MorselSize(const ExecContext& ctx) {
+  return std::max<size_t>(1, std::min(kMorselRows, ctx.min_parallel_rows / 2));
+}
+
+}  // namespace
+
+int PlanWorkers(const Plan& plan, size_t input_rows, const ExecContext& ctx) {
+  if (!plan.parallel_safe || ctx.max_threads <= 1) return 1;
+  if (input_rows < ctx.min_parallel_rows) return 1;
+  size_t msize = MorselSize(ctx);
+  size_t morsels = (input_rows + msize - 1) / msize;
+  size_t w = std::min(static_cast<size_t>(ctx.max_threads), morsels);
+  return w < 2 ? 1 : static_cast<int>(w);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel region plumbing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ExecContext WorkerContext(const ExecContext& parent, ExecStats* stats) {
+  ExecContext c;
+  c.stats = stats;
+  c.profile = parent.profile;
+  c.max_threads = 1;  // parallel regions never nest
+  c.min_parallel_rows = parent.min_parallel_rows;
+  c.outer_stack = parent.outer_stack;
+  c.params = parent.params;
+  return c;
+}
+
+/// First-error-in-input-order selection: among failing work units, the one
+/// with the lowest index wins, mirroring the serial executor's first error.
+struct RegionError {
+  std::mutex mu;
+  std::atomic<bool> failed{false};
+  size_t index = SIZE_MAX;
+  Status status = Status::OK();
+
+  void Record(size_t idx, Status s) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (idx < index) {
+      index = idx;
+      status = std::move(s);
+    }
+    failed.store(true, std::memory_order_relaxed);
+  }
+};
+
+/// Run fn(worker, worker_ctx, err) on `workers` workers: thread-local
+/// ExecStats fold back into ctx->stats afterwards (so counter totals match
+/// the serial pass), the threads_used high-water mark is updated on success,
+/// and the lowest-index recorded error wins. All parallel regions go through
+/// here — it owns the subtle plumbing.
+Status RunRegion(
+    ExecContext* ctx, int workers,
+    const std::function<void(int, ExecContext*, RegionError*)>& fn) {
+  std::vector<ExecStats> worker_stats(static_cast<size_t>(workers));
+  RegionError err;
+  TaskPool::Global()->Run(workers, [&](int w) {
+    ExecContext wctx =
+        WorkerContext(*ctx, &worker_stats[static_cast<size_t>(w)]);
+    fn(w, &wctx, &err);
+  });
+  for (const ExecStats& ws : worker_stats) ctx->stats->MergeWorker(ws);
+  if (err.failed.load()) return err.status;
+  ctx->stats->threads_used = std::max<uint64_t>(
+      ctx->stats->threads_used, static_cast<uint64_t>(workers));
+  return Status::OK();
+}
+
+using MorselFn =
+    std::function<Status(size_t, size_t, ExecContext*, std::vector<Row>*)>;
+
+/// Run fn over fixed-size morsels of [0, n_rows), each writing a per-morsel
+/// buffer; concatenate in morsel order (= input order).
+Result<std::vector<Row>> RunMorsels(ExecContext* ctx, size_t n_rows,
+                                    int workers, const MorselFn& fn) {
+  const size_t msize = MorselSize(*ctx);
+  const size_t n_morsels = (n_rows + msize - 1) / msize;
+  std::vector<std::vector<Row>> outputs(n_morsels);
+  std::atomic<size_t> next{0};
+  MTB_RETURN_IF_ERROR(
+      RunRegion(ctx, workers, [&](int, ExecContext* wctx, RegionError* err) {
+        for (;;) {
+          // Check for failure BEFORE claiming, and always process a claimed
+          // morsel: indices are handed out in ascending order, so every
+          // morsel below a recorded error index is guaranteed to have been
+          // claimed and thus evaluated — the lowest failing morsel's error
+          // wins, matching the serial executor's first error.
+          if (err->failed.load(std::memory_order_relaxed)) break;
+          size_t m = next.fetch_add(1, std::memory_order_relaxed);
+          if (m >= n_morsels) break;
+          size_t begin = m * msize;
+          size_t end = std::min(n_rows, begin + msize);
+          Status s = fn(begin, end, wctx, &outputs[m]);
+          if (!s.ok()) err->Record(m, std::move(s));
+        }
+      }));
+  ctx->stats->parallel_morsels += n_morsels;
+  size_t total = 0;
+  for (const auto& o : outputs) total += o.size();
+  std::vector<Row> out;
+  out.reserve(total);
+  for (auto& o : outputs) {
+    for (Row& r : o) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Row ConcatRows(const Row& l, const Row& r) {
+  Row row;
+  row.reserve(l.size() + r.size());
+  for (const Value& v : l) row.push_back(v);
+  for (const Value& v : r) row.push_back(v);
+  return row;
+}
+
+/// Evaluate a key tuple; returns whether any component was NULL.
+Result<bool> ComputeKey(const std::vector<BoundExprPtr>& keys, const Row& r,
+                        ExecContext* ctx, std::vector<Value>* out) {
+  out->clear();
+  out->reserve(keys.size());
+  bool null_key = false;
+  for (const auto& k : keys) {
+    MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, r, ctx));
+    null_key = null_key || v.is_null();
+    out->push_back(std::move(v));
+  }
+  return null_key;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scan / Filter / Project
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status ScanRange(const Plan& p, const std::vector<Row>& rows, size_t begin,
+                 size_t end, ExecContext* ctx, std::vector<Row>* out) {
+  for (size_t i = begin; i < end; ++i) {
+    const Row& r = rows[i];
+    if (p.scan_filter) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.scan_filter, r, ctx));
+      if (!IsTrue(v)) continue;
+    }
+    out->push_back(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Row>> ScanExec(const Plan& p, ExecContext* ctx,
+                                  int workers) {
+  std::vector<Row> out;
+  if (p.table == nullptr) {
+    out.emplace_back();  // one empty row (SELECT without FROM, dummy input)
+    return out;
+  }
+  const auto& rows = p.table->rows();
+  ctx->stats->rows_scanned += rows.size();
+  if (workers <= 1) {
+    out.reserve(p.scan_filter ? rows.size() / 4 : rows.size());
+    MTB_RETURN_IF_ERROR(ScanRange(p, rows, 0, rows.size(), ctx, &out));
+    return out;
+  }
+  return RunMorsels(ctx, rows.size(), workers,
+                    [&p, &rows](size_t b, size_t e, ExecContext* wctx,
+                                std::vector<Row>* o) {
+                      return ScanRange(p, rows, b, e, wctx, o);
+                    });
+}
+
+namespace {
+
+Status FilterRange(const Plan& p, std::vector<Row>* rows, size_t begin,
+                   size_t end, ExecContext* ctx, std::vector<Row>* out) {
+  for (size_t i = begin; i < end; ++i) {
+    Row& r = (*rows)[i];
+    MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.predicate, r, ctx));
+    if (IsTrue(v)) out->push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+Status ProjectRange(const Plan& p, const std::vector<Row>& rows, size_t begin,
+                    size_t end, ExecContext* ctx, std::vector<Row>* out) {
+  for (size_t i = begin; i < end; ++i) {
+    Row projected;
+    projected.reserve(p.exprs.size());
+    for (const auto& e : p.exprs) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, rows[i], ctx));
+      projected.push_back(std::move(v));
+    }
+    out->push_back(std::move(projected));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Row>> FilterExec(const Plan& p, ExecContext* ctx,
+                                    std::vector<Row> input, int workers) {
+  if (workers <= 1) {
+    std::vector<Row> out;
+    out.reserve(input.size());
+    MTB_RETURN_IF_ERROR(FilterRange(p, &input, 0, input.size(), ctx, &out));
+    return out;
+  }
+  // Workers move rows out of disjoint ranges of the shared input vector.
+  return RunMorsels(ctx, input.size(), workers,
+                    [&p, &input](size_t b, size_t e, ExecContext* wctx,
+                                 std::vector<Row>* o) {
+                      return FilterRange(p, &input, b, e, wctx, o);
+                    });
+}
+
+Result<std::vector<Row>> ProjectExec(const Plan& p, ExecContext* ctx,
+                                     std::vector<Row> input, int workers) {
+  if (workers <= 1) {
+    std::vector<Row> out;
+    out.reserve(input.size());
+    MTB_RETURN_IF_ERROR(ProjectRange(p, input, 0, input.size(), ctx, &out));
+    return out;
+  }
+  return RunMorsels(ctx, input.size(), workers,
+                    [&p, &input](size_t b, size_t e, ExecContext* wctx,
+                                 std::vector<Row>* o) {
+                      return ProjectRange(p, input, b, e, wctx, o);
+                    });
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned hash join
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Hash table over the build (right) side. Serial execution uses a single
+/// partition; parallel builds hash-partition so P merge tasks can fill the
+/// maps without sharing. Per key, right-row indices are ascending in both
+/// modes, so probe output order matches the serial executor exactly.
+struct JoinTable {
+  size_t partitions = 1;
+  std::vector<std::unordered_map<std::vector<Value>, std::vector<size_t>,
+                                 ValueVectorHash, ValueVectorEq>>
+      maps;
+
+  const std::vector<size_t>* Find(const std::vector<Value>& key) const {
+    const auto& m =
+        maps[partitions == 1 ? 0 : ValueVectorHash()(key) % partitions];
+    auto it = m.find(key);
+    return it == m.end() ? nullptr : &it->second;
+  }
+};
+
+Status ProbeRange(const Plan& p, const std::vector<Row>& left_rows,
+                  size_t begin, size_t end, const JoinTable& table,
+                  const std::vector<Row>& right_rows, size_t right_width,
+                  ExecContext* ctx, std::vector<Row>* out) {
+  std::vector<Value> key;
+  for (size_t i = begin; i < end; ++i) {
+    const Row& l = left_rows[i];
+    MTB_ASSIGN_OR_RETURN(bool null_key, ComputeKey(p.left_keys, l, ctx, &key));
+    bool matched = false;
+    if (!null_key) {
+      const std::vector<size_t>* hits = table.Find(key);
+      if (hits != nullptr) {
+        for (size_t ri : *hits) {
+          Row joined = ConcatRows(l, right_rows[ri]);
+          ctx->stats->rows_joined++;
+          if (p.residual) {
+            MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.residual, joined, ctx));
+            if (!IsTrue(v)) continue;
+          }
+          matched = true;
+          if (p.join_kind == JoinKind::kInner ||
+              p.join_kind == JoinKind::kLeft) {
+            out->push_back(std::move(joined));
+          } else {
+            break;  // semi/anti only need existence
+          }
+        }
+      }
+    }
+    switch (p.join_kind) {
+      case JoinKind::kInner:
+        break;
+      case JoinKind::kLeft:
+        if (!matched) {
+          Row joined = l;
+          joined.resize(l.size() + right_width);
+          out->push_back(std::move(joined));
+        }
+        break;
+      case JoinKind::kSemi:
+        if (matched) out->push_back(l);
+        break;
+      case JoinKind::kAnti:
+        if (!matched) out->push_back(l);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Row>> HashJoinExec(const Plan& p, ExecContext* ctx,
+                                      std::vector<Row> left_rows,
+                                      std::vector<Row> right_rows,
+                                      int workers) {
+  const size_t right_width = p.right->columns.size();
+  JoinTable table;
+  if (workers <= 1) {
+    table.maps.resize(1);
+    table.maps[0].reserve(right_rows.size());
+    std::vector<Value> key;
+    for (size_t i = 0; i < right_rows.size(); ++i) {
+      MTB_ASSIGN_OR_RETURN(bool null_key,
+                           ComputeKey(p.right_keys, right_rows[i], ctx, &key));
+      if (null_key) continue;  // NULL keys never match an equality
+      table.maps[0][std::move(key)].push_back(i);
+    }
+    std::vector<Row> out;
+    MTB_RETURN_IF_ERROR(ProbeRange(p, left_rows, 0, left_rows.size(), table,
+                                   right_rows, right_width, ctx, &out));
+    return out;
+  }
+
+  // Parallel build, phase 1: per-worker key extraction over contiguous
+  // chunks. Merging chunk results in worker order keeps each key's right-row
+  // index list ascending — the order the serial build produces.
+  const size_t P = static_cast<size_t>(workers);
+  table.partitions = P;
+  table.maps.resize(P);
+  const size_t n = right_rows.size();
+  struct Entry {
+    size_t idx;
+    std::vector<Value> key;
+  };
+  std::vector<std::vector<std::vector<Entry>>> chunk_parts(
+      static_cast<size_t>(workers));
+  for (auto& cp : chunk_parts) cp.resize(P);
+  MTB_RETURN_IF_ERROR(
+      RunRegion(ctx, workers, [&](int w, ExecContext* wctx, RegionError* err) {
+        const size_t uw = static_cast<size_t>(w);
+        const size_t begin = n * uw / static_cast<size_t>(workers);
+        const size_t end = n * (uw + 1) / static_cast<size_t>(workers);
+        std::vector<Value> key;
+        for (size_t i = begin; i < end; ++i) {
+          auto null_key = ComputeKey(p.right_keys, right_rows[i], wctx, &key);
+          if (!null_key.ok()) {
+            err->Record(uw, std::move(null_key).status());
+            return;
+          }
+          if (null_key.value()) continue;
+          size_t h = ValueVectorHash()(key);
+          chunk_parts[uw][h % P].push_back(Entry{i, std::move(key)});
+        }
+      }));
+
+  // Phase 2: per-partition merge into the shared table (one task per
+  // partition; partitions are independent maps, so no locking).
+  std::atomic<size_t> next_part{0};
+  TaskPool::Global()->Run(workers, [&](int) {
+    for (;;) {
+      size_t part = next_part.fetch_add(1, std::memory_order_relaxed);
+      if (part >= P) break;
+      auto& m = table.maps[part];
+      for (auto& cp : chunk_parts) {
+        for (Entry& entry : cp[part]) {
+          m[std::move(entry.key)].push_back(entry.idx);
+        }
+      }
+    }
+  });
+  ctx->stats->parallel_joins++;
+
+  // Parallel probe in morsels, order-preserving.
+  return RunMorsels(
+      ctx, left_rows.size(), workers,
+      [&](size_t b, size_t e, ExecContext* wctx, std::vector<Row>* o) {
+        return ProbeRange(p, left_rows, b, e, table, right_rows, right_width,
+                          wctx, o);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Parallel aggregation (thread-local hash tables, ordered merge)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct AggAccum {
+  int64_t count = 0;
+  Value sum;
+  Value min;
+  Value max;
+  std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq>
+      distinct;
+};
+
+struct LocalAgg {
+  std::unordered_map<std::vector<Value>, std::vector<AggAccum>, ValueVectorHash,
+                     ValueVectorEq>
+      groups;
+  std::vector<const std::vector<Value>*> order;  // first-appearance order
+};
+
+Status AccumulateRange(const Plan& p, const std::vector<Row>& rows,
+                       size_t begin, size_t end, ExecContext* ctx,
+                       LocalAgg* agg) {
+  for (size_t ri = begin; ri < end; ++ri) {
+    const Row& r = rows[ri];
+    std::vector<Value> key;
+    key.reserve(p.exprs.size());
+    for (const auto& g : p.exprs) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, r, ctx));
+      key.push_back(std::move(v));
+    }
+    auto it = agg->groups.find(key);
+    if (it == agg->groups.end()) {
+      it = agg->groups
+               .emplace(std::move(key), std::vector<AggAccum>(p.aggs.size()))
+               .first;
+      agg->order.push_back(&it->first);
+    }
+    auto& accs = it->second;
+    for (size_t i = 0; i < p.aggs.size(); ++i) {
+      const AggSpec& spec = p.aggs[i];
+      AggAccum& acc = accs[i];
+      if (spec.func == AggFunc::kCountStar) {
+        acc.count++;
+        continue;
+      }
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*spec.arg, r, ctx));
+      if (v.is_null()) continue;
+      if (spec.distinct) {
+        std::vector<Value> dkey{v};
+        if (!acc.distinct.insert(std::move(dkey)).second) continue;
+      }
+      acc.count++;
+      switch (spec.func) {
+        case AggFunc::kSum:
+        case AggFunc::kAvg: {
+          if (acc.sum.is_null()) {
+            acc.sum = v;
+          } else {
+            MTB_ASSIGN_OR_RETURN(acc.sum, NumericAdd(acc.sum, v));
+          }
+          break;
+        }
+        case AggFunc::kMin: {
+          if (acc.min.is_null()) {
+            acc.min = v;
+          } else {
+            MTB_ASSIGN_OR_RETURN(int c, v.Compare(acc.min));
+            if (c < 0) acc.min = v;
+          }
+          break;
+        }
+        case AggFunc::kMax: {
+          if (acc.max.is_null()) {
+            acc.max = v;
+          } else {
+            MTB_ASSIGN_OR_RETURN(int c, v.Compare(acc.max));
+            if (c > 0) acc.max = v;
+          }
+          break;
+        }
+        default:
+          break;  // kCount just counts
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Merge a later chunk's accumulators into an earlier chunk's. Chunks cover
+/// contiguous input ranges and merge in chunk order, so partial sums combine
+/// in input order — exact for INT/DECIMAL arithmetic. DISTINCT aggregates
+/// never reach this (the planner keeps them serial).
+Status MergeAccums(const Plan& p, std::vector<AggAccum>* into,
+                   std::vector<AggAccum>&& from) {
+  for (size_t i = 0; i < p.aggs.size(); ++i) {
+    AggAccum& a = (*into)[i];
+    AggAccum& f = from[i];
+    a.count += f.count;
+    if (!f.sum.is_null()) {
+      if (a.sum.is_null()) {
+        a.sum = std::move(f.sum);
+      } else {
+        MTB_ASSIGN_OR_RETURN(a.sum, NumericAdd(a.sum, f.sum));
+      }
+    }
+    if (!f.min.is_null()) {
+      if (a.min.is_null()) {
+        a.min = std::move(f.min);
+      } else {
+        MTB_ASSIGN_OR_RETURN(int c, f.min.Compare(a.min));
+        if (c < 0) a.min = std::move(f.min);
+      }
+    }
+    if (!f.max.is_null()) {
+      if (a.max.is_null()) {
+        a.max = std::move(f.max);
+      } else {
+        MTB_ASSIGN_OR_RETURN(int c, f.max.Compare(a.max));
+        if (c > 0) a.max = std::move(f.max);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> FinalizeAgg(const Plan& p, const LocalAgg& agg) {
+  // Aggregation over an empty input without GROUP BY yields one row.
+  std::vector<Row> out;
+  if (agg.groups.empty() && p.exprs.empty()) {
+    Row r;
+    for (const AggSpec& spec : p.aggs) {
+      if (spec.func == AggFunc::kCount || spec.func == AggFunc::kCountStar) {
+        r.push_back(Value::Int(0));
+      } else {
+        r.push_back(Value::Null());
+      }
+    }
+    out.push_back(std::move(r));
+    return out;
+  }
+  out.reserve(agg.groups.size());
+  for (const auto* key : agg.order) {
+    const auto& accs = agg.groups.find(*key)->second;
+    Row r = *key;
+    for (size_t i = 0; i < p.aggs.size(); ++i) {
+      const AggSpec& spec = p.aggs[i];
+      const AggAccum& acc = accs[i];
+      switch (spec.func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          r.push_back(Value::Int(acc.count));
+          break;
+        case AggFunc::kSum:
+          r.push_back(acc.sum);
+          break;
+        case AggFunc::kAvg: {
+          if (acc.count == 0) {
+            r.push_back(Value::Null());
+          } else {
+            MTB_ASSIGN_OR_RETURN(Value avg,
+                                 NumericDiv(acc.sum, Value::Int(acc.count)));
+            r.push_back(std::move(avg));
+          }
+          break;
+        }
+        case AggFunc::kMin:
+          r.push_back(acc.min);
+          break;
+        case AggFunc::kMax:
+          r.push_back(acc.max);
+          break;
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> AggregateExec(const Plan& p, ExecContext* ctx,
+                                       std::vector<Row> input, int workers) {
+  LocalAgg total;
+  if (workers <= 1) {
+    MTB_RETURN_IF_ERROR(
+        AccumulateRange(p, input, 0, input.size(), ctx, &total));
+    return FinalizeAgg(p, total);
+  }
+  // One contiguous chunk per worker: partials combine in chunk (= input)
+  // order, and group output order is global first appearance, independent of
+  // scheduling.
+  const size_t n = input.size();
+  std::vector<LocalAgg> locals(static_cast<size_t>(workers));
+  MTB_RETURN_IF_ERROR(
+      RunRegion(ctx, workers, [&](int w, ExecContext* wctx, RegionError* err) {
+        const size_t uw = static_cast<size_t>(w);
+        const size_t begin = n * uw / static_cast<size_t>(workers);
+        const size_t end = n * (uw + 1) / static_cast<size_t>(workers);
+        Status s = AccumulateRange(p, input, begin, end, wctx, &locals[uw]);
+        if (!s.ok()) err->Record(uw, std::move(s));
+      }));
+  ctx->stats->parallel_morsels += static_cast<uint64_t>(workers);
+
+  total = std::move(locals[0]);
+  for (int w = 1; w < workers; ++w) {
+    LocalAgg& local = locals[static_cast<size_t>(w)];
+    for (const std::vector<Value>* key : local.order) {
+      // Move the node over; a failed insert (key already merged) hands the
+      // node back for accumulator merging — one lookup per side either way.
+      auto ins = total.groups.insert(local.groups.extract(*key));
+      if (ins.inserted) {
+        total.order.push_back(&ins.position->first);
+      } else {
+        MTB_RETURN_IF_ERROR(MergeAccums(p, &ins.position->second,
+                                        std::move(ins.node.mapped())));
+      }
+    }
+  }
+  return FinalizeAgg(p, total);
+}
+
+}  // namespace parallel
+}  // namespace engine
+}  // namespace mtbase

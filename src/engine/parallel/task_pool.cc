@@ -1,0 +1,96 @@
+#include "engine/parallel/task_pool.h"
+
+#include <exception>
+
+namespace mtbase {
+namespace engine {
+namespace parallel {
+
+TaskPool* TaskPool::Global() {
+  static TaskPool* pool = new TaskPool();  // leaked: outlives static dtors
+  return pool;
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int TaskPool::spawned_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void TaskPool::EnsureSpawned(int pool_threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < pool_threads) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskPool::Run(int workers, const std::function<void(int)>& fn) {
+  if (workers <= 1) {
+    fn(0);  // serial: never touches the pool, so startup stays lazy
+    return;
+  }
+  // Join-state shared with the enqueued closures. Stack lifetime is safe:
+  // Run does not return until every worker decremented `remaining` under
+  // `mu`, and no worker touches the state after that.
+  struct Join {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int remaining;
+    std::exception_ptr error;
+  } join;
+  join.remaining = workers - 1;
+
+  EnsureSpawned(workers - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int w = 1; w < workers; ++w) {
+      queue_.emplace_back([&join, &fn, w] {
+        try {
+          fn(w);
+        } catch (...) {
+          std::lock_guard<std::mutex> l(join.mu);
+          if (!join.error) join.error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> l(join.mu);
+        if (--join.remaining == 0) join.done_cv.notify_all();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  try {
+    fn(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> l(join.mu);
+    if (!join.error) join.error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(join.mu);
+  join.done_cv.wait(lock, [&join] { return join.remaining == 0; });
+  if (join.error) std::rethrow_exception(join.error);
+}
+
+}  // namespace parallel
+}  // namespace engine
+}  // namespace mtbase

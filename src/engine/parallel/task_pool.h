@@ -1,0 +1,62 @@
+// A lazily started, reusable worker-thread pool for morsel-driven execution.
+//
+// The pool spawns no threads until the first parallel request, then keeps the
+// spawned workers alive across statements (morsel dispatch via an atomic
+// counter inside the operators makes the scheduling work-stealing-friendly:
+// whichever worker is free pulls the next morsel). The process-wide pool grows
+// on demand to the largest thread budget any statement has requested, so
+// MTBASE_THREADS / PlannerOptions::max_threads can exceed
+// hardware_concurrency for determinism testing on small machines.
+#ifndef MTBASE_ENGINE_PARALLEL_TASK_POOL_H_
+#define MTBASE_ENGINE_PARALLEL_TASK_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mtbase {
+namespace engine {
+namespace parallel {
+
+class TaskPool {
+ public:
+  TaskPool() = default;
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+  /// Joins all spawned workers (pending tasks finish first).
+  ~TaskPool();
+
+  /// The process-wide pool shared by all databases. Never destroyed: worker
+  /// threads would otherwise race static destruction at exit.
+  static TaskPool* Global();
+
+  /// Run fn(worker) for worker in [0, workers). Worker 0 runs on the calling
+  /// thread; the rest run on pool threads (spawned on first use, reused
+  /// afterwards). Blocks until every worker returned; if any worker threw,
+  /// the first captured exception is rethrown on the calling thread.
+  /// workers <= 1 runs fn(0) inline without touching the pool.
+  void Run(int workers, const std::function<void(int)>& fn);
+
+  /// Number of pool threads spawned so far (0 until the first parallel Run;
+  /// the calling thread is not counted).
+  int spawned_threads() const;
+
+ private:
+  void EnsureSpawned(int pool_threads);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace parallel
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_PARALLEL_TASK_POOL_H_

@@ -5,6 +5,7 @@
 
 #include "common/str_util.h"
 #include "engine/exec.h"
+#include "engine/parallel/parallel.h"
 #include "sql/printer.h"
 
 namespace mtbase {
@@ -1489,7 +1490,12 @@ Result<PlanPtr> PlannerImpl::PlanSelect(const sql::SelectStmt& sel,
 
 Result<PlanPtr> Planner::PlanSelect(const sql::SelectStmt& sel) const {
   PlannerImpl impl(catalog_, udfs_, options_);
-  return impl.PlanSelect(sel, nullptr);
+  MTB_ASSIGN_OR_RETURN(PlanPtr plan, impl.PlanSelect(sel, nullptr));
+  // Mark which operators the executor may run on worker threads (covers
+  // nested sub-plans too). Purely advisory: execution still gates on input
+  // size and the max_threads budget.
+  parallel::MarkParallelSafe(plan.get());
+  return plan;
 }
 
 Result<BoundExprPtr> Planner::BindExpr(

@@ -27,6 +27,18 @@ struct PlannerOptions {
   /// O(outer rows) baseline that regression tests and benchmarks compare
   /// against.
   bool decorrelate_subqueries = true;
+
+  /// Intra-query parallelism budget: the number of workers a statement's
+  /// execution may use for morsel-driven scans, partitioned hash joins and
+  /// parallel aggregation. 0 = auto (MTBASE_THREADS env, else
+  /// hardware_concurrency); 1 forces serial execution. Parallel and serial
+  /// runs produce byte-identical results, so this is purely a perf knob.
+  int max_threads = 0;
+
+  /// Operators whose input has fewer rows than this always run serially
+  /// (parallelism overhead dominates on small inputs). Tests lower it to
+  /// force the parallel path on small data sets.
+  size_t min_parallel_rows = 4096;
 };
 
 class Planner {

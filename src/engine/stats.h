@@ -26,12 +26,20 @@ struct ExecStats {
   // the cache hits.
   uint64_t statements_parsed = 0;     // SQL/MTSQL texts run through the parser
   uint64_t statements_rewritten = 0;  // MTSQL-to-SQL rewriter invocations
-  uint64_t statements_planned = 0;    // planner compilations of a SELECT
+  uint64_t statements_planned = 0;    // statement compilations (SELECT plans
+                                      // and prepared-DML binds)
   uint64_t prepare_count = 0;   // statement compilations via Prepare
   // Prepared executions that reused an earlier compilation (the first
   // execution after each compile amortizes it and is not a hit).
   uint64_t plan_cache_hits = 0;
   uint64_t rewrite_cache_hits = 0;  // executions reusing a cached rewrite
+
+  // Morsel-driven parallel execution (src/engine/parallel/).
+  uint64_t parallel_morsels = 0;  // morsels processed by parallel operators
+  uint64_t parallel_joins = 0;    // hash joins executed with > 1 worker
+  /// High-water mark of workers used by any parallel region (a gauge, not a
+  /// monotonic counter: operator- reports the current value unchanged).
+  uint64_t threads_used = 0;
 
   void Reset() { *this = ExecStats(); }
   uint64_t total_udf_invocations() const { return udf_calls + udf_cache_hits; }
@@ -52,7 +60,25 @@ struct ExecStats {
     d.prepare_count = prepare_count - o.prepare_count;
     d.plan_cache_hits = plan_cache_hits - o.plan_cache_hits;
     d.rewrite_cache_hits = rewrite_cache_hits - o.rewrite_cache_hits;
+    d.parallel_morsels = parallel_morsels - o.parallel_morsels;
+    d.parallel_joins = parallel_joins - o.parallel_joins;
+    d.threads_used = threads_used;  // gauge: carried through, not subtracted
     return d;
+  }
+
+  /// Fold a worker's thread-local counters back into the statement's stats
+  /// after a parallel region completes (threads_used is a high-water mark and
+  /// is tracked by the region itself, not by workers).
+  void MergeWorker(const ExecStats& w) {
+    rows_scanned += w.rows_scanned;
+    rows_joined += w.rows_joined;
+    udf_calls += w.udf_calls;
+    udf_cache_hits += w.udf_cache_hits;
+    subquery_execs += w.subquery_execs;
+    initplan_execs += w.initplan_execs;
+    decorrelated_execs += w.decorrelated_execs;
+    parallel_morsels += w.parallel_morsels;
+    parallel_joins += w.parallel_joins;
   }
 };
 

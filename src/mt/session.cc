@@ -19,6 +19,12 @@ void Middleware::RegisterTenant(int64_t ttid) {
   }
 }
 
+void Middleware::SetMaxThreads(int max_threads) {
+  engine::PlannerOptions opts = db_->planner_options();
+  opts.max_threads = max_threads;
+  db_->set_planner_options(opts);  // bumps the fingerprinted options version
+}
+
 bool Middleware::IsAllTenants(const std::vector<int64_t>& dataset) const {
   if (dataset.size() != tenants_.size()) return false;
   std::vector<int64_t> sorted = dataset;

@@ -76,6 +76,14 @@ class Middleware {
   /// registry, so registration must invalidate cached rewrites).
   uint64_t tenant_epoch() const { return tenant_epoch_; }
 
+  /// Intra-query parallelism budget for the engine behind this middleware
+  /// (PlannerOptions::max_threads; 0 = auto via MTBASE_THREADS /
+  /// hardware_concurrency, 1 = serial). Changing it moves the engine's
+  /// compilation version, which every PreparedQuery fingerprints — cached
+  /// rewrites and plans transparently recompile under the new budget.
+  void SetMaxThreads(int max_threads);
+  int max_threads() const { return db_->planner_options().max_threads; }
+
  private:
   engine::Database* db_;
   MTSchema schema_;

@@ -127,6 +127,15 @@ bool ResultsEqual(const engine::ResultSet& a, const engine::ResultSet& b,
   return false;
 }
 
+void SetMthThreads(MthEnvironment* env, int max_threads) {
+  for (engine::Database* db : {env->mth_db.get(), env->tpch_db.get()}) {
+    if (db == nullptr) continue;
+    engine::PlannerOptions opts = db->planner_options();
+    opts.max_threads = max_threads;
+    db->set_planner_options(opts);
+  }
+}
+
 Result<std::unique_ptr<MthEnvironment>> SetupEnvironment(
     const MthConfig& config, engine::DbmsProfile profile, bool with_baseline) {
   auto env = std::make_unique<MthEnvironment>();

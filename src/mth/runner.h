@@ -67,6 +67,11 @@ Result<std::unique_ptr<MthEnvironment>> SetupEnvironment(
     const MthConfig& config, engine::DbmsProfile profile,
     bool with_baseline = true);
 
+/// Set the intra-query thread budget on both databases of `env`
+/// (PlannerOptions::max_threads; 0 = auto, 1 = serial). The runner and the
+/// benches expose it as --threads / MTH_THREADS.
+void SetMthThreads(MthEnvironment* env, int max_threads);
+
 }  // namespace mth
 }  // namespace mtbase
 

@@ -74,6 +74,36 @@ TEST_F(ExplainTest, NestedLoopMarkedExplicitly) {
   EXPECT_NE(plan.find("[nested-loop]"), std::string::npos) << plan;
 }
 
+TEST_F(ExplainTest, ParallelAnnotationGatedOnThreadsAndSize) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(db_.Execute("INSERT INTO a VALUES (" + std::to_string(i) + ", " +
+                          std::to_string(i * 2) + ")")
+                  .status());
+  }
+  auto sel = sql::ParseSelect("SELECT x FROM a WHERE y > 1");
+  ASSERT_TRUE(sel.ok());
+  PlannerOptions opts;
+  opts.max_threads = 4;
+  opts.min_parallel_rows = 64;
+  ASSERT_OK_AND_ASSIGN(std::string plan,
+                       ExplainSelect(db_.catalog(), db_.udfs(), *sel.value(),
+                                     opts));
+  EXPECT_NE(plan.find("Scan a (filtered) [parallel: 4 threads]"),
+            std::string::npos)
+      << plan;
+  // Serial budget: no annotation anywhere.
+  opts.max_threads = 1;
+  ASSERT_OK_AND_ASSIGN(plan, ExplainSelect(db_.catalog(), db_.udfs(),
+                                           *sel.value(), opts));
+  EXPECT_EQ(plan.find("[parallel:"), std::string::npos) << plan;
+  // Tiny input (below the gate): no annotation either.
+  opts.max_threads = 4;
+  opts.min_parallel_rows = 4096;
+  ASSERT_OK_AND_ASSIGN(plan, ExplainSelect(db_.catalog(), db_.udfs(),
+                                           *sel.value(), opts));
+  EXPECT_EQ(plan.find("[parallel:"), std::string::npos) << plan;
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace mtbase

@@ -116,6 +116,49 @@ TEST_F(PreparedPlanTest, PreparedDmlReExecutes) {
   EXPECT_EQ(rs.rows[0][0].int_value(), 3);
 }
 
+TEST_F(PreparedPlanTest, PreparedDmlBindsOnce) {
+  // DML carries a bound plan (predicates, assignments and VALUES expressions
+  // bound at compile time): re-execution must not touch the parser or the
+  // binder (statements_planned counts DML binding as a compilation).
+  ASSERT_OK_AND_ASSIGN(PreparedPlan ins,
+                       db_.Prepare("INSERT INTO t VALUES ($1, $2, $3)"));
+  ASSERT_OK_AND_ASSIGN(PreparedPlan up,
+                       db_.Prepare("UPDATE t SET b = $1 WHERE a = $2"));
+  // First executions amortize the compile.
+  ASSERT_OK(ins.Execute({Value::Int(20), Value::Str("a"), Value::Dec(Decimal())})
+                .status());
+  ASSERT_OK(up.Execute({Value::Str("b0"), Value::Int(20)}).status());
+  StatsScope scope(db_.stats());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(ins.Execute({Value::Int(21 + i), Value::Str("r"),
+                           Value::Dec(Decimal())})
+                  .status());
+    ASSERT_OK(up.Execute({Value::Str("r2"), Value::Int(21 + i)}).status());
+  }
+  ExecStats d = scope.Delta();
+  EXPECT_EQ(d.statements_parsed, 0u);
+  EXPECT_EQ(d.statements_planned, 0u);  // no re-binding across executes
+  EXPECT_EQ(d.prepare_count, 0u);
+  EXPECT_EQ(d.plan_cache_hits, 10u);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Execute("SELECT COUNT(*) FROM t WHERE b = 'r2'"));
+  EXPECT_EQ(rs.rows[0][0].int_value(), 5);
+}
+
+TEST_F(PreparedPlanTest, PreparedDmlRebindsAfterDdl) {
+  ASSERT_OK_AND_ASSIGN(PreparedPlan del,
+                       db_.Prepare("DELETE FROM t WHERE a = $1"));
+  ASSERT_OK(del.Execute({Value::Int(1)}).status());
+  // DDL moves the compilation version; the bound DML (which caches a raw
+  // table pointer) must recompile instead of touching a relocated table.
+  ASSERT_OK(db_.Execute("CREATE TABLE unrelated (x INTEGER)").status());
+  StatsScope scope(db_.stats());
+  ASSERT_OK(del.Execute({Value::Int(2)}).status());
+  EXPECT_EQ(scope.Delta().prepare_count, 1u);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, db_.Execute("SELECT COUNT(*) FROM t"));
+  EXPECT_EQ(rs.rows[0][0].int_value(), 1);
+}
+
 TEST_F(PreparedPlanTest, InsertSelectSourcePlannedOnce) {
   ASSERT_OK(db_.Execute("CREATE TABLE t2 (a INTEGER, b VARCHAR(10), c "
                         "DECIMAL(15,2))")

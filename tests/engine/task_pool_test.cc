@@ -1,0 +1,76 @@
+// TaskPool unit tests: lazy startup, thread reuse across statements, on-demand
+// growth and exception propagation back to the calling thread.
+#include "engine/parallel/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace mtbase {
+namespace engine {
+namespace parallel {
+namespace {
+
+TEST(TaskPoolTest, StartsNoThreadsUntilFirstParallelRun) {
+  TaskPool pool;
+  EXPECT_EQ(pool.spawned_threads(), 0);
+  int ran_worker = -1;
+  pool.Run(1, [&](int w) { ran_worker = w; });
+  EXPECT_EQ(ran_worker, 0);
+  // A serial run executes inline and never touches the pool.
+  EXPECT_EQ(pool.spawned_threads(), 0);
+}
+
+TEST(TaskPoolTest, RunsEveryWorkerExactlyOnce) {
+  TaskPool pool;
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h = 0;
+  pool.Run(4, [&](int w) { hits[static_cast<size_t>(w)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.spawned_threads(), 3);  // worker 0 is the calling thread
+}
+
+TEST(TaskPoolTest, ReusesThreadsAcrossStatementsAndGrowsOnDemand) {
+  TaskPool pool;
+  std::atomic<int> count{0};
+  pool.Run(3, [&](int) { count++; });
+  EXPECT_EQ(pool.spawned_threads(), 2);
+  pool.Run(3, [&](int) { count++; });
+  EXPECT_EQ(pool.spawned_threads(), 2);  // reused, not respawned
+  pool.Run(5, [&](int) { count++; });
+  EXPECT_EQ(pool.spawned_threads(), 4);  // grew to the larger budget
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(TaskPoolTest, WorkerExceptionPropagatesToCaller) {
+  TaskPool pool;
+  EXPECT_THROW(pool.Run(4,
+                        [](int w) {
+                          if (w == 2) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The pool stays usable after a failed region.
+  std::atomic<int> count{0};
+  pool.Run(4, [&](int) { count++; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(TaskPoolTest, CallerExceptionPropagatesToo) {
+  TaskPool pool;
+  EXPECT_THROW(pool.Run(2,
+                        [](int w) {
+                          if (w == 0) throw std::runtime_error("caller boom");
+                        }),
+               std::runtime_error);
+}
+
+TEST(TaskPoolTest, GlobalPoolIsAProcessSingleton) {
+  EXPECT_EQ(TaskPool::Global(), TaskPool::Global());
+}
+
+}  // namespace
+}  // namespace parallel
+}  // namespace engine
+}  // namespace mtbase
