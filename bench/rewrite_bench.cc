@@ -240,8 +240,17 @@ BENCHMARK(BM_PreparedMthExecute)
 // Q3 (join-heavy) at 1/2/4 worker threads over a larger data set
 // (MTH_PAR_SF, default 0.01 — lineitem ~60k rows). Each cell reports a
 // "speedup_vs_1t" counter: per-iteration time of the 1-thread cell of the
-// same query divided by this cell's per-iteration time (the 1-thread cell
-// runs first and anchors the baseline).
+// same (query, level) divided by this cell's per-iteration time (the
+// 1-thread cell runs first and anchors the baseline).
+//
+// Cells run at two optimization levels. o4 inlines conversions away, so its
+// cells measure pure operator parallelism. The canonical cells keep the
+// toUniversal/fromUniversal UDF calls in the plan — the conversion-heavy
+// shape the paper optimizes — and demonstrate that immutable-UDF plans now
+// (a) parallelize (threads_used > 1, udf_parallel_evals > 0 on the cold
+// first iteration) and (b) amortize across prepared re-executions through
+// the shared dictionary cache (udf_cache_hits > 0, udf_calls == 0 on later
+// iterations). See docs/benchmarks.md for reading the counters.
 // ---------------------------------------------------------------------------
 
 struct ParallelSweepFixture {
@@ -266,7 +275,8 @@ struct ParallelSweepFixture {
 
   std::unique_ptr<mth::MthEnvironment> env;
   std::unique_ptr<mt::Session> session;
-  std::map<int, double> baseline_secs;  // per-query 1-thread per-iter time
+  // Per (query, level) 1-thread per-iteration time.
+  std::map<std::pair<int, int>, double> baseline_secs;
   double sf = 0.01;
   bool ok = false;
 };
@@ -279,14 +289,21 @@ void BM_ParallelThreadsSweep(benchmark::State& state) {
   }
   const int query = static_cast<int>(state.range(0));
   const int threads = static_cast<int>(state.range(1));
+  const auto level = static_cast<mt::OptLevel>(state.range(2));
   mth::SetMthThreads(f.env.get(), threads);
   std::string sql = mth::GetMthQuery(query, f.sf).sql;
-  auto pr = mth::PrepareMthQuery(f.session.get(), sql, mt::OptLevel::kO4);
+  auto pr = mth::PrepareMthQuery(f.session.get(), sql, level);
   if (!pr.ok()) {
     state.SkipWithError(pr.status().ToString().c_str());
     return;
   }
   mth::PreparedMthQuery prepared = std::move(pr).value();
+  // Start from a cold dictionary cache so the first iteration's counters
+  // show parallel body evaluation and later iterations show amortization.
+  f.env->mth_db->shared_udf_cache()->Clear();
+  // threads_used is a process-lifetime high-water gauge; re-anchor it so
+  // each cell reports its own watermark.
+  f.env->mth_db->stats()->threads_used = 0;
   auto warm = mth::RunPrepared(&prepared);  // untimed compile
   if (!warm.ok()) {
     state.SkipWithError(warm.status().ToString().c_str());
@@ -294,6 +311,8 @@ void BM_ParallelThreadsSweep(benchmark::State& state) {
   }
   double total = 0;
   int64_t iters = 0;
+  engine::ExecStats first = warm.value().stats;  // cold-cache execution
+  engine::ExecStats last;
   for (auto _ : state) {
     auto r = mth::RunPrepared(&prepared);
     if (!r.ok()) {
@@ -301,25 +320,41 @@ void BM_ParallelThreadsSweep(benchmark::State& state) {
       return;
     }
     total += r.value().seconds;
+    last = r.value().stats;
     ++iters;
   }
   mth::SetMthThreads(f.env.get(), 1);
   const double per_iter = iters > 0 ? total / iters : 0;
-  if (threads == 1) f.baseline_secs[query] = per_iter;
-  auto it = f.baseline_secs.find(query);
+  const auto key = std::make_pair(query, static_cast<int>(level));
+  if (threads == 1) f.baseline_secs[key] = per_iter;
+  auto it = f.baseline_secs.find(key);
   state.counters["speedup_vs_1t"] =
       it != f.baseline_secs.end() && per_iter > 0 ? it->second / per_iter : 0;
+  state.counters["threads_used"] =
+      static_cast<double>(last.threads_used);
+  // Conversion-cache behavior (all zero at o4, which inlines the UDFs):
+  // cold-run parallel body evaluations, then warm-run cache service.
+  state.counters["udf_parallel_evals_cold"] =
+      static_cast<double>(first.udf_parallel_evals);
+  state.counters["udf_cache_hits"] = static_cast<double>(last.udf_cache_hits);
+  state.counters["udf_calls"] = static_cast<double>(last.udf_calls);
 }
 
 void RegisterParallelSweep() {
-  for (int q : {1, 6, 3}) {
-    for (int t : {1, 2, 4}) {  // the 1-thread cell anchors the baseline
-      std::string name = "BM_ParallelThreadsSweep/Q" + std::to_string(q) +
-                         "/threads:" + std::to_string(t);
-      benchmark::RegisterBenchmark(name.c_str(), BM_ParallelThreadsSweep)
-          ->Args({q, t})
-          ->Iterations(5)
-          ->Unit(benchmark::kMillisecond);
+  for (auto level : {mt::OptLevel::kO4, mt::OptLevel::kCanonical}) {
+    // Q3 stays o4-only: its canonical shape is join-dominated, not
+    // conversion-dominated.
+    for (int q : level == mt::OptLevel::kO4 ? std::vector<int>{1, 6, 3}
+                                            : std::vector<int>{1, 6}) {
+      for (int t : {1, 2, 4}) {  // the 1-thread cell anchors the baseline
+        std::string name = "BM_ParallelThreadsSweep/Q" + std::to_string(q) +
+                           "/" + mt::OptLevelName(level) +
+                           "/threads:" + std::to_string(t);
+        benchmark::RegisterBenchmark(name.c_str(), BM_ParallelThreadsSweep)
+            ->Args({q, t, static_cast<int>(level)})
+            ->Iterations(5)
+            ->Unit(benchmark::kMillisecond);
+      }
     }
   }
 }

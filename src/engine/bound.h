@@ -125,10 +125,12 @@ struct Plan {
   std::vector<ColumnMeta> columns;  // output layout
 
   /// Set by the planner (parallel::MarkParallelSafe): this operator's own
-  /// expressions are free of outer references, sub-plans and UDF calls, so the
-  /// executor may evaluate them from worker threads. Children carry their own
-  /// flag; the executor additionally gates on input size and the configured
-  /// thread budget.
+  /// expressions are free of outer references, sub-plans and
+  /// volatile/stable UDF calls (IMMUTABLE UDF calls are admitted — their
+  /// read-only bodies evaluate against worker-local contexts), so the
+  /// executor may evaluate them from worker threads. Children carry their
+  /// own flag; the executor additionally gates on input size and the
+  /// configured thread budget.
   bool parallel_safe = false;
 
   // kScan
@@ -168,6 +170,38 @@ struct Plan {
 };
 
 using PlanPtr = std::unique_ptr<Plan>;
+
+/// Invoke fn(const BoundExpr&) on every direct child expression of `e` —
+/// args, CASE operand and ELSE branch (not the sub-plan; walkers decide
+/// whether to descend into plans themselves). The single child enumeration
+/// shared by every recursive expression walker, so a new child field only
+/// needs wiring here.
+template <typename Fn>
+void ForEachExprChild(const BoundExpr& e, Fn&& fn) {
+  for (const auto& a : e.args) fn(static_cast<const BoundExpr&>(*a));
+  if (e.case_operand) fn(static_cast<const BoundExpr&>(*e.case_operand));
+  if (e.else_expr) fn(static_cast<const BoundExpr&>(*e.else_expr));
+}
+
+/// Invoke fn(const BoundExpr&) on every expression hanging off this plan
+/// node — scan filter, predicate, residual, projection/group exprs, join
+/// keys and aggregate arguments — but not on children's. The single walker
+/// shared by EXPLAIN, parallel-safety marking and UDF-read-table
+/// collection, so a new expression-bearing Plan field only needs wiring
+/// here.
+template <typename Fn>
+void ForEachPlanExpr(const Plan& p, Fn&& fn) {
+  auto walk = [&fn](const BoundExprPtr& e) {
+    if (e) fn(static_cast<const BoundExpr&>(*e));
+  };
+  walk(p.scan_filter);
+  walk(p.predicate);
+  walk(p.residual);
+  for (const auto& e : p.exprs) walk(e);
+  for (const auto& e : p.left_keys) walk(e);
+  for (const auto& e : p.right_keys) walk(e);
+  for (const auto& a : p.aggs) walk(a.arg);
+}
 
 }  // namespace engine
 }  // namespace mtbase

@@ -26,7 +26,14 @@ Status Table::Insert(Row row) {
     }
   }
   rows_.push_back(std::move(row));
+  ++data_version_;
   return Status::OK();
+}
+
+uint64_t Catalog::data_version() const {
+  uint64_t sum = 0;
+  for (const auto& [key, table] : tables_) sum += table->data_version();
+  return sum;
 }
 
 Status Catalog::CreateTable(TableSchema schema) {

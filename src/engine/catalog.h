@@ -28,9 +28,17 @@ class Table {
   Status Insert(Row row);
   void Reserve(size_t n) { rows_.reserve(n); }
 
+  /// Monotonic row-mutation counter: Insert bumps it, and the UPDATE/DELETE
+  /// executors call BumpDataVersion after mutating through mutable_rows().
+  /// Part of the shared-UDF-cache epoch: cached dictionary lookups must not
+  /// survive a change to the rows their body reads.
+  uint64_t data_version() const { return data_version_; }
+  void BumpDataVersion() { ++data_version_; }
+
  private:
   TableSchema schema_;
   std::vector<Row> rows_;
+  uint64_t data_version_ = 0;
 };
 
 struct ViewDef {
@@ -54,6 +62,11 @@ class Catalog {
   /// Prepared plans snapshot it and recompile when it moved (plans hold raw
   /// Table pointers, so any catalog mutation invalidates them).
   uint64_t version() const { return version_; }
+
+  /// Sum of all tables' row-mutation counters (combined with version() in
+  /// the shared-UDF-cache epoch, so dropping a table cannot leave the sum
+  /// looking unchanged).
+  uint64_t data_version() const;
 
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;

@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include <set>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -32,7 +33,62 @@ ExecContext Database::MakeContext(const std::vector<Value>* params) {
   ctx.params = params;
   ctx.max_threads = parallel::ResolveMaxThreads(planner_options_.max_threads);
   ctx.min_parallel_rows = planner_options_.min_parallel_rows;
+  if (shared_udf_cache_enabled_) {
+    // The epoch is captured once per statement: DML executed by this very
+    // statement moves the catalog data version, so the *next* statement's
+    // epoch differs and logically evicts everything cached before the write.
+    ctx.shared_udf_cache = &shared_udf_cache_;
+    ctx.shared_udf_epoch = CurrentUdfCacheEpoch();
+  }
   return ctx;
+}
+
+namespace {
+
+void CollectExprTables(const BoundExpr& e, std::set<const Table*>* out);
+
+void CollectPlanTables(const Plan& p, std::set<const Table*>* out) {
+  if (p.table != nullptr) out->insert(p.table);
+  ForEachPlanExpr(p, [out](const BoundExpr& e) { CollectExprTables(e, out); });
+  if (p.left) CollectPlanTables(*p.left, out);
+  if (p.right) CollectPlanTables(*p.right, out);
+}
+
+void CollectExprTables(const BoundExpr& e, std::set<const Table*>* out) {
+  if (e.subplan) CollectPlanTables(*e.subplan, out);
+  ForEachExprChild(e, [out](const BoundExpr& c) { CollectExprTables(c, out); });
+}
+
+}  // namespace
+
+void Database::RebuildUdfReadTables() {
+  std::set<const Table*> tables;
+  for (Udf* udf : udfs_.All()) {
+    if (udf->body_plan != nullptr) CollectPlanTables(*udf->body_plan, &tables);
+  }
+  udf_read_tables_.assign(tables.begin(), tables.end());
+}
+
+UdfCacheEpoch Database::CurrentUdfCacheEpoch() const {
+  uint64_t data = 0;
+  if (udf_plans_stale_) {
+    // Table set unknown until the lazy refresh runs; the whole-catalog sum
+    // is a safe (at worst over-evicting) stand-in with no raw pointers.
+    data = catalog_.data_version();
+  } else {
+    for (const Table* t : udf_read_tables_) data += t->data_version();
+  }
+  return UdfCacheEpoch{catalog_.version() + udfs_.version(), data,
+                       shared_udf_external_epoch_};
+}
+
+void Database::EnableSharedUdfCache(size_t capacity) {
+  // Only the enabling call sizes the cache: a later redundant call (e.g.
+  // the Middleware constructor after an embedder already enabled with a
+  // custom capacity) must not clobber it. Resize explicitly through
+  // shared_udf_cache()->set_capacity().
+  if (!shared_udf_cache_enabled_) shared_udf_cache_.set_capacity(capacity);
+  shared_udf_cache_enabled_ = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -253,6 +309,7 @@ void Database::RefreshUdfPlans() {
     if (!plan.ok()) continue;  // references dropped objects; stays null
     udf->body_plan = std::shared_ptr<const Plan>(std::move(plan).value());
   }
+  RebuildUdfReadTables();
 }
 
 Result<ResultSet> Database::ExecuteSelect(const sql::SelectStmt& sel,
@@ -297,13 +354,15 @@ Status Database::ExecuteCreateFunction(const sql::CreateFunctionStmt& cf) {
   udf->arg_types = cf.arg_types;
   udf->return_type = cf.return_type;
   udf->body_sql = cf.body_sql;
-  udf->immutable = cf.immutable;
+  udf->volatility = cf.volatility;
   MTB_ASSIGN_OR_RETURN(auto body, sql::ParseSelect(cf.body_sql));
   Planner planner(&catalog_, &udfs_, planner_options_);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(*body));
   ++stats_.statements_planned;
   udf->body_plan = std::shared_ptr<const Plan>(std::move(plan));
-  return udfs_.Register(std::move(udf));
+  MTB_RETURN_IF_ERROR(udfs_.Register(std::move(udf)));
+  RebuildUdfReadTables();
+  return Status::OK();
 }
 
 namespace {
@@ -440,8 +499,13 @@ Status Database::ExecuteBoundInsert(const BoundDmlPlan& dml,
 Result<int64_t> Database::ExecuteBoundUpdate(const BoundDmlPlan& dml,
                                              const std::vector<Value>* params) {
   ExecContext ctx = MakeContext(params);
-  int64_t updated = 0;
-  for (Row& r : *dml.table->mutable_rows()) {
+  auto* rows = dml.table->mutable_rows();
+  // Evaluate predicates and assignments over every row before touching any
+  // (same atomic shape as DELETE below): an expression error must leave the
+  // table — and therefore the shared-UDF-cache epoch — exactly as it was.
+  std::vector<std::pair<size_t, Row>> next_rows;
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const Row& r = (*rows)[i];
     if (dml.where) {
       MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*dml.where, r, &ctx));
       if (!IsTrue(v)) continue;
@@ -451,32 +515,39 @@ Result<int64_t> Database::ExecuteBoundUpdate(const BoundDmlPlan& dml,
       MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, r, &ctx));
       next[static_cast<size_t>(idx)] = std::move(v);
     }
-    r = std::move(next);
-    ++updated;
+    next_rows.emplace_back(i, std::move(next));
   }
-  return updated;
+  for (auto& [i, next] : next_rows) (*rows)[i] = std::move(next);
+  if (!next_rows.empty()) dml.table->BumpDataVersion();
+  return static_cast<int64_t>(next_rows.size());
 }
 
 Result<int64_t> Database::ExecuteBoundDelete(const BoundDmlPlan& dml,
                                              const std::vector<Value>* params) {
   ExecContext ctx = MakeContext(params);
   auto* rows = dml.table->mutable_rows();
+  // Evaluate the predicate over every row before touching any: an
+  // expression error must leave the table (and the shared-UDF-cache epoch)
+  // exactly as it was, never with half the rows moved out.
+  std::vector<char> remove(rows->size(), 1);
+  if (dml.where) {
+    for (size_t i = 0; i < rows->size(); ++i) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*dml.where, (*rows)[i], &ctx));
+      remove[i] = IsTrue(v) ? 1 : 0;
+    }
+  }
   std::vector<Row> kept;
   kept.reserve(rows->size());
   int64_t deleted = 0;
-  for (Row& r : *rows) {
-    bool remove = true;
-    if (dml.where) {
-      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*dml.where, r, &ctx));
-      remove = IsTrue(v);
-    }
-    if (remove) {
+  for (size_t i = 0; i < rows->size(); ++i) {
+    if (remove[i]) {
       ++deleted;
     } else {
-      kept.push_back(std::move(r));
+      kept.push_back(std::move((*rows)[i]));
     }
   }
   *rows = std::move(kept);
+  if (deleted > 0) dml.table->BumpDataVersion();
   return deleted;
 }
 

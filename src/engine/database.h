@@ -23,6 +23,7 @@
 #include "engine/planner.h"
 #include "engine/stats.h"
 #include "engine/udf.h"
+#include "engine/udf_cache.h"
 #include "sql/ast.h"
 
 namespace mtbase {
@@ -133,6 +134,29 @@ class Database {
     return catalog_.version() + udfs_.version() + options_version_;
   }
 
+  /// Opt into the cross-statement result cache for immutable UDFs
+  /// (docs/ARCHITECTURE.md "Shared dictionary caches"). Off by default at
+  /// the engine layer — per-statement caching stays the plain-SQL engine's
+  /// documented behavior — and enabled by the MT middleware, whose
+  /// conversion dictionaries only change through registration and DML (both
+  /// move the cache epoch). Idempotent: only the first (enabling) call
+  /// applies `capacity`; resize later via shared_udf_cache().
+  void EnableSharedUdfCache(size_t capacity = SharedUdfCache::kDefaultCapacity);
+  bool shared_udf_cache_enabled() const { return shared_udf_cache_enabled_; }
+  SharedUdfCache* shared_udf_cache() { return &shared_udf_cache_; }
+
+  /// External component of the shared cache's epoch, bumped by the MT layer
+  /// on conversion-pair (re-)registration.
+  void BumpSharedUdfEpoch() { ++shared_udf_external_epoch_; }
+
+  /// The epoch a result cached now would be valid under: catalog/UDF DDL
+  /// version + the data versions of the tables UDF bodies actually read +
+  /// external bumps. Deliberately excluded: planner-option changes (they
+  /// change plans, not immutable results) and DML on tables no UDF body
+  /// reads (routine tenant-data inserts must not evict a warm dictionary
+  /// cache).
+  UdfCacheEpoch CurrentUdfCacheEpoch() const;
+
  private:
   friend class PreparedPlan;
 
@@ -165,6 +189,10 @@ class Database {
   /// them errors cleanly — until a later DDL makes them valid again.
   void RefreshUdfPlans();
 
+  /// Recollect the set of tables any UDF body plan scans (the shared-cache
+  /// epoch's data component). Called whenever body plans change.
+  void RebuildUdfReadTables();
+
   ExecContext MakeContext(const std::vector<Value>* params = nullptr);
 
   Catalog catalog_;
@@ -174,6 +202,15 @@ class Database {
   PlannerOptions planner_options_;
   uint64_t options_version_ = 0;
   bool udf_plans_stale_ = false;
+  SharedUdfCache shared_udf_cache_;
+  bool shared_udf_cache_enabled_ = false;
+  uint64_t shared_udf_external_epoch_ = 0;
+  /// Tables scanned by any UDF body plan (deduplicated). Raw pointers are
+  /// safe for the same reason body plans' are: catalog DDL marks
+  /// udf_plans_stale_, and the set is rebuilt with the plans before the
+  /// next execution (CurrentUdfCacheEpoch falls back to the whole-catalog
+  /// data version while stale).
+  std::vector<const Table*> udf_read_tables_;
 };
 
 }  // namespace engine

@@ -1,6 +1,7 @@
 #include "engine/exec.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/str_util.h"
 #include "engine/catalog.h"
@@ -470,27 +471,63 @@ namespace {
 
 Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args,
                       ExecContext* ctx) {
+  // Per-statement (serial) / per-worker (parallel) result cache for
+  // non-volatile UDFs; the shared cross-statement dictionary cache
+  // additionally requires IMMUTABLE (STABLE only promises stability within
+  // one statement). The System C profile cannot declare determinism, so it
+  // never caches (paper Appendix C).
   std::string cache_key;
-  bool cacheable =
-      ctx->profile == DbmsProfile::kPostgres && udf.immutable;
+  const bool cacheable =
+      ctx->profile == DbmsProfile::kPostgres && udf.statement_cacheable();
+  const bool shared_cacheable = cacheable && udf.immutable() &&
+                                ctx->shared_udf_cache != nullptr;
   if (cacheable) {
+    // Length-prefixed serialization: a string argument may itself contain
+    // the separator, and the shared cache is cross-session, so the key must
+    // be injective in the argument tuple. Doubles key on their exact bit
+    // pattern — ToString's %.6f rendering would collide values that differ
+    // past six decimals. Every other type renders exactly (INT, fixed-point
+    // DECIMAL, DATE, BOOL, VARCHAR).
     cache_key = udf.name;
     for (const Value& v : args) {
+      std::string s;
+      if (v.type() == TypeId::kDouble) {
+        uint64_t bits;
+        double d = v.double_value();
+        std::memcpy(&bits, &d, sizeof(bits));
+        s = std::to_string(bits);
+      } else {
+        s = v.ToString();
+      }
       cache_key += '\x1f';
       cache_key += static_cast<char>('0' + static_cast<int>(v.type()));
-      cache_key += v.ToString();
+      cache_key += std::to_string(s.size());
+      cache_key += ':';
+      cache_key += s;
     }
     auto it = ctx->udf_cache.find(cache_key);
     if (it != ctx->udf_cache.end()) {
       ctx->stats->udf_cache_hits++;
       return it->second;
     }
+    if (shared_cacheable) {
+      Value v;
+      if (ctx->shared_udf_cache->Lookup(ctx->shared_udf_epoch, cache_key,
+                                        &v)) {
+        ctx->stats->udf_cache_hits++;
+        ctx->stats->udf_shared_cache_hits++;
+        ctx->udf_cache[cache_key] = v;
+        return v;
+      }
+    }
+    ctx->stats->udf_cache_misses++;
   }
   if (udf.body_plan == nullptr) {
     return Status::InvalidArgument("function " + udf.name +
                                    " references dropped objects; recreate it");
   }
   ctx->stats->udf_calls++;
+  if (ctx->in_parallel_worker) ctx->stats->udf_parallel_evals++;
   const std::vector<Value>* saved = ctx->params;
   ctx->params = &args;
   auto rows = ExecutePlan(*udf.body_plan, ctx);
@@ -498,7 +535,12 @@ Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args,
   if (!rows.ok()) return rows.status();
   Value result =
       rows.value().empty() ? Value::Null() : rows.value()[0][0];
-  if (cacheable) ctx->udf_cache[cache_key] = result;
+  if (cacheable) {
+    ctx->udf_cache[cache_key] = result;
+    if (shared_cacheable) {
+      ctx->shared_udf_cache->Insert(ctx->shared_udf_epoch, cache_key, result);
+    }
+  }
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "common/value.h"
 #include "engine/bound.h"
 #include "engine/stats.h"
+#include "engine/udf_cache.h"
 
 namespace mtbase {
 namespace engine {
@@ -30,6 +31,17 @@ struct ExecContext {
   /// Inputs smaller than this never parallelize (PlannerOptions knob).
   size_t min_parallel_rows = 4096;
 
+  /// True inside a morsel worker's context: body executions performed here
+  /// count as ExecStats::udf_parallel_evals.
+  bool in_parallel_worker = false;
+
+  /// Cross-statement dictionary-conversion cache (null = disabled, the
+  /// engine default; the MT middleware enables it on its Database). Consulted
+  /// for immutable UDFs after the per-statement/per-worker cache misses;
+  /// `shared_udf_epoch` is the validity token captured at statement start.
+  SharedUdfCache* shared_udf_cache = nullptr;
+  UdfCacheEpoch shared_udf_epoch;
+
   /// Rows of enclosing queries for correlated sub-query evaluation;
   /// OuterSlot(depth = 1) reads the innermost enclosing row.
   std::vector<const Row*> outer_stack;
@@ -43,7 +55,9 @@ struct ExecContext {
   };
   std::unordered_map<const Plan*, Value> scalar_cache;   // InitPlan results
   std::unordered_map<const Plan*, InSetCache> inset_cache;
-  std::unordered_map<std::string, Value> udf_cache;      // immutable UDFs
+  // Non-volatile UDF results, keyed by (function, args). Per statement in
+  // serial execution, per worker under parallel execution.
+  std::unordered_map<std::string, Value> udf_cache;
 };
 
 /// Execute a plan to a fully materialized row set.

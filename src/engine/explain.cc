@@ -2,6 +2,7 @@
 
 #include "engine/parallel/parallel.h"
 #include "engine/planner.h"
+#include "engine/udf.h"
 
 namespace mtbase {
 namespace engine {
@@ -73,21 +74,44 @@ const char* OriginName(SubqueryOrigin o) {
   return "";
 }
 
-bool HasUdfCall(const BoundExpr& e) {
-  if (e.kind == BoundExpr::Kind::kUdfCall) return true;
-  for (const auto& a : e.args) {
-    if (HasUdfCall(*a)) return true;
+/// UDF calls found in an operator's own expressions, for the trailing
+/// [udf: ...] annotation (docs/explain.md) — the single marker for UDF
+/// presence and volatility. The operator's effective class is the weakest
+/// one called: one volatile call keeps it serial and uncached.
+struct UdfSummary {
+  bool any = false;
+  sql::Volatility weakest = sql::Volatility::kImmutable;
+};
+
+void CollectUdfs(const BoundExpr& e, UdfSummary* s) {
+  if (e.kind == BoundExpr::Kind::kUdfCall) {
+    s->any = true;
+    sql::Volatility v =
+        e.udf != nullptr ? e.udf->volatility : sql::Volatility::kVolatile;
+    if (v < s->weakest) s->weakest = v;
   }
-  if (e.case_operand && HasUdfCall(*e.case_operand)) return true;
-  if (e.else_expr && HasUdfCall(*e.else_expr)) return true;
-  return false;
+  ForEachExprChild(e, [s](const BoundExpr& c) { CollectUdfs(c, s); });
 }
 
-bool AnyUdf(const std::vector<BoundExprPtr>& exprs) {
-  for (const auto& e : exprs) {
-    if (e && HasUdfCall(*e)) return true;
+/// Append the operator's effective UDF class: " [udf: immutable, cached]"
+/// (results served from the per-statement/shared caches, parallel-eligible),
+/// " [udf: stable, statement-cached]" (cached within one statement, serial)
+/// or " [udf: volatile]" (every evaluation may run the body, serial).
+void AppendUdf(const Plan& p, std::string* out) {
+  UdfSummary s;
+  ForEachPlanExpr(p, [&s](const BoundExpr& e) { CollectUdfs(e, &s); });
+  if (!s.any) return;
+  switch (s.weakest) {
+    case sql::Volatility::kImmutable:
+      *out += " [udf: immutable, cached]";
+      break;
+    case sql::Volatility::kStable:
+      *out += " [udf: stable, statement-cached]";
+      break;
+    case sql::Volatility::kVolatile:
+      *out += " [udf: volatile]";
+      break;
   }
-  return false;
 }
 
 void Render(const Plan& p, int depth, const ExplainCtx* ctx, std::string* out);
@@ -113,23 +137,16 @@ void RenderExprSubplans(const BoundExpr& e, int depth, const ExplainCtx* ctx,
     }
     Render(*e.subplan, depth + 1, ctx, out);
   }
-  for (const auto& a : e.args) RenderExprSubplans(*a, depth, ctx, out);
-  if (e.case_operand) RenderExprSubplans(*e.case_operand, depth, ctx, out);
-  if (e.else_expr) RenderExprSubplans(*e.else_expr, depth, ctx, out);
+  ForEachExprChild(e, [&](const BoundExpr& c) {
+    RenderExprSubplans(c, depth, ctx, out);
+  });
 }
 
 void RenderPlanSubplans(const Plan& p, int depth, const ExplainCtx* ctx,
                         std::string* out) {
-  auto walk = [&](const BoundExprPtr& e) {
-    if (e) RenderExprSubplans(*e, depth, ctx, out);
-  };
-  walk(p.scan_filter);
-  walk(p.predicate);
-  walk(p.residual);
-  for (const auto& e : p.exprs) walk(e);
-  for (const auto& e : p.left_keys) walk(e);
-  for (const auto& e : p.right_keys) walk(e);
-  for (const auto& a : p.aggs) walk(a.arg);
+  ForEachPlanExpr(p, [&](const BoundExpr& e) {
+    RenderExprSubplans(e, depth, ctx, out);
+  });
 }
 
 void Render(const Plan& p, int depth, const ExplainCtx* ctx,
@@ -139,9 +156,8 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
     case Plan::Kind::kScan:
       *out += "Scan ";
       *out += p.table != nullptr ? p.table->schema().name : "<dual>";
-      if (p.scan_filter) {
-        *out += HasUdfCall(*p.scan_filter) ? " (filtered, udf)" : " (filtered)";
-      }
+      if (p.scan_filter) *out += " (filtered)";
+      AppendUdf(p, out);
       AppendParallel(p, ctx, out);
       *out += "\n";
       RenderPlanSubplans(p, depth + 1, ctx, out);
@@ -158,6 +174,7 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
         if (p.null_aware) *out += ", null-aware";
         *out += "]";
       }
+      AppendUdf(p, out);
       AppendParallel(p, ctx, out);
       *out += "\n";
       RenderPlanSubplans(p, depth + 1, ctx, out);
@@ -166,29 +183,26 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
       return;
     case Plan::Kind::kFilter:
       *out += "Filter";
-      if (p.predicate && HasUdfCall(*p.predicate)) *out += " (udf)";
+      AppendUdf(p, out);
       AppendParallel(p, ctx, out);
       *out += "\n";
       break;
     case Plan::Kind::kProject:
-      *out += "Project (" + std::to_string(p.exprs.size()) + " columns";
-      if (AnyUdf(p.exprs)) *out += ", udf";
-      *out += ")";
+      *out += "Project (" + std::to_string(p.exprs.size()) + " columns)";
+      AppendUdf(p, out);
       AppendParallel(p, ctx, out);
       *out += "\n";
       break;
     case Plan::Kind::kAggregate: {
       *out += "Aggregate (groups: " + std::to_string(p.exprs.size()) +
               ", aggs:";
-      bool udf = AnyUdf(p.exprs);
       for (const auto& a : p.aggs) {
         *out += " ";
         *out += AggName(a.func);
         if (a.distinct) *out += " DISTINCT";
-        udf = udf || (a.arg && HasUdfCall(*a.arg));
       }
-      if (udf) *out += ", udf";
       *out += ")";
+      AppendUdf(p, out);
       AppendParallel(p, ctx, out);
       *out += "\n";
       break;

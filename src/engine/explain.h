@@ -21,26 +21,9 @@ namespace engine {
 ///         Scan lineitem (filtered) [parallel: 4 threads]
 ///         Scan orders
 ///
-/// Line grammar — every operator renders on one line as
-///
-///   <Operator>[ <subject>][ (<details>)][ [<annotation>]]...
-///
-/// where <subject> is e.g. the scanned table or the join kind, (<details>)
-/// are operator parameters (key counts, group counts, sort keys, "filtered",
-/// "udf"), and each trailing [<annotation>] names an execution strategy:
-///
-///   [nested-loop]                          join without equi keys
-///   [decorrelated <ORIGIN>[, null-aware]]  sub-query unnested into this join
-///                                          (ORIGIN: EXISTS / NOT EXISTS /
-///                                          IN / NOT IN / scalar agg)
-///   [parallel: N threads]                  operator is parallel-safe and its
-///                                          estimated input clears the
-///                                          min_parallel_rows gate, so it
-///                                          would run morsel-parallel with
-///                                          the configured thread budget N
-///
-/// Sub-plans that escaped decorrelation render as indented "SubPlan (<kind>,
-/// per-row)" / "InitPlan (<kind>, cached)" trees under their operator.
+/// The full line grammar — operator subjects, (details), and the bracketed
+/// annotations [nested-loop] / [decorrelated ...] / [udf: ...] /
+/// [parallel: ...], with worked examples — is documented in docs/explain.md.
 std::string ExplainPlan(const Plan& plan, const PlannerOptions* options = nullptr);
 
 /// Plan a SELECT against the catalog and explain it (parallel annotations

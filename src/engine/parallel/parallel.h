@@ -19,10 +19,13 @@
 // Safety: a plan node may only run parallel when the planner marked it
 // parallel-safe — its own expressions contain no outer references, no
 // sub-plans (their per-statement InitPlan caches are serial state) and no
-// UDF calls (bodies execute nested plans against shared caches, and
-// non-IMMUTABLE bodies may be nondeterministic). Everything else falls back
-// to the serial path, which remains the single source of truth for
-// semantics: the same per-row code runs with workers == 1.
+// volatile/stable UDF calls (those bodies may be nondeterministic or
+// statement-scoped). IMMUTABLE UDF calls are admitted: their pre-planned,
+// read-only bodies evaluate against the worker's own context with a
+// per-worker memoization cache, so conversion-heavy canonical-level plans
+// parallelize (docs/ARCHITECTURE.md). Everything else falls back to the
+// serial path, which remains the single source of truth for semantics: the
+// same per-row code runs with workers == 1.
 #ifndef MTBASE_ENGINE_PARALLEL_PARALLEL_H_
 #define MTBASE_ENGINE_PARALLEL_PARALLEL_H_
 

@@ -13,6 +13,7 @@
 #include "engine/catalog.h"
 #include "engine/exec.h"
 #include "engine/parallel/task_pool.h"
+#include "engine/udf.h"
 
 namespace mtbase {
 namespace engine {
@@ -39,14 +40,20 @@ namespace {
 
 bool ExprParallelSafe(const BoundExpr& e) {
   if (e.subplan != nullptr) return false;  // InitPlan caches are serial state
-  if (e.kind == BoundExpr::Kind::kUdfCall) return false;  // nested plan exec
-  if (e.kind == BoundExpr::Kind::kOuterSlot) return false;
-  for (const auto& a : e.args) {
-    if (!ExprParallelSafe(*a)) return false;
+  if (e.kind == BoundExpr::Kind::kUdfCall) {
+    // Immutable UDFs may evaluate from workers: their (pre-planned, read-only)
+    // body runs against the worker's own context — per-worker result cache,
+    // worker-local params/stats, max_threads pinned to 1 — so workers never
+    // share mutable state. Volatile/stable bodies may be nondeterministic or
+    // statement-scoped, so their plans stay serial.
+    if (e.udf == nullptr || !e.udf->immutable()) return false;
   }
-  if (e.case_operand && !ExprParallelSafe(*e.case_operand)) return false;
-  if (e.else_expr && !ExprParallelSafe(*e.else_expr)) return false;
-  return true;
+  if (e.kind == BoundExpr::Kind::kOuterSlot) return false;
+  bool safe = true;
+  ForEachExprChild(e, [&safe](const BoundExpr& c) {
+    safe = safe && ExprParallelSafe(c);
+  });
+  return safe;
 }
 
 bool SafeOrNull(const BoundExprPtr& e) { return !e || ExprParallelSafe(*e); }
@@ -63,13 +70,7 @@ bool AllSafe(const std::vector<BoundExprPtr>& exprs) {
 /// const_cast cannot race with execution.
 void MarkExprSubplans(const BoundExpr& e) {
   if (e.subplan != nullptr) MarkParallelSafe(const_cast<Plan*>(e.subplan.get()));
-  for (const auto& a : e.args) MarkExprSubplans(*a);
-  if (e.case_operand) MarkExprSubplans(*e.case_operand);
-  if (e.else_expr) MarkExprSubplans(*e.else_expr);
-}
-
-void MarkSubplans(const BoundExprPtr& e) {
-  if (e) MarkExprSubplans(*e);
+  ForEachExprChild(e, [](const BoundExpr& c) { MarkExprSubplans(c); });
 }
 
 }  // namespace
@@ -78,13 +79,7 @@ void MarkParallelSafe(Plan* p) {
   if (p == nullptr) return;
   MarkParallelSafe(p->left.get());
   MarkParallelSafe(p->right.get());
-  MarkSubplans(p->scan_filter);
-  MarkSubplans(p->predicate);
-  MarkSubplans(p->residual);
-  for (const auto& e : p->exprs) MarkSubplans(e);
-  for (const auto& e : p->left_keys) MarkSubplans(e);
-  for (const auto& e : p->right_keys) MarkSubplans(e);
-  for (const auto& a : p->aggs) MarkSubplans(a.arg);
+  ForEachPlanExpr(*p, [](const BoundExpr& e) { MarkExprSubplans(e); });
 
   bool safe = false;
   switch (p->kind) {
@@ -166,6 +161,13 @@ ExecContext WorkerContext(const ExecContext& parent, ExecStats* stats) {
   c.min_parallel_rows = parent.min_parallel_rows;
   c.outer_stack = parent.outer_stack;
   c.params = parent.params;
+  c.in_parallel_worker = true;
+  // Workers start with an empty per-worker UDF cache (c.udf_cache) that
+  // lives for the whole region — repeated immutable-UDF calls stay
+  // lock-free — and fall back to the shared dictionary cache (one lock per
+  // distinct key per worker) before executing a body.
+  c.shared_udf_cache = parent.shared_udf_cache;
+  c.shared_udf_epoch = parent.shared_udf_epoch;
   return c;
 }
 

@@ -15,7 +15,17 @@ struct ExecStats {
   uint64_t rows_scanned = 0;
   uint64_t rows_joined = 0;
   uint64_t udf_calls = 0;        // UDF invocations that executed the body
-  uint64_t udf_cache_hits = 0;   // invocations answered from the result cache
+  // Invocations answered from a result cache — the per-statement cache or
+  // the shared dictionary cache (udf_shared_cache_hits counts the subset
+  // answered by the latter).
+  uint64_t udf_cache_hits = 0;
+  uint64_t udf_shared_cache_hits = 0;
+  // Cacheable invocations that found neither cache populated and had to
+  // execute the body (volatile UDFs never count: they are not cacheable).
+  uint64_t udf_cache_misses = 0;
+  // Body executions performed from a morsel worker thread (immutable UDFs
+  // only; volatile/stable UDFs keep their plans serial).
+  uint64_t udf_parallel_evals = 0;
   uint64_t subquery_execs = 0;   // per-row (correlated) sub-query executions
   uint64_t initplan_execs = 0;   // one-off sub-query executions
   uint64_t decorrelated_execs = 0;  // decorrelated sub-query joins executed
@@ -51,6 +61,9 @@ struct ExecStats {
     d.rows_joined = rows_joined - o.rows_joined;
     d.udf_calls = udf_calls - o.udf_calls;
     d.udf_cache_hits = udf_cache_hits - o.udf_cache_hits;
+    d.udf_shared_cache_hits = udf_shared_cache_hits - o.udf_shared_cache_hits;
+    d.udf_cache_misses = udf_cache_misses - o.udf_cache_misses;
+    d.udf_parallel_evals = udf_parallel_evals - o.udf_parallel_evals;
     d.subquery_execs = subquery_execs - o.subquery_execs;
     d.initplan_execs = initplan_execs - o.initplan_execs;
     d.decorrelated_execs = decorrelated_execs - o.decorrelated_execs;
@@ -74,6 +87,9 @@ struct ExecStats {
     rows_joined += w.rows_joined;
     udf_calls += w.udf_calls;
     udf_cache_hits += w.udf_cache_hits;
+    udf_shared_cache_hits += w.udf_shared_cache_hits;
+    udf_cache_misses += w.udf_cache_misses;
+    udf_parallel_evals += w.udf_parallel_evals;
     subquery_execs += w.subquery_execs;
     initplan_execs += w.initplan_execs;
     decorrelated_execs += w.decorrelated_execs;

@@ -25,7 +25,16 @@ struct Udf {
   std::vector<sql::TypeDecl> arg_types;
   sql::TypeDecl return_type;
   std::string body_sql;
-  bool immutable = false;
+  /// Volatility class (IMMUTABLE / STABLE / VOLATILE). IMMUTABLE licenses
+  /// result caching (per-statement and shared) and parallel evaluation from
+  /// morsel workers; conversion-function pairs are declared IMMUTABLE
+  /// (dictionaries only change via registration/DML, which moves the shared
+  /// cache epoch). STABLE is cacheable within one statement only.
+  sql::Volatility volatility = sql::Volatility::kVolatile;
+  bool immutable() const { return volatility == sql::Volatility::kImmutable; }
+  bool statement_cacheable() const {
+    return volatility != sql::Volatility::kVolatile;
+  }
   /// Planned at CREATE FUNCTION time (like a prepared statement) and
   /// replanned after catalog DDL (plans hold raw Table pointers). Null when
   /// the body references dropped objects; executing it then is an error.

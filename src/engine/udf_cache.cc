@@ -1,0 +1,74 @@
+#include "engine/udf_cache.h"
+
+namespace mtbase {
+namespace engine {
+
+void SharedUdfCache::ValidateLocked(const UdfCacheEpoch& epoch) {
+  if (epoch != epoch_) {
+    lru_.clear();
+    index_.clear();
+    epoch_ = epoch;
+  }
+}
+
+bool SharedUdfCache::Lookup(const UdfCacheEpoch& epoch, const std::string& key,
+                            Value* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ValidateLocked(epoch);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  *out = it->second->value;
+  return true;
+}
+
+void SharedUdfCache::Insert(const UdfCacheEpoch& epoch, const std::string& key,
+                            Value v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ValidateLocked(epoch);
+  if (capacity_ == 0) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;  // immutable: an existing entry already holds this value
+  }
+  lru_.push_front(Entry{key, std::move(v)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void SharedUdfCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t SharedUdfCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t SharedUdfCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void SharedUdfCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+UdfCacheEpoch SharedUdfCache::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+}  // namespace engine
+}  // namespace mtbase

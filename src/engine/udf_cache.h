@@ -1,0 +1,92 @@
+// Shared (cross-statement) result cache for immutable UDFs.
+//
+// The per-statement cache in ExecContext dies with its statement, so every
+// prepared-statement re-execution re-evaluates the same dictionary lookups
+// (toUniversal/fromUniversal bodies joining Tenant x CurrencyTransform,
+// paper section 4). This cache survives statements: it is owned by the
+// Database, shared by every session of the middleware in front of it, and
+// keyed by (epoch, function, argument values). The epoch folds together
+// everything a cached result can depend on — the engine compilation version
+// (DDL, planner options), the catalog data version (any row mutation:
+// dictionaries only change via registration or DML) and an external epoch
+// the MT middleware bumps on conversion-pair (re-)registration — so a moved
+// epoch logically evicts everything at once.
+//
+// Thread safety: a single mutex guards the map + LRU list. Morsel workers
+// only take it on a per-worker-cache miss (once per distinct key per worker
+// and statement); the hot path — repeated calls with the same arguments —
+// stays in the worker's own unsynchronized cache.
+#ifndef MTBASE_ENGINE_UDF_CACHE_H_
+#define MTBASE_ENGINE_UDF_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/value.h"
+
+namespace mtbase {
+namespace engine {
+
+/// Everything a shared-cached UDF result depends on. Compared field-wise;
+/// any component moving invalidates the whole cache. Planner options are
+/// deliberately not a component: they change plans, not immutable results.
+struct UdfCacheEpoch {
+  uint64_t compilation = 0;  // catalog + UDF registry DDL versions
+  uint64_t data = 0;         // Catalog::data_version() (row mutations)
+  uint64_t external = 0;     // middleware conversion (re-)registrations
+
+  bool operator==(const UdfCacheEpoch& o) const {
+    return compilation == o.compilation && data == o.data &&
+           external == o.external;
+  }
+  bool operator!=(const UdfCacheEpoch& o) const { return !(*this == o); }
+};
+
+class SharedUdfCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit SharedUdfCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// Look `key` up under `epoch`. A stale epoch clears the cache first (the
+  /// underlying dictionaries changed), so a hit is never stale.
+  bool Lookup(const UdfCacheEpoch& epoch, const std::string& key, Value* out);
+
+  /// Insert (no-op if the key is already present); evicts the least
+  /// recently used entry beyond the capacity bound.
+  void Insert(const UdfCacheEpoch& epoch, const std::string& key, Value v);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const;
+  void set_capacity(size_t capacity);
+  /// The epoch of the currently cached entries (all entries share it).
+  UdfCacheEpoch epoch() const;
+
+ private:
+  /// Drop everything if `epoch` differs from the entries' epoch. Caller
+  /// holds mu_.
+  void ValidateLocked(const UdfCacheEpoch& epoch);
+
+  struct Entry {
+    std::string key;
+    Value value;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  UdfCacheEpoch epoch_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace engine
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_UDF_CACHE_H_

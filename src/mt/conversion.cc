@@ -40,6 +40,7 @@ Status ConversionRegistry::Register(ConversionPair pair) {
   by_fn_[to_key] = {idx, true};
   by_fn_[from_key] = {idx, false};
   ++epoch_;
+  if (on_register_) on_register_();
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #define MTBASE_MT_CONVERSION_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -75,10 +76,19 @@ class ConversionRegistry {
   /// the optimizer, so late registration must invalidate.
   uint64_t epoch() const { return epoch_; }
 
+  /// Invoked after every successful Register. The Middleware installs a
+  /// hook that moves the engine's shared-UDF-cache epoch, so *every*
+  /// registration path invalidates cached conversion results — callers
+  /// cannot forget to.
+  void set_on_register(std::function<void()> hook) {
+    on_register_ = std::move(hook);
+  }
+
  private:
   std::vector<ConversionPair> pairs_;
   std::unordered_map<std::string, std::pair<size_t, bool>> by_fn_;
   uint64_t epoch_ = 0;
+  std::function<void()> on_register_;
 };
 
 }  // namespace mt

@@ -57,11 +57,24 @@ struct CompilationKey {
 
 class Middleware {
  public:
-  explicit Middleware(engine::Database* db) : db_(db) {}
+  /// Wrapping a Database in a Middleware enables the engine's shared
+  /// dictionary-conversion cache on it: the middleware controls every write
+  /// path that could change a conversion dictionary (DML moves the catalog
+  /// data version, conversion registration bumps the external epoch via the
+  /// registry hook installed here), so cross-statement caching of immutable
+  /// conversion UDF results is safe.
+  explicit Middleware(engine::Database* db) : db_(db) {
+    db_->EnableSharedUdfCache();
+    conversions_.set_on_register([db] { db->BumpSharedUdfEpoch(); });
+  }
 
   engine::Database* db() { return db_; }
   MTSchema* schema() { return &schema_; }
   const MTSchema* schema() const { return &schema_; }
+  /// Conversion registration goes through the registry directly; its
+  /// on-register hook (installed in the constructor) moves the shared-UDF-
+  /// cache epoch on every path, so results cached under an old registration
+  /// are never served.
   ConversionRegistry* conversions() { return &conversions_; }
   PrivilegeManager* privileges() { return &privileges_; }
 

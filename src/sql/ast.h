@@ -180,12 +180,23 @@ struct CreateViewStmt {
   std::unique_ptr<SelectStmt> select;
 };
 
+/// Volatility class of a user-defined function (PostgreSQL's taxonomy).
+/// IMMUTABLE promises the result depends only on the argument values, which
+/// licenses result caching and parallel evaluation; STABLE promises
+/// stability within one statement (cacheable per statement, not across);
+/// VOLATILE (the default) promises nothing.
+enum class Volatility : uint8_t {
+  kVolatile,
+  kStable,
+  kImmutable,
+};
+
 struct CreateFunctionStmt {
   std::string name;
   std::vector<TypeDecl> arg_types;
   TypeDecl return_type;
   std::string body_sql;  // SQL text with $1..$n parameters
-  bool immutable = false;
+  Volatility volatility = Volatility::kVolatile;
 };
 
 struct InsertStmt {

@@ -746,7 +746,13 @@ Result<Stmt> Parser::ParseCreate() {
     cf.body_sql = Advance().text;
     MTB_RETURN_IF_ERROR(ExpectKw("LANGUAGE"));
     MTB_RETURN_IF_ERROR(ExpectKw("SQL"));
-    cf.immutable = MatchKw("IMMUTABLE");
+    if (MatchKw("IMMUTABLE")) {
+      cf.volatility = Volatility::kImmutable;
+    } else if (MatchKw("STABLE")) {
+      cf.volatility = Volatility::kStable;
+    } else if (MatchKw("VOLATILE")) {
+      cf.volatility = Volatility::kVolatile;
+    }
     return stmt;
   }
   return Err("expected TABLE, VIEW or FUNCTION after CREATE");

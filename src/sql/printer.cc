@@ -277,7 +277,8 @@ std::string PrintStmt(const Stmt& s) {
       }
       out += ") RETURNS " + cf.return_type.ToString() + " AS '" + cf.body_sql +
              "' LANGUAGE SQL";
-      if (cf.immutable) out += " IMMUTABLE";
+      if (cf.volatility == Volatility::kImmutable) out += " IMMUTABLE";
+      if (cf.volatility == Volatility::kStable) out += " STABLE";
       return out;
     }
     case Stmt::Kind::kInsert: {

@@ -65,8 +65,68 @@ TEST_F(ExplainTest, UdfMarker) {
       "CREATE FUNCTION twice (INTEGER) RETURNS INTEGER AS 'SELECT $1 + $1' "
       "LANGUAGE SQL IMMUTABLE").status());
   std::string plan = Explain("SELECT twice(x) FROM a WHERE twice(y) > 2");
-  EXPECT_NE(plan.find("Scan a (filtered, udf)"), std::string::npos) << plan;
-  EXPECT_NE(plan.find("Project (1 columns, udf)"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Scan a (filtered) [udf: immutable, cached]"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("Project (1 columns) [udf: immutable, cached]"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, UdfAnnotationShowsVolatility) {
+  ASSERT_OK(db_.Execute(
+      "CREATE FUNCTION twice (INTEGER) RETURNS INTEGER AS 'SELECT $1 + $1' "
+      "LANGUAGE SQL IMMUTABLE").status());
+  ASSERT_OK(db_.Execute(
+      "CREATE FUNCTION rnd (INTEGER) RETURNS INTEGER AS 'SELECT $1' "
+      "LANGUAGE SQL").status());
+  std::string plan = Explain("SELECT twice(x) FROM a");
+  EXPECT_NE(plan.find("Project (1 columns) [udf: immutable, cached]"),
+            std::string::npos)
+      << plan;
+  plan = Explain("SELECT rnd(x) FROM a");
+  EXPECT_NE(plan.find("Project (1 columns) [udf: volatile]"),
+            std::string::npos)
+      << plan;
+  // A mix renders the weakest class: one volatile call keeps the operator
+  // serial.
+  plan = Explain("SELECT twice(rnd(x)) FROM a");
+  EXPECT_NE(plan.find("[udf: volatile]"), std::string::npos) << plan;
+  // STABLE is its own class: statement-cached, not volatile.
+  ASSERT_OK(db_.Execute(
+      "CREATE FUNCTION stbl (INTEGER) RETURNS INTEGER AS 'SELECT $1' "
+      "LANGUAGE SQL STABLE").status());
+  plan = Explain("SELECT stbl(x) FROM a");
+  EXPECT_NE(plan.find("Project (1 columns) [udf: stable, statement-cached]"),
+            std::string::npos)
+      << plan;
+  plan = Explain("SELECT twice(stbl(x)) FROM a");
+  EXPECT_NE(plan.find("[udf: stable, statement-cached]"), std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, ImmutableUdfOperatorsAnnotateParallel) {
+  ASSERT_OK(db_.Execute(
+      "CREATE FUNCTION twice (INTEGER) RETURNS INTEGER AS 'SELECT $1 + $1' "
+      "LANGUAGE SQL IMMUTABLE").status());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(db_.Execute("INSERT INTO a VALUES (" + std::to_string(i) + ", " +
+                          std::to_string(i * 2) + ")")
+                  .status());
+  }
+  auto sel = sql::ParseSelect("SELECT twice(x) FROM a");
+  ASSERT_TRUE(sel.ok());
+  PlannerOptions opts;
+  opts.max_threads = 4;
+  opts.min_parallel_rows = 64;
+  ASSERT_OK_AND_ASSIGN(std::string plan,
+                       ExplainSelect(db_.catalog(), db_.udfs(), *sel.value(),
+                                     opts));
+  // The conversion-shaped projection is parallel-safe now that its only UDF
+  // is immutable: both annotations render, in grammar order.
+  EXPECT_NE(plan.find("[udf: immutable, cached] [parallel: 4 threads]"),
+            std::string::npos)
+      << plan;
 }
 
 TEST_F(ExplainTest, NestedLoopMarkedExplicitly) {

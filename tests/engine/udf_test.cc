@@ -68,9 +68,127 @@ TEST(UdfTest, CacheIsPerStatement) {
   ASSERT_OK(db.ExecuteScript(kSetup));
   ASSERT_OK(db.Execute("SELECT conv(1.00, 1)").status());
   ASSERT_OK(db.Execute("SELECT conv(1.00, 1)").status());
-  // Two statements, no shared cache: two body executions.
+  // Two statements, shared cache disabled (the engine default): two body
+  // executions.
   EXPECT_EQ(db.stats()->udf_calls, 2u);
   EXPECT_EQ(db.stats()->udf_cache_hits, 0u);
+}
+
+TEST(UdfTest, SharedCacheServesAcrossStatements) {
+  Database db(DbmsProfile::kPostgres);
+  db.EnableSharedUdfCache();
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK(db.Execute("SELECT conv(1.00, 1)").status());
+  ASSERT_OK(db.Execute("SELECT conv(1.00, 1)").status());
+  EXPECT_EQ(db.stats()->udf_calls, 1u);
+  EXPECT_EQ(db.stats()->udf_cache_hits, 1u);
+  EXPECT_EQ(db.stats()->udf_shared_cache_hits, 1u);
+  EXPECT_EQ(db.stats()->udf_cache_misses, 1u);
+}
+
+TEST(UdfTest, SharedCacheNeverUsedOnSystemC) {
+  Database db(DbmsProfile::kSystemC);
+  db.EnableSharedUdfCache();
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK(db.Execute("SELECT conv(1.00, 1)").status());
+  ASSERT_OK(db.Execute("SELECT conv(1.00, 1)").status());
+  EXPECT_EQ(db.stats()->udf_calls, 2u);
+  EXPECT_EQ(db.stats()->udf_shared_cache_hits, 0u);
+}
+
+TEST(UdfTest, DmlOnBodyTablesEvictsSharedCache) {
+  Database db(DbmsProfile::kPostgres);
+  db.EnableSharedUdfCache();
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK_AND_ASSIGN(auto rs, db.Execute("SELECT conv(10.00, 2)"));
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].AsDouble(), 20.0);
+  ASSERT_OK(db.Execute("UPDATE rates SET r = 3.0 WHERE k = 2").status());
+  // The dictionary changed: the cached result must not be served.
+  ASSERT_OK_AND_ASSIGN(rs, db.Execute("SELECT conv(10.00, 2)"));
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].AsDouble(), 30.0);
+  EXPECT_EQ(db.stats()->udf_shared_cache_hits, 0u);
+  EXPECT_EQ(db.stats()->udf_calls, 2u);
+}
+
+TEST(UdfTest, FailedUpdateLeavesTableAndCacheIntact) {
+  Database db(DbmsProfile::kPostgres);
+  db.EnableSharedUdfCache();
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK_AND_ASSIGN(auto rs, db.Execute("SELECT conv(10.00, 1)"));
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].AsDouble(), 10.0);
+  // The k=1 row's assignment evaluates, then the k=2 row divides by zero:
+  // the statement must fail without mutating any row (assignments are
+  // evaluated for all rows before any is applied), and the cached result
+  // stays valid.
+  EXPECT_FALSE(db.Execute("UPDATE rates SET r = r / (k - 2)").ok());
+  ASSERT_OK_AND_ASSIGN(rs, db.Execute("SELECT r FROM rates WHERE k = 1"));
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].AsDouble(), 1.0);
+  ASSERT_OK_AND_ASSIGN(rs, db.Execute("SELECT conv(10.00, 1)"));
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].AsDouble(), 10.0);
+  EXPECT_EQ(db.stats()->udf_shared_cache_hits, 1u);
+}
+
+TEST(UdfTest, FailedDeleteLeavesTableAndCacheIntact) {
+  Database db(DbmsProfile::kPostgres);
+  db.EnableSharedUdfCache();
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK_AND_ASSIGN(auto rs, db.Execute("SELECT conv(10.00, 1)"));
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].AsDouble(), 10.0);
+  // k=1 evaluates (kept), k=2 divides by zero: the statement must fail
+  // without mutating any row, and the cached result stays valid.
+  EXPECT_FALSE(db.Execute("DELETE FROM rates WHERE r / (k - 2) > 0").ok());
+  ASSERT_OK_AND_ASSIGN(rs, db.Execute("SELECT COUNT(*) FROM rates"));
+  EXPECT_EQ(rs.rows[0][0].int_value(), 3);
+  ASSERT_OK_AND_ASSIGN(rs, db.Execute("SELECT conv(10.00, 1)"));
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].AsDouble(), 10.0);
+  EXPECT_EQ(db.stats()->udf_shared_cache_hits, 1u);
+}
+
+TEST(UdfTest, EnableSharedUdfCacheIsIdempotent) {
+  Database db(DbmsProfile::kPostgres);
+  db.EnableSharedUdfCache(/*capacity=*/2);
+  // A redundant enable (e.g. the Middleware constructor after the embedder
+  // already configured the cache) keeps the existing capacity.
+  db.EnableSharedUdfCache();
+  EXPECT_EQ(db.shared_udf_cache()->capacity(), 2u);
+}
+
+TEST(UdfTest, SharedCacheLruBound) {
+  Database db(DbmsProfile::kPostgres);
+  db.EnableSharedUdfCache(/*capacity=*/2);
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK(db.Execute("SELECT conv(1.00, 1), conv(2.00, 1), conv(3.00, 1)")
+                .status());
+  EXPECT_EQ(db.shared_udf_cache()->size(), 2u);
+  EXPECT_EQ(db.shared_udf_cache()->capacity(), 2u);
+  // conv(1.00, 1) was evicted (least recently used): it re-executes, while
+  // conv(3.00, 1) is still resident.
+  StatsScope scope(db.stats());
+  ASSERT_OK(db.Execute("SELECT conv(1.00, 1)").status());
+  EXPECT_EQ(scope.Delta().udf_calls, 1u);
+  scope.Restart();
+  ASSERT_OK(db.Execute("SELECT conv(3.00, 1)").status());
+  EXPECT_EQ(scope.Delta().udf_shared_cache_hits, 1u);
+}
+
+TEST(UdfTest, StableUdfCachedPerStatementNotShared) {
+  Database db(DbmsProfile::kPostgres);
+  db.EnableSharedUdfCache();
+  ASSERT_OK(db.ExecuteScript(kSetup));
+  ASSERT_OK(db.Execute(
+      "CREATE FUNCTION stableconv (DECIMAL(15,2), INTEGER) RETURNS "
+      "DECIMAL(15,2) AS 'SELECT r * $1 FROM rates WHERE k = $2' "
+      "LANGUAGE SQL STABLE").status());
+  // Within one statement: cached like IMMUTABLE.
+  ASSERT_OK(db.Execute("SELECT stableconv(x, k) FROM v").status());
+  EXPECT_EQ(db.stats()->udf_calls, 3u);
+  EXPECT_EQ(db.stats()->udf_cache_hits, 1u);
+  // Across statements: STABLE only promises intra-statement stability, so
+  // the shared cache is never consulted or populated.
+  ASSERT_OK(db.Execute("SELECT stableconv(1.00, 1)").status());
+  ASSERT_OK(db.Execute("SELECT stableconv(1.00, 1)").status());
+  EXPECT_EQ(db.stats()->udf_shared_cache_hits, 0u);
+  EXPECT_EQ(db.stats()->udf_calls, 5u);
 }
 
 TEST(UdfTest, ConstantArgsCachedAcrossRows) {

@@ -1,0 +1,242 @@
+// The shared dictionary-conversion cache across statements: prepared-query
+// re-executions answer repeated toUniversal/fromUniversal lookups from
+// memory, and every way a dictionary can change — DML on the meta tables
+// (tenant re-registration, rate refresh) or conversion-pair registration —
+// moves the cache epoch so no stale value is ever served. Staleness checks
+// are byte-parity: after an invalidating event the prepared handle must
+// return exactly what a fresh session computes under the new state.
+#include <gtest/gtest.h>
+
+#include "mt/mtbase.h"
+#include "mt/session.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mt {
+namespace {
+
+class ConversionCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    mw_ = std::make_unique<Middleware>(db_.get());
+    mw_->RegisterTenant(0);
+    mw_->RegisterTenant(1);
+    ASSERT_OK(db_->ExecuteScript(R"(
+      CREATE TABLE Tenant (T_tenant_key INTEGER NOT NULL, T_currency_key INTEGER NOT NULL);
+      CREATE TABLE CurrencyTransform (CT_currency_key INTEGER NOT NULL,
+        CT_to_universal DECIMAL(15,6) NOT NULL, CT_from_universal DECIMAL(15,6) NOT NULL);
+      INSERT INTO Tenant VALUES (0, 0), (1, 1);
+      INSERT INTO CurrencyTransform VALUES (0, 1, 1), (1, 0.5, 2);
+      CREATE FUNCTION currencyToUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+        AS 'SELECT CT_to_universal*$1 FROM Tenant, CurrencyTransform WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key' LANGUAGE SQL IMMUTABLE;
+      CREATE FUNCTION currencyFromUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+        AS 'SELECT CT_from_universal*$1 FROM Tenant, CurrencyTransform WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key' LANGUAGE SQL IMMUTABLE;
+    )"));
+    ConversionPair currency;
+    currency.name = "currency";
+    currency.to_universal = "currencyToUniversal";
+    currency.from_universal = "currencyFromUniversal";
+    currency.cls = ConversionClass::kMultiplicative;
+    currency.inline_spec.kind = InlineSpec::Kind::kMultiplicative;
+    currency.inline_spec.tenant_fk = "T_currency_key";
+    currency.inline_spec.meta_table = "CurrencyTransform";
+    currency.inline_spec.meta_key = "CT_currency_key";
+    currency.inline_spec.to_col = "CT_to_universal";
+    currency.inline_spec.from_col = "CT_from_universal";
+    ASSERT_OK(mw_->conversions()->Register(currency));
+
+    Session admin(mw_.get(), 0);
+    ASSERT_OK(admin.Execute(R"(CREATE TABLE Employees SPECIFIC (
+        E_emp_id INTEGER NOT NULL SPECIFIC,
+        E_name VARCHAR(25) NOT NULL COMPARABLE,
+        E_salary DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal))"));
+    ASSERT_OK(admin.Execute(
+        "INSERT INTO Employees VALUES (0,'Patrick',50000),(1,'Alice',150000)"));
+    Session t1(mw_.get(), 1);
+    ASSERT_OK(t1.Execute(
+        "INSERT INTO Employees VALUES (0,'Allan',160000),(1,'Nancy',400000)"));
+    ASSERT_OK(t1.Execute("GRANT READ ON DATABASE TO 0"));
+  }
+
+  /// A canonical-level cross-tenant session for client 0: the rewritten SQL
+  /// keeps the conversion UDF calls (no inlining), so every execution
+  /// exercises the caches.
+  Session CanonicalSession() {
+    Session s(mw_.get(), 0);
+    s.set_optimization_level(OptLevel::kCanonical);
+    EXPECT_OK(s.SetScope("IN (0, 1)"));
+    return s;
+  }
+
+  std::string Canon(const engine::ResultSet& rs) {
+    std::string out;
+    for (const Row& row : rs.rows) {
+      for (const Value& v : row) {
+        out += v.ToString();
+        out += '\x1f';
+      }
+      out += '\n';
+    }
+    return out;
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<Middleware> mw_;
+};
+
+constexpr char kQuery[] = "SELECT E_name, E_salary FROM Employees";
+
+TEST_F(ConversionCacheTest, MiddlewareEnablesSharedCache) {
+  EXPECT_TRUE(db_->shared_udf_cache_enabled());
+}
+
+TEST_F(ConversionCacheTest, PreparedReExecutionHitsSharedCache) {
+  Session s = CanonicalSession();
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK_AND_ASSIGN(auto first, pq.Execute());
+  ASSERT_EQ(first.rows.size(), 4u);
+
+  // Re-execution: the per-statement cache starts empty, so without the
+  // shared cache every distinct (value, tenant) pair would re-execute the
+  // UDF body plan. With it, zero bodies run.
+  engine::StatsScope scope(db_->stats());
+  ASSERT_OK_AND_ASSIGN(auto second, pq.Execute());
+  engine::ExecStats d = scope.Delta();
+  EXPECT_GT(d.udf_cache_hits, 0u);
+  EXPECT_GT(d.udf_shared_cache_hits, 0u);
+  EXPECT_EQ(d.udf_calls, 0u);
+  EXPECT_EQ(d.udf_cache_misses, 0u);
+  EXPECT_EQ(Canon(first), Canon(second));
+}
+
+TEST_F(ConversionCacheTest, UnrelatedDmlDoesNotEvict) {
+  Session s = CanonicalSession();
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK(pq.Execute().status());  // warm the shared cache
+
+  // Routine tenant-data writes touch no table any conversion body reads:
+  // the dictionary cache must stay warm (only new rows' values miss).
+  engine::UdfCacheEpoch before = db_->CurrentUdfCacheEpoch();
+  Session t1(mw_.get(), 1);
+  ASSERT_OK(t1.Execute("INSERT INTO Employees VALUES (2,'Zoe',400000)"));
+  EXPECT_EQ(db_->CurrentUdfCacheEpoch(), before);
+
+  engine::StatsScope scope(db_->stats());
+  ASSERT_OK(pq.Execute().status());
+  EXPECT_GT(scope.Delta().udf_shared_cache_hits, 0u);
+}
+
+TEST_F(ConversionCacheTest, ThreadBudgetChangeDoesNotEvict) {
+  Session s = CanonicalSession();
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK(pq.Execute().status());  // warm the shared cache
+
+  // A planner knob changes plans, not immutable results: the warm
+  // dictionary cache must survive (the prepared query itself recompiles,
+  // since the engine compilation version is part of its fingerprint).
+  mw_->SetMaxThreads(4);
+  engine::StatsScope scope(db_->stats());
+  ASSERT_OK(pq.Execute().status());
+  EXPECT_GT(scope.Delta().udf_shared_cache_hits, 0u);
+  EXPECT_EQ(scope.Delta().udf_calls, 0u);
+  mw_->SetMaxThreads(1);
+}
+
+TEST_F(ConversionCacheTest, RateUpdateEvictsAndReturnsNewValues) {
+  Session s = CanonicalSession();
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK_AND_ASSIGN(auto before, pq.Execute());
+  ASSERT_OK(pq.Execute().status());  // warm the shared cache
+
+  // Refresh tenant 1's exchange rate: 0.5 -> 0.25 in universal format.
+  // Plain DML on the dictionary — no DDL, so the prepared plan itself stays
+  // cached; only the conversion results must not.
+  engine::UdfCacheEpoch epoch_before = db_->CurrentUdfCacheEpoch();
+  ASSERT_OK(db_->Execute(
+      "UPDATE CurrencyTransform SET CT_to_universal = 0.25 "
+      "WHERE CT_currency_key = 1"));
+  EXPECT_NE(db_->CurrentUdfCacheEpoch(), epoch_before);
+
+  engine::StatsScope scope(db_->stats());
+  ASSERT_OK_AND_ASSIGN(auto after, pq.Execute());
+  engine::ExecStats d = scope.Delta();
+  // No stale hits: the epoch moved, so the first lookups re-execute bodies.
+  EXPECT_EQ(d.udf_shared_cache_hits, 0u);
+  EXPECT_GT(d.udf_calls, 0u);
+  EXPECT_NE(Canon(before), Canon(after));
+
+  // Byte parity with a fresh session under the new dictionary state.
+  Session fresh = CanonicalSession();
+  ASSERT_OK_AND_ASSIGN(auto fresh_rs, fresh.Execute(kQuery));
+  EXPECT_EQ(Canon(after), Canon(fresh_rs));
+
+  // Tenant 1's salaries halved in client 0's presentation (0.5 -> 0.25,
+  // client rate 1): Allan 160000 * 0.25 = 40000.
+  bool found = false;
+  for (const Row& r : after.rows) {
+    if (r[0].ToString() == "Allan") {
+      found = true;
+      EXPECT_DOUBLE_EQ(r[1].AsDouble(), 40000.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ConversionCacheTest, TenantReRegistrationEvicts) {
+  Session s = CanonicalSession();
+  ASSERT_OK_AND_ASSIGN(PreparedQuery pq, s.Prepare(kQuery));
+  ASSERT_OK_AND_ASSIGN(auto before, pq.Execute());
+  ASSERT_OK(pq.Execute().status());  // warm the shared cache
+
+  // Tenant 1 re-registers under currency 0 (rate 1): its stored values are
+  // now already universal.
+  ASSERT_OK(db_->Execute(
+      "UPDATE Tenant SET T_currency_key = 0 WHERE T_tenant_key = 1"));
+
+  engine::StatsScope scope(db_->stats());
+  ASSERT_OK_AND_ASSIGN(auto after, pq.Execute());
+  EXPECT_EQ(scope.Delta().udf_shared_cache_hits, 0u);
+  EXPECT_NE(Canon(before), Canon(after));
+  for (const Row& r : after.rows) {
+    if (r[0].ToString() == "Allan") {
+      EXPECT_DOUBLE_EQ(r[1].AsDouble(), 160000.0);
+    }
+  }
+}
+
+TEST_F(ConversionCacheTest, PairRegistrationBumpsExternalEpoch) {
+  Session s = CanonicalSession();
+  ASSERT_OK(s.Execute(kQuery).status());  // warm the shared cache
+  ASSERT_GT(db_->shared_udf_cache()->size(), 0u);
+
+  engine::UdfCacheEpoch before = db_->CurrentUdfCacheEpoch();
+  ConversionPair temperature;
+  temperature.name = "temperature";
+  temperature.to_universal = "tempToUniversal";
+  temperature.from_universal = "tempFromUniversal";
+  temperature.cls = ConversionClass::kLinear;
+  ASSERT_OK(mw_->conversions()->Register(temperature));
+  engine::UdfCacheEpoch after = db_->CurrentUdfCacheEpoch();
+  EXPECT_NE(after, before);
+  EXPECT_EQ(after.external, before.external + 1);
+
+  // The raw registry path invalidates too: the Middleware installs an
+  // on-register hook, so no caller can bypass the epoch bump.
+  ConversionPair weight;
+  weight.name = "weight";
+  weight.to_universal = "weightToUniversal";
+  weight.from_universal = "weightFromUniversal";
+  weight.cls = ConversionClass::kMultiplicative;
+  ASSERT_OK(mw_->conversions()->Register(weight));
+  EXPECT_EQ(db_->CurrentUdfCacheEpoch().external, after.external + 1);
+
+  // The next lookup under the new epoch logically evicts everything.
+  engine::StatsScope scope(db_->stats());
+  ASSERT_OK(s.Execute(kQuery).status());
+  EXPECT_EQ(scope.Delta().udf_shared_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace mt
+}  // namespace mtbase

@@ -174,8 +174,25 @@ TEST(ParserTest, CreateFunction) {
                      "DECIMAL(15,2) AS 'SELECT $1' LANGUAGE SQL IMMUTABLE"));
   ASSERT_EQ(stmt.kind, Stmt::Kind::kCreateFunction);
   EXPECT_EQ(stmt.create_function->arg_types.size(), 2u);
-  EXPECT_TRUE(stmt.create_function->immutable);
+  EXPECT_EQ(stmt.create_function->volatility, Volatility::kImmutable);
   EXPECT_EQ(stmt.create_function->body_sql, "SELECT $1");
+}
+
+TEST(ParserTest, CreateFunctionVolatilityClasses) {
+  ASSERT_OK_AND_ASSIGN(
+      Stmt stmt,
+      ParseStatement("CREATE FUNCTION f (INTEGER) RETURNS INTEGER AS "
+                     "'SELECT $1' LANGUAGE SQL STABLE"));
+  EXPECT_EQ(stmt.create_function->volatility, Volatility::kStable);
+  ASSERT_OK_AND_ASSIGN(
+      stmt, ParseStatement("CREATE FUNCTION g (INTEGER) RETURNS INTEGER AS "
+                           "'SELECT $1' LANGUAGE SQL VOLATILE"));
+  EXPECT_EQ(stmt.create_function->volatility, Volatility::kVolatile);
+  // No keyword: volatile, the conservative default.
+  ASSERT_OK_AND_ASSIGN(
+      stmt, ParseStatement("CREATE FUNCTION h (INTEGER) RETURNS INTEGER AS "
+                           "'SELECT $1' LANGUAGE SQL"));
+  EXPECT_EQ(stmt.create_function->volatility, Volatility::kVolatile);
 }
 
 TEST(ParserTest, InsertVariants) {

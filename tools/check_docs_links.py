@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans every *.md file in the repository (skipping build trees) and fails if
+an inline link [text](target) points at a file or directory that does not
+exist. External links (scheme://, mailto:) are ignored; #fragment targets
+are checked against the linked file's headings (own-file fragments against
+the current file).
+
+Usage: python3 tools/check_docs_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+# Inline links, with or without a title: [text](target) / [text](target "t").
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", "build", "build-tsan", "third_party", ".claude"}
+EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:")  # http:, https:, mailto:, ...
+
+
+def headings(path):
+    """Anchor ids of a markdown file, GitHub-style: fenced code blocks are
+    not headings (a '# comment' in a ```sh block must not register), and
+    repeated headings get -1, -2, ... suffixes."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return set()
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    ids = set()
+    seen = {}
+    for line in text.splitlines():
+        if not line.startswith("#"):
+            continue
+        heading = line.lstrip("#").strip().lower()
+        anchor = re.sub(r"[^\w\- ]", "", heading).replace(" ", "-")
+        n = seen.get(anchor, 0)
+        seen[anchor] = n + 1
+        ids.add(anchor if n == 0 else f"{anchor}-{n}")
+    return ids
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    for md in md_files(root):
+        base = os.path.dirname(md)
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        # Strip fenced code blocks: their bracket syntax is not a link.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if EXTERNAL.match(target):
+                continue
+            path_part, _, fragment = target.partition("#")
+            where = os.path.relpath(md, root)
+            if path_part:
+                resolved = os.path.normpath(os.path.join(base, path_part))
+                if not os.path.exists(resolved):
+                    errors.append(f"{where}: dead link -> {target}")
+                    continue
+                frag_file = resolved
+            else:
+                frag_file = md
+            if fragment and os.path.isfile(frag_file):
+                if fragment.lower() not in headings(frag_file):
+                    errors.append(f"{where}: missing anchor -> {target}")
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} dead markdown link(s).")
+        return 1
+    print(f"All intra-repo markdown links resolve under {root}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
