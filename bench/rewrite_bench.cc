@@ -338,6 +338,87 @@ void BM_ParallelThreadsSweep(benchmark::State& state) {
       static_cast<double>(first.udf_parallel_evals);
   state.counters["udf_cache_hits"] = static_cast<double>(last.udf_cache_hits);
   state.counters["udf_calls"] = static_cast<double>(last.udf_calls);
+  // Sort-tail behavior (Q1 sorts 4 groups, Q3 fuses ORDER BY ... LIMIT 10
+  // into a top-N): visible here, dominant in BM_ParallelSortSweep below.
+  state.counters["parallel_sorts"] = static_cast<double>(last.parallel_sorts);
+  state.counters["topn_pushdowns"] = static_cast<double>(last.topn_pushdowns);
+}
+
+// ---------------------------------------------------------------------------
+// Sort-heavy sweep: a raw multi-key ORDER BY over the full lineitem table
+// (~60k rows at MTH_PAR_SF 0.01) — the shape where the sort, not the scan,
+// dominates — at 1/2/4 worker threads, full-sort vs top-N. The 1-thread
+// SortFull cell doubles as the serial-sort regression benchmark: it runs
+// the exact single-threaded std::stable_sort path with the hoisted
+// sort-key comparator, so a comparator regression shows up as a slower
+// 1-thread cell, not just a smaller speedup. The TopN cells report how
+// many rows the bounded heaps discarded (topn_rows_pruned ~ input - 100).
+// ---------------------------------------------------------------------------
+
+void BM_ParallelSortSweep(benchmark::State& state) {
+  auto& f = ParallelSweepFixture::Get();
+  if (!f.ok) {
+    state.SkipWithError("fixture setup failed");
+    return;
+  }
+  const bool topn = state.range(0) != 0;
+  const int threads = static_cast<int>(state.range(1));
+  mth::SetMthThreads(f.env.get(), threads);
+  std::string sql =
+      "SELECT l_orderkey, l_suppkey, l_quantity, l_shipdate FROM lineitem "
+      "ORDER BY l_quantity DESC, l_shipdate, l_orderkey";
+  if (topn) sql += " LIMIT 100";
+  auto pr = mth::PrepareMthQuery(f.session.get(), sql, mt::OptLevel::kO4);
+  if (!pr.ok()) {
+    state.SkipWithError(pr.status().ToString().c_str());
+    return;
+  }
+  mth::PreparedMthQuery prepared = std::move(pr).value();
+  f.env->mth_db->stats()->threads_used = 0;  // re-anchor the gauge
+  auto warm = mth::RunPrepared(&prepared);   // untimed compile
+  if (!warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    return;
+  }
+  double total = 0;
+  int64_t iters = 0;
+  engine::ExecStats last;
+  for (auto _ : state) {
+    auto r = mth::RunPrepared(&prepared);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    total += r.value().seconds;
+    last = r.value().stats;
+    ++iters;
+  }
+  mth::SetMthThreads(f.env.get(), 1);
+  const double per_iter = iters > 0 ? total / iters : 0;
+  const auto key = std::make_pair(topn ? 1001 : 1000, 0);
+  if (threads == 1) f.baseline_secs[key] = per_iter;
+  auto it = f.baseline_secs.find(key);
+  state.counters["speedup_vs_1t"] =
+      it != f.baseline_secs.end() && per_iter > 0 ? it->second / per_iter : 0;
+  state.counters["threads_used"] = static_cast<double>(last.threads_used);
+  state.counters["parallel_sorts"] = static_cast<double>(last.parallel_sorts);
+  state.counters["topn_pushdowns"] = static_cast<double>(last.topn_pushdowns);
+  state.counters["topn_rows_pruned"] =
+      static_cast<double>(last.topn_rows_pruned);
+}
+
+void RegisterSortSweep() {
+  for (int topn : {0, 1}) {
+    for (int t : {1, 2, 4}) {  // the 1-thread cell anchors the baseline
+      std::string name = std::string("BM_ParallelSortSweep/") +
+                         (topn != 0 ? "TopN100" : "SortFull") +
+                         "/threads:" + std::to_string(t);
+      benchmark::RegisterBenchmark(name.c_str(), BM_ParallelSortSweep)
+          ->Args({topn, t})
+          ->Iterations(5)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
 }
 
 void RegisterParallelSweep() {
@@ -364,6 +445,7 @@ void RegisterParallelSweep() {
 int main(int argc, char** argv) {
   RegisterAll();
   RegisterParallelSweep();
+  RegisterSortSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -118,6 +118,7 @@ struct Plan {
     kProject,
     kAggregate, // hash aggregation; output = [keys..., aggs...]
     kSort,
+    kTopN,      // fused Sort + Limit: bounded heaps instead of a full sort
     kLimit,
     kDistinct,
   } kind = Kind::kScan;
@@ -162,11 +163,13 @@ struct Plan {
   // kAggregate
   std::vector<AggSpec> aggs;
 
-  // kSort: slot indices into child layout
+  // kSort / kTopN: slot indices into child layout
   std::vector<std::pair<int, bool>> sort_keys;  // (slot, desc)
 
-  // kLimit
+  // kLimit / kTopN. The output is rows [offset, offset + limit) of the
+  // (sorted) input; kTopN only ever keeps limit + offset candidates.
   int64_t limit = -1;
+  int64_t offset = 0;
 };
 
 using PlanPtr = std::unique_ptr<Plan>;

@@ -15,7 +15,10 @@ namespace {
 
 Value NullV() { return Value::Null(); }
 
-/// NULL-aware three-way comparison for sorting: NULLs sort last (ascending).
+Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args, ExecContext* ctx);
+
+}  // namespace
+
 int SortCompare(const Value& a, const Value& b) {
   if (a.is_null() && b.is_null()) return 0;
   if (a.is_null()) return 1;
@@ -23,10 +26,6 @@ int SortCompare(const Value& a, const Value& b) {
   auto r = a.Compare(b);
   return r.ok() ? r.value() : 0;
 }
-
-Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args, ExecContext* ctx);
-
-}  // namespace
 
 bool IsTrue(const Value& v) {
   return v.type() == TypeId::kBool && v.bool_value();
@@ -703,16 +702,14 @@ Result<std::vector<Row>> ExecAggregate(const Plan& p, ExecContext* ctx) {
 
 Result<std::vector<Row>> ExecSort(const Plan& p, ExecContext* ctx) {
   MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*p.left, ctx));
-  std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
-    for (const auto& [slot, desc] : p.sort_keys) {
-      int c = SortCompare(a[static_cast<size_t>(slot)],
-                          b[static_cast<size_t>(slot)]);
-      if (desc) c = -c;
-      if (c != 0) return c < 0;
-    }
-    return false;
-  });
-  return rows;
+  int workers = parallel::PlanWorkers(p, rows.size(), *ctx);
+  return parallel::SortExec(p, ctx, std::move(rows), workers);
+}
+
+Result<std::vector<Row>> ExecTopN(const Plan& p, ExecContext* ctx) {
+  MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*p.left, ctx));
+  int workers = parallel::PlanWorkers(p, rows.size(), *ctx);
+  return parallel::TopNExec(p, ctx, std::move(rows), workers);
 }
 
 }  // namespace
@@ -737,8 +734,16 @@ Result<std::vector<Row>> ExecutePlan(const Plan& plan, ExecContext* ctx) {
       return ExecAggregate(plan, ctx);
     case Plan::Kind::kSort:
       return ExecSort(plan, ctx);
+    case Plan::Kind::kTopN:
+      return ExecTopN(plan, ctx);
     case Plan::Kind::kLimit: {
       MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan.left, ctx));
+      const size_t off =
+          std::min(static_cast<size_t>(plan.offset), rows.size());
+      if (off > 0) {
+        rows.erase(rows.begin(),
+                   rows.begin() + static_cast<std::ptrdiff_t>(off));
+      }
       if (static_cast<int64_t>(rows.size()) > plan.limit) {
         rows.resize(static_cast<size_t>(plan.limit));
       }

@@ -69,6 +69,12 @@ Result<Value> EvalExpr(const BoundExpr& e, const Row& row, ExecContext* ctx);
 /// SQL three-valued logic helper: value is BOOL true (not NULL, not false).
 bool IsTrue(const Value& v);
 
+/// NULL-aware three-way comparison for ORDER BY: NULLs compare greater than
+/// every value (so they sort last ascending, first descending — the key
+/// direction negates the result). Shared by the serial executor and the
+/// parallel sort/top-N implementations so their orders agree byte-for-byte.
+int SortCompare(const Value& a, const Value& b);
+
 /// Numeric helpers shared by the evaluator and aggregation.
 Result<Value> NumericAdd(const Value& a, const Value& b);
 Result<Value> NumericSub(const Value& a, const Value& b);

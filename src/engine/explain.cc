@@ -24,6 +24,15 @@ void AppendParallel(const Plan& p, const ExplainCtx* ctx, std::string* out) {
   *out += " [parallel: " + std::to_string(ctx->threads) + " threads]";
 }
 
+/// Sort/top-N variant of the annotation: " [parallel sort: N threads]" when
+/// the run-sort + merge path would plausibly engage (sort.cc).
+void AppendParallelSort(const Plan& p, const ExplainCtx* ctx,
+                        std::string* out) {
+  if (ctx == nullptr || ctx->threads <= 1 || !p.parallel_safe) return;
+  if (parallel::EstimatePlanRows(p) < ctx->min_rows) return;
+  *out += " [parallel sort: " + std::to_string(ctx->threads) + " threads]";
+}
+
 const char* JoinKindName(JoinKind k) {
   switch (k) {
     case JoinKind::kInner:
@@ -212,11 +221,27 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
       for (const auto& [slot, desc] : p.sort_keys) {
         *out += " " + std::to_string(slot) + (desc ? " DESC" : "");
       }
-      *out += ")\n";
+      *out += ")";
+      AppendParallelSort(p, ctx, out);
+      *out += "\n";
+      break;
+    }
+    case Plan::Kind::kTopN: {
+      *out += "TopN (keys:";
+      for (const auto& [slot, desc] : p.sort_keys) {
+        *out += " " + std::to_string(slot) + (desc ? " DESC" : "");
+      }
+      *out += ") [top-n: " + std::to_string(p.limit);
+      if (p.offset > 0) *out += ", offset " + std::to_string(p.offset);
+      *out += "]";
+      AppendParallelSort(p, ctx, out);
+      *out += "\n";
       break;
     }
     case Plan::Kind::kLimit:
-      *out += "Limit " + std::to_string(p.limit) + "\n";
+      *out += "Limit " + std::to_string(p.limit);
+      if (p.offset > 0) *out += " OFFSET " + std::to_string(p.offset);
+      *out += "\n";
       break;
     case Plan::Kind::kDistinct:
       *out += "Distinct\n";

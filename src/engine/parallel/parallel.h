@@ -14,7 +14,10 @@
 // order. Chunk-ordered merging is exact for INT/DECIMAL arithmetic; only
 // SUM/AVG over DOUBLE re-associates floating-point addition and may differ
 // from the serial left-fold in the last bits (deterministic for a fixed
-// thread count).
+// thread count). Sort and top-N (sort.cc) follow the same discipline:
+// per-worker stable-sorted runs merge pairwise with earlier-run-wins ties,
+// and top-N's bounded heaps order by (sort keys, input index), so both
+// reproduce the serial stable sort byte-for-byte.
 //
 // Safety: a plan node may only run parallel when the planner marked it
 // parallel-safe — its own expressions contain no outer references, no
@@ -84,6 +87,24 @@ Result<std::vector<Row>> HashJoinExec(const Plan& p, ExecContext* ctx,
                                       int workers);
 Result<std::vector<Row>> AggregateExec(const Plan& p, ExecContext* ctx,
                                        std::vector<Row> input, int workers);
+
+/// ORDER BY (sort.cc): with workers == 1 a single std::stable_sort — the
+/// serial executor's historical behavior, with the sort-key slot casts
+/// hoisted out of the comparator; with workers > 1 per-worker stable-sorted
+/// runs merged pairwise in parallel passes. Ties take the earlier run, so
+/// the parallel order is byte-identical to the serial stable sort. Counted
+/// in ExecStats::parallel_sorts when workers > 1.
+Result<std::vector<Row>> SortExec(const Plan& p, ExecContext* ctx,
+                                  std::vector<Row> input, int workers);
+
+/// Fused Sort + Limit (Plan::Kind::kTopN, sort.cc): per-worker bounded
+/// max-heaps ordered by (sort keys, input index) keep at most
+/// limit + offset candidates each; the merged union sorts and slices to
+/// rows [offset, offset + limit) — byte-identical to a full sort followed
+/// by OFFSET/LIMIT. Counted in ExecStats::topn_pushdowns; discarded rows in
+/// ExecStats::topn_rows_pruned.
+Result<std::vector<Row>> TopNExec(const Plan& p, ExecContext* ctx,
+                                  std::vector<Row> input, int workers);
 
 }  // namespace parallel
 }  // namespace engine

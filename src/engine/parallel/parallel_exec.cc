@@ -109,9 +109,15 @@ void MarkParallelSafe(Plan* p) {
       break;
     }
     case Plan::Kind::kSort:
+    case Plan::Kind::kTopN:
+      // Sort keys are plain slot indices (no expressions to evaluate), and
+      // the run-sort + merge / bounded-heap implementations reproduce the
+      // serial stable order exactly (sort.cc).
+      safe = true;
+      break;
     case Plan::Kind::kLimit:
     case Plan::Kind::kDistinct:
-      safe = false;  // inherently order-/state-sequential operators
+      safe = false;  // trivially serial / state-sequential operators
       break;
   }
   p->parallel_safe = safe;

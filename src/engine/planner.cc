@@ -1462,12 +1462,21 @@ Result<PlanPtr> PlannerImpl::PlanSelect(const sql::SelectStmt& sel,
     cur = std::move(sort);
   }
   if (sel.limit >= 0) {
-    auto limit = std::make_unique<Plan>();
-    limit->kind = Plan::Kind::kLimit;
-    limit->limit = sel.limit;
-    limit->columns = out_cols;
-    limit->left = std::move(cur);
-    cur = std::move(limit);
+    if (options_.topn_pushdown && cur->kind == Plan::Kind::kSort) {
+      // Fuse Sort + Limit into a bounded top-N: the sort never materializes
+      // more than limit + offset candidates per worker (sort.cc).
+      cur->kind = Plan::Kind::kTopN;
+      cur->limit = sel.limit;
+      cur->offset = sel.offset;
+    } else {
+      auto limit = std::make_unique<Plan>();
+      limit->kind = Plan::Kind::kLimit;
+      limit->limit = sel.limit;
+      limit->offset = sel.offset;
+      limit->columns = out_cols;
+      limit->left = std::move(cur);
+      cur = std::move(limit);
+    }
   }
   if (has_hidden) {
     auto drop = std::make_unique<Plan>();

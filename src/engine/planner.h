@@ -39,6 +39,13 @@ struct PlannerOptions {
   /// (parallelism overhead dominates on small inputs). Tests lower it to
   /// force the parallel path on small data sets.
   size_t min_parallel_rows = 4096;
+
+  /// Fuse an ORDER BY directly under a LIMIT into a bounded top-N operator
+  /// (per-worker heaps keep only limit + offset candidates instead of
+  /// sorting the full input). Output is byte-identical to full-sort +
+  /// LIMIT/OFFSET; off forces the full sort, which regression tests compare
+  /// against. Toggling recompiles prepared statements (options version).
+  bool topn_pushdown = true;
 };
 
 class Planner {

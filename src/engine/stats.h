@@ -47,6 +47,13 @@ struct ExecStats {
   // Morsel-driven parallel execution (src/engine/parallel/).
   uint64_t parallel_morsels = 0;  // morsels processed by parallel operators
   uint64_t parallel_joins = 0;    // hash joins executed with > 1 worker
+  // Sort/top-N regions executed with > 1 worker (run-sort + merge).
+  uint64_t parallel_sorts = 0;
+  // Executions of a fused Sort+Limit (top-N) operator, serial or parallel.
+  uint64_t topn_pushdowns = 0;
+  // Rows a top-N operator discarded via its bounded heaps instead of
+  // materializing them into a full sorted result (input - merged candidates).
+  uint64_t topn_rows_pruned = 0;
   /// High-water mark of workers used by any parallel region (a gauge, not a
   /// monotonic counter: operator- reports the current value unchanged).
   uint64_t threads_used = 0;
@@ -75,6 +82,9 @@ struct ExecStats {
     d.rewrite_cache_hits = rewrite_cache_hits - o.rewrite_cache_hits;
     d.parallel_morsels = parallel_morsels - o.parallel_morsels;
     d.parallel_joins = parallel_joins - o.parallel_joins;
+    d.parallel_sorts = parallel_sorts - o.parallel_sorts;
+    d.topn_pushdowns = topn_pushdowns - o.topn_pushdowns;
+    d.topn_rows_pruned = topn_rows_pruned - o.topn_rows_pruned;
     d.threads_used = threads_used;  // gauge: carried through, not subtracted
     return d;
   }
@@ -95,6 +105,9 @@ struct ExecStats {
     decorrelated_execs += w.decorrelated_execs;
     parallel_morsels += w.parallel_morsels;
     parallel_joins += w.parallel_joins;
+    parallel_sorts += w.parallel_sorts;
+    topn_pushdowns += w.topn_pushdowns;
+    topn_rows_pruned += w.topn_rows_pruned;
   }
 };
 

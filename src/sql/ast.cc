@@ -117,6 +117,7 @@ std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
     s->order_by.push_back(std::move(oi));
   }
   s->limit = limit;
+  s->offset = offset;
   return s;
 }
 

@@ -128,7 +128,8 @@ struct SelectStmt {
   std::vector<ExprPtr> group_by;
   ExprPtr having;
   std::vector<OrderItem> order_by;
-  int64_t limit = -1;  // -1 = no limit
+  int64_t limit = -1;   // -1 = no limit
+  int64_t offset = 0;   // rows skipped before the limit applies
 
   std::unique_ptr<SelectStmt> Clone() const;
 };

@@ -1,6 +1,8 @@
 #include "sql/parser.h"
 
 #include <cassert>
+#include <cerrno>
+#include <cstdlib>
 
 #include "common/str_util.h"
 #include "sql/lexer.h"
@@ -9,6 +11,18 @@ namespace mtbase {
 namespace sql {
 
 namespace {
+
+/// std::stoll without the exception: integer tokens are digit-only (the
+/// lexer guarantees it), so the only failure mode is overflow past int64_t
+/// — which must surface as a syntax error, not std::terminate.
+bool ParseInt64(const std::string& text, int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
 
 class Parser {
  public:
@@ -110,6 +124,7 @@ bool Parser::IsReserved(const std::string& word) const {
       "INNER",  "OUTER", "UNION",  "WHEN",   "THEN",   "ELSE",   "END",
       "IN",     "IS",    "LIKE",   "BETWEEN", "EXISTS", "DISTINCT", "BY",
       "ASC",    "DESC",  "VALUES", "SET",    "INTO",   "CASE",   "TO",
+      "OFFSET",
   };
   for (const char* r : kReserved) {
     if (EqualsIgnoreCase(word, r)) return true;
@@ -275,8 +290,10 @@ Result<ExprPtr> Parser::ParsePrimary() {
   const Token& t = Peek();
   // Literals.
   if (t.kind == TokenKind::kInteger) {
+    int64_t v = 0;
+    if (!ParseInt64(t.text, &v)) return Err("integer literal out of range");
     Advance();
-    return Lit(Value::Int(std::stoll(t.text)));
+    return Lit(Value::Int(v));
   }
   if (t.kind == TokenKind::kDecimal) {
     Advance();
@@ -374,8 +391,12 @@ Result<ExprPtr> Parser::ParsePrimary() {
     Advance();
     auto e = std::make_unique<Expr>();
     e->kind = ExprKind::kInterval;
-    if (Peek().kind == TokenKind::kString || Peek().kind == TokenKind::kInteger) {
-      e->args.push_back(Lit(Value::Int(std::stoll(Advance().text))));
+    int64_t count = 0;
+    if ((Peek().kind == TokenKind::kString ||
+         Peek().kind == TokenKind::kInteger) &&
+        ParseInt64(Peek().text, &count)) {
+      Advance();
+      e->args.push_back(Lit(Value::Int(count)));
     } else {
       return Err("expected interval count");
     }
@@ -527,8 +548,18 @@ Result<std::unique_ptr<SelectStmt>> Parser::ParseSelectStmt() {
     }
   }
   if (MatchKw("LIMIT")) {
-    if (Peek().kind != TokenKind::kInteger) return Err("expected LIMIT count");
-    s->limit = std::stoll(Advance().text);
+    if (Peek().kind != TokenKind::kInteger ||
+        !ParseInt64(Peek().text, &s->limit)) {
+      return Err("expected LIMIT count");
+    }
+    Advance();
+    if (MatchKw("OFFSET")) {
+      if (Peek().kind != TokenKind::kInteger ||
+          !ParseInt64(Peek().text, &s->offset)) {
+        return Err("expected OFFSET count");
+      }
+      Advance();
+    }
   }
   return s;
 }
@@ -849,8 +880,9 @@ Result<Stmt> Parser::ParseGrantOrRevoke(bool revoke) {
   }
   if (MatchKw("ALL")) {
     g.to_all = true;
-  } else if (Peek().kind == TokenKind::kInteger) {
-    g.grantee = std::stoll(Advance().text);
+  } else if (Peek().kind == TokenKind::kInteger &&
+             ParseInt64(Peek().text, &g.grantee)) {
+    Advance();
   } else {
     return Err("expected tenant id or ALL");
   }

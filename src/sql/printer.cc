@@ -213,6 +213,7 @@ std::string PrintSelect(const SelectStmt& s) {
     }
   }
   if (s.limit >= 0) out += " LIMIT " + std::to_string(s.limit);
+  if (s.offset > 0) out += " OFFSET " + std::to_string(s.offset);
   return out;
 }
 

@@ -51,13 +51,82 @@ TEST_F(ExplainTest, SemiJoinFromExists) {
 
 TEST_F(ExplainTest, AggregateAndSort) {
   std::string plan = Explain(
-      "SELECT y, COUNT(*) AS c, SUM(x) FROM a GROUP BY y ORDER BY c DESC "
-      "LIMIT 3");
+      "SELECT y, COUNT(*) AS c, SUM(x) FROM a GROUP BY y ORDER BY c DESC");
   EXPECT_NE(plan.find("Aggregate (groups: 1, aggs: COUNT(*) SUM)"),
             std::string::npos)
       << plan;
   EXPECT_NE(plan.find("Sort (keys: 1 DESC)"), std::string::npos) << plan;
-  EXPECT_NE(plan.find("Limit 3"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, SortLimitFusesIntoTopN) {
+  std::string plan = Explain(
+      "SELECT y, COUNT(*) AS c, SUM(x) FROM a GROUP BY y ORDER BY c DESC "
+      "LIMIT 3");
+  EXPECT_NE(plan.find("TopN (keys: 1 DESC) [top-n: 3]"), std::string::npos)
+      << plan;
+  EXPECT_EQ(plan.find("Limit"), std::string::npos) << plan;
+  // OFFSET rides along in the fused operator.
+  plan = Explain("SELECT y FROM a ORDER BY y LIMIT 3 OFFSET 2");
+  EXPECT_NE(plan.find("TopN (keys: 0) [top-n: 3, offset 2]"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, TopNPushdownOffKeepsSortPlusLimit) {
+  auto sel = sql::ParseSelect("SELECT y FROM a ORDER BY y LIMIT 3 OFFSET 2");
+  ASSERT_TRUE(sel.ok());
+  PlannerOptions opts;
+  opts.topn_pushdown = false;
+  ASSERT_OK_AND_ASSIGN(
+      std::string plan,
+      ExplainSelect(db_.catalog(), db_.udfs(), *sel.value(), opts));
+  EXPECT_NE(plan.find("Limit 3 OFFSET 2"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Sort (keys: 0)"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("TopN"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, LimitWithoutOrderByStaysLimit) {
+  std::string plan = Explain("SELECT y FROM a LIMIT 5");
+  EXPECT_NE(plan.find("Limit 5"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("TopN"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, ParallelSortAnnotationGatedOnThreadsAndSize) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(db_.Execute("INSERT INTO a VALUES (" + std::to_string(i) + ", " +
+                          std::to_string(i * 2) + ")")
+                  .status());
+  }
+  auto sel = sql::ParseSelect("SELECT y FROM a ORDER BY y DESC");
+  ASSERT_TRUE(sel.ok());
+  PlannerOptions opts;
+  opts.max_threads = 4;
+  opts.min_parallel_rows = 64;
+  ASSERT_OK_AND_ASSIGN(
+      std::string plan,
+      ExplainSelect(db_.catalog(), db_.udfs(), *sel.value(), opts));
+  EXPECT_NE(plan.find("Sort (keys: 0 DESC) [parallel sort: 4 threads]"),
+            std::string::npos)
+      << plan;
+  // The fused top-N carries the same annotation when eligible.
+  auto topn = sql::ParseSelect("SELECT y FROM a ORDER BY y DESC LIMIT 5");
+  ASSERT_TRUE(topn.ok());
+  ASSERT_OK_AND_ASSIGN(plan, ExplainSelect(db_.catalog(), db_.udfs(),
+                                           *topn.value(), opts));
+  EXPECT_NE(
+      plan.find("TopN (keys: 0 DESC) [top-n: 5] [parallel sort: 4 threads]"),
+      std::string::npos)
+      << plan;
+  // Serial budget / tiny input: no sort annotation.
+  opts.max_threads = 1;
+  ASSERT_OK_AND_ASSIGN(plan, ExplainSelect(db_.catalog(), db_.udfs(),
+                                           *sel.value(), opts));
+  EXPECT_EQ(plan.find("[parallel sort:"), std::string::npos) << plan;
+  opts.max_threads = 4;
+  opts.min_parallel_rows = 4096;
+  ASSERT_OK_AND_ASSIGN(plan, ExplainSelect(db_.catalog(), db_.udfs(),
+                                           *sel.value(), opts));
+  EXPECT_EQ(plan.find("[parallel sort:"), std::string::npos) << plan;
 }
 
 TEST_F(ExplainTest, UdfMarker) {

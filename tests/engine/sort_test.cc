@@ -1,0 +1,187 @@
+// Sort / top-N semantics: stability, NULL ordering, multi-key sorts,
+// LIMIT/OFFSET edges, and the two byte-parity guarantees the parallel sort
+// subsystem makes (sort.cc): parallel == serial, and top-N == full sort +
+// LIMIT/OFFSET.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace engine {
+namespace {
+
+std::string Canon(const ResultSet& rs) { return CanonRows(rs.rows); }
+
+class SortTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.ExecuteScript(R"(
+      CREATE TABLE t (k INTEGER, seq INTEGER NOT NULL, s VARCHAR(10));
+      INSERT INTO t VALUES (2, 0, 'b'), (1, 1, 'a'), (2, 2, 'c'),
+                           (NULL, 3, 'n1'), (1, 4, 'd'), (NULL, 5, 'n2'),
+                           (3, 6, 'e'), (2, 7, 'f');
+    )"));
+  }
+
+  std::vector<Row> Rows(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << sql;
+    return r.ok() ? r.value().rows : std::vector<Row>{};
+  }
+
+  /// seq column of the result, as a compact signature of the row order.
+  std::string SeqOrder(const std::string& sql) {
+    std::string out;
+    for (const Row& r : Rows(sql)) {
+      out += r[1].ToString();
+      out += ',';
+    }
+    return out;
+  }
+
+  void SetParallelism(int max_threads, size_t min_rows) {
+    PlannerOptions opts = db_.planner_options();
+    opts.max_threads = max_threads;
+    opts.min_parallel_rows = min_rows;
+    db_.set_planner_options(opts);
+  }
+
+  Database db_;
+};
+
+TEST_F(SortTest, StableSortPreservesInputOrderOnTies) {
+  // Three k=2 rows were inserted as seq 0, 2, 7: a stable sort must keep
+  // that order within the tie group.
+  EXPECT_EQ(SeqOrder("SELECT k, seq FROM t ORDER BY k"),
+            "1,4,0,2,7,6,3,5,");
+}
+
+TEST_F(SortTest, NullsSortLastAscendingFirstDescending) {
+  EXPECT_EQ(SeqOrder("SELECT k, seq FROM t ORDER BY k ASC"),
+            "1,4,0,2,7,6,3,5,");
+  // DESC negates the comparison, so the NULL group leads (input order
+  // within it preserved).
+  EXPECT_EQ(SeqOrder("SELECT k, seq FROM t ORDER BY k DESC"),
+            "3,5,6,0,2,7,1,4,");
+}
+
+TEST_F(SortTest, MultiKeySort) {
+  // Primary DESC, secondary ASC: within k=2, order by s ascending.
+  EXPECT_EQ(SeqOrder("SELECT k, seq FROM t ORDER BY k DESC, s ASC"),
+            "3,5,6,0,2,7,1,4,");
+  EXPECT_EQ(SeqOrder("SELECT k, seq FROM t ORDER BY s DESC"),
+            "5,3,7,6,4,2,0,1,");
+}
+
+TEST_F(SortTest, LimitZeroAndOffsetEdges) {
+  EXPECT_EQ(Rows("SELECT k, seq FROM t ORDER BY k LIMIT 0").size(), 0u);
+  EXPECT_EQ(Rows("SELECT k, seq FROM t ORDER BY k LIMIT 5 OFFSET 100").size(),
+            0u);
+  EXPECT_EQ(Rows("SELECT k, seq FROM t ORDER BY k LIMIT 100 OFFSET 6").size(),
+            2u);
+  EXPECT_EQ(SeqOrder("SELECT k, seq FROM t ORDER BY k LIMIT 3 OFFSET 2"),
+            "0,2,7,");
+  // OFFSET without ORDER BY takes the plain Limit path.
+  EXPECT_EQ(SeqOrder("SELECT k, seq FROM t LIMIT 2 OFFSET 1"), "1,2,");
+  EXPECT_EQ(Rows("SELECT k, seq FROM t LIMIT 2 OFFSET 100").size(), 0u);
+}
+
+TEST_F(SortTest, TopNMatchesFullSortByteForByte) {
+  const char* queries[] = {
+      "SELECT k, seq, s FROM t ORDER BY k LIMIT 3",
+      "SELECT k, seq, s FROM t ORDER BY k DESC LIMIT 4",
+      "SELECT k, seq, s FROM t ORDER BY k, s DESC LIMIT 3 OFFSET 2",
+      "SELECT k, seq, s FROM t ORDER BY s LIMIT 100",   // limit past end
+      "SELECT k, seq, s FROM t ORDER BY k LIMIT 0",
+  };
+  for (const char* sql : queries) {
+    PlannerOptions opts = db_.planner_options();
+    opts.topn_pushdown = false;
+    db_.set_planner_options(opts);
+    ASSERT_OK_AND_ASSIGN(ResultSet full, db_.Execute(sql));
+    opts.topn_pushdown = true;
+    db_.set_planner_options(opts);
+    StatsScope scope(db_.stats());
+    ASSERT_OK_AND_ASSIGN(ResultSet topn, db_.Execute(sql));
+    EXPECT_EQ(Canon(full), Canon(topn)) << sql;
+    EXPECT_EQ(scope.Delta().topn_pushdowns, 1u) << sql;
+  }
+}
+
+TEST_F(SortTest, TopNPrunesRowsBeyondTheBound) {
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(db_.Execute("INSERT INTO t VALUES (" + std::to_string(i % 37) +
+                          ", " + std::to_string(100 + i) + ", 'x')")
+                  .status());
+  }
+  StatsScope scope(db_.stats());
+  ASSERT_OK(db_.Execute("SELECT k, seq FROM t ORDER BY k, seq LIMIT 5")
+                .status());
+  ExecStats d = scope.Delta();
+  EXPECT_EQ(d.topn_pushdowns, 1u);
+  // 508 input rows, at most 5 candidates survive the bounded heap.
+  EXPECT_GE(d.topn_rows_pruned, 500u);
+}
+
+TEST_F(SortTest, ParallelSortByteIdenticalToSerial) {
+  // Many duplicate keys and NULLs so stability and NULL placement are
+  // actually exercised across run boundaries.
+  for (int i = 0; i < 600; ++i) {
+    std::string k = i % 11 == 0 ? "NULL" : std::to_string(i % 7);
+    ASSERT_OK(db_.Execute("INSERT INTO t VALUES (" + k + ", " +
+                          std::to_string(100 + i) + ", 's" +
+                          std::to_string(i % 5) + "')")
+                  .status());
+  }
+  const char* queries[] = {
+      "SELECT k, seq, s FROM t ORDER BY k",
+      "SELECT k, seq, s FROM t ORDER BY k DESC, s",
+      "SELECT k, seq, s FROM t ORDER BY s DESC, k LIMIT 17",
+      "SELECT k, seq, s FROM t ORDER BY k LIMIT 10 OFFSET 595",
+  };
+  for (const char* sql : queries) {
+    SetParallelism(1, 4096);
+    ASSERT_OK_AND_ASSIGN(ResultSet serial, db_.Execute(sql));
+    SetParallelism(4, 16);
+    StatsScope scope(db_.stats());
+    ASSERT_OK_AND_ASSIGN(ResultSet par, db_.Execute(sql));
+    EXPECT_EQ(Canon(serial), Canon(par)) << sql;
+    EXPECT_EQ(scope.Delta().parallel_sorts, 1u) << sql;
+    SetParallelism(1, 4096);
+  }
+}
+
+TEST_F(SortTest, SerialSortBelowGateCountsNoParallelSort) {
+  StatsScope scope(db_.stats());
+  ASSERT_OK(db_.Execute("SELECT k, seq FROM t ORDER BY k").status());
+  EXPECT_EQ(scope.Delta().parallel_sorts, 0u);
+}
+
+// Toggling topn_pushdown moves the options version, so prepared statements
+// transparently recompile — the MT layer's fingerprints (which embed the
+// engine compilation version) invalidate the same way.
+TEST_F(SortTest, TopNToggleRecompilesPreparedStatements) {
+  ASSERT_OK_AND_ASSIGN(PreparedPlan prepared,
+                       db_.Prepare("SELECT k, seq FROM t ORDER BY k LIMIT 3"));
+  ASSERT_OK_AND_ASSIGN(ResultSet first, prepared.Execute());
+  StatsScope scope(db_.stats());
+  ASSERT_OK_AND_ASSIGN(ResultSet again, prepared.Execute());
+  EXPECT_EQ(scope.Delta().statements_planned, 0u);
+  EXPECT_EQ(scope.Delta().plan_cache_hits, 1u);
+  PlannerOptions opts = db_.planner_options();
+  opts.topn_pushdown = false;
+  db_.set_planner_options(opts);
+  scope.Restart();
+  ASSERT_OK_AND_ASSIGN(ResultSet replanned, prepared.Execute());
+  EXPECT_GE(scope.Delta().statements_planned, 1u);
+  EXPECT_EQ(Canon(first), Canon(again));
+  EXPECT_EQ(Canon(first), Canon(replanned));
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace mtbase

@@ -70,15 +70,7 @@ class ConversionCacheTest : public ::testing::Test {
   }
 
   std::string Canon(const engine::ResultSet& rs) {
-    std::string out;
-    for (const Row& row : rs.rows) {
-      for (const Value& v : row) {
-        out += v.ToString();
-        out += '\x1f';
-      }
-      out += '\n';
-    }
-    return out;
+    return CanonRows(rs.rows);
   }
 
   std::unique_ptr<engine::Database> db_;

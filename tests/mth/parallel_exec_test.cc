@@ -12,20 +12,7 @@ namespace mtbase {
 namespace mth {
 namespace {
 
-/// Byte-exact canonical form of a result set (no numeric tolerance: serial
-/// and parallel runs must match exactly, row order included).
-std::string Canon(const engine::ResultSet& rs) {
-  std::string out;
-  for (const Row& row : rs.rows) {
-    for (const Value& v : row) {
-      out += static_cast<char>('0' + static_cast<int>(v.type()));
-      out += v.ToString();
-      out += '\x1f';
-    }
-    out += '\n';
-  }
-  return out;
-}
+std::string Canon(const engine::ResultSet& rs) { return CanonRows(rs.rows); }
 
 void SetEngineParallelism(engine::Database* db, int max_threads,
                           size_t min_parallel_rows) {
@@ -123,6 +110,47 @@ INSTANTIATE_TEST_SUITE_P(AllQueries, ParallelExecTest,
                            std::snprintf(buf, sizeof(buf), "Q%02d",
                                          info.param);
                            return std::string(buf);
+                         });
+
+// ORDER BY tails parallelize now: Q1 (full sort after aggregation) runs the
+// run-sort + merge path and Q3 (ORDER BY ... LIMIT 10) fuses into a top-N,
+// both byte-identical to the serial plan. The sf-0.002 sort inputs are tiny
+// (Q1 sorts 4 groups), so the gate drops to 2 rows to actually engage the
+// parallel machinery end-to-end.
+class ParallelSortStatsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelSortStatsTest, OrderByTailsRunParallel) {
+  auto& fixture = ParallelEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  engine::Database* db = fixture.env()->mth_db.get();
+  MthQuery q = GetMthQuery(GetParam(), fixture.env()->config.scale_factor);
+  SetEngineParallelism(db, 1, 4096);
+  ASSERT_OK_AND_ASSIGN(QueryRun serial,
+                       RunMthQuery(fixture.session(), q.sql, mt::OptLevel::kO4));
+  SetEngineParallelism(db, 4, 2);
+  db->stats()->threads_used = 0;  // re-anchor the high-water gauge
+  ASSERT_OK_AND_ASSIGN(QueryRun par,
+                       RunMthQuery(fixture.session(), q.sql, mt::OptLevel::kO4));
+  EXPECT_EQ(Canon(serial.result), Canon(par.result))
+      << q.name << ": parallel sort changed the result";
+  EXPECT_GT(par.stats.parallel_sorts, 0u) << q.name;
+  EXPECT_GT(par.stats.threads_used, 1u) << q.name;
+  EXPECT_EQ(serial.stats.parallel_sorts, 0u) << q.name;
+  if (GetParam() == 3) {
+    // Q3 carries LIMIT 10: the planner must fuse Sort + Limit into a top-N
+    // in both runs. (Whether the bounded heaps prune anything depends on
+    // the group count at this scale factor; sort_test covers pruning with
+    // controlled data.)
+    EXPECT_GT(par.stats.topn_pushdowns, 0u) << q.name;
+    EXPECT_GT(serial.stats.topn_pushdowns, 0u) << q.name;
+  }
+  SetEngineParallelism(db, 1, 4096);
+}
+
+INSTANTIATE_TEST_SUITE_P(SortQueries, ParallelSortStatsTest,
+                         ::testing::Values(1, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
                          });
 
 // A join-heavy query must take the partitioned parallel hash join path.

@@ -125,6 +125,33 @@ TEST(ParserTest, GroupHavingOrderLimit) {
   EXPECT_TRUE(sel->order_by[0].desc);
   EXPECT_FALSE(sel->order_by[1].desc);
   EXPECT_EQ(sel->limit, 10);
+  EXPECT_EQ(sel->offset, 0);
+}
+
+TEST(ParserTest, LimitOffset) {
+  ASSERT_OK_AND_ASSIGN(auto sel,
+                       ParseSelect("SELECT a FROM t ORDER BY a LIMIT 5 OFFSET 20"));
+  EXPECT_EQ(sel->limit, 5);
+  EXPECT_EQ(sel->offset, 20);
+  // OFFSET survives Clone (views and the MT rewriter clone statements).
+  auto clone = sel->Clone();
+  EXPECT_EQ(clone->limit, 5);
+  EXPECT_EQ(clone->offset, 20);
+  // OFFSET requires a preceding LIMIT and an integer count.
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t OFFSET 3").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT 5 OFFSET x").ok());
+}
+
+TEST(ParserTest, IntegerOverflowIsSyntaxErrorNotCrash) {
+  // Out-of-int64-range literals must produce a Status, not throw out of
+  // std::stoll and terminate the process.
+  const char* big = "99999999999999999999";
+  EXPECT_FALSE(
+      ParseSelect("SELECT a FROM t LIMIT " + std::string(big)).ok());
+  EXPECT_FALSE(
+      ParseSelect("SELECT a FROM t LIMIT 1 OFFSET " + std::string(big)).ok());
+  EXPECT_FALSE(ParseSelect("SELECT " + std::string(big)).ok());
+  EXPECT_FALSE(ParseExpression("x + " + std::string(big)).ok());
 }
 
 TEST(ParserTest, Joins) {

@@ -67,6 +67,22 @@ TEST(PrinterTest, SelectClauses) {
   EXPECT_NE(text.find("ORDER BY x DESC LIMIT 7"), std::string::npos);
 }
 
+TEST(PrinterTest, LimitOffsetRoundTrips) {
+  auto sel = ParseSelect("SELECT a FROM t ORDER BY a LIMIT 7 OFFSET 3");
+  ASSERT_OK(sel);
+  std::string text = PrintSelect(*sel.value());
+  EXPECT_NE(text.find("ORDER BY a LIMIT 7 OFFSET 3"), std::string::npos);
+  // Re-parse the printed form: the round trip must preserve both counts.
+  auto again = ParseSelect(text);
+  ASSERT_OK(again);
+  EXPECT_EQ(again.value()->limit, 7);
+  EXPECT_EQ(again.value()->offset, 3);
+  // offset == 0 stays unprinted.
+  sel = ParseSelect("SELECT a FROM t LIMIT 7 OFFSET 0");
+  ASSERT_OK(sel);
+  EXPECT_EQ(PrintSelect(*sel.value()).find("OFFSET"), std::string::npos);
+}
+
 TEST(PrinterTest, ExprEqualsIsStructural) {
   auto a = ParseExpression("x + 1 * y");
   auto b = ParseExpression("x + (1 * y)");

@@ -2,11 +2,32 @@
 #ifndef MTBASE_TESTS_TEST_UTIL_H_
 #define MTBASE_TESTS_TEST_UTIL_H_
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/result.h"
+#include "common/value.h"
 
 namespace mtbase {
+
+/// Byte-exact canonical form of a row set (type tag + rendered value per
+/// cell, row order preserved): the encoding every serial-vs-parallel and
+/// cached-vs-fresh byte-parity assertion compares. No numeric tolerance by
+/// design — "byte-identical" is the guarantee under test.
+inline std::string CanonRows(const std::vector<Row>& rows) {
+  std::string out;
+  for (const Row& row : rows) {
+    for (const Value& v : row) {
+      out += static_cast<char>('0' + static_cast<int>(v.type()));
+      out += v.ToString();
+      out += '\x1f';
+    }
+    out += '\n';
+  }
+  return out;
+}
 
 inline const Status& ToStatus(const Status& s) { return s; }
 template <typename T>
