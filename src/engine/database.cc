@@ -126,6 +126,7 @@ Status PreparedPlan::Compile() {
     Planner planner(&db_->catalog_, &db_->udfs_, db_->planner_options_);
     MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(*sel));
     ++db_->stats_.statements_planned;
+    MTB_RETURN_IF_ERROR(db_->VerifyPlan(plan.get()));
     column_names_.clear();
     for (const auto& c : plan->columns) column_names_.push_back(c.name);
     plan_ = std::shared_ptr<const Plan>(std::move(plan));
@@ -312,11 +313,27 @@ void Database::RefreshUdfPlans() {
   RebuildUdfReadTables();
 }
 
+Status Database::VerifyPlan(Plan* plan) {
+  if (plan_mutation_hook_) plan_mutation_hook_(plan);
+  if (!verify::VerificationEnabled()) return Status::OK();
+  // The verifier walks UDF body plans, which hold raw catalog pointers and
+  // are only safe to dereference once replanned against the current catalog.
+  if (udf_plans_stale_) RefreshUdfPlans();
+  ++stats_.plans_verified;
+  verify::PlanVerifier verifier(&verify_ctx_);
+  verify::VerifyResult result = verifier.Verify(*plan);
+  if (result.ok()) return Status::OK();
+  stats_.verify_violations += result.violations.size();
+  return Status::InvalidArgument("plan verification failed:\n" +
+                                 result.Message());
+}
+
 Result<ResultSet> Database::ExecuteSelect(const sql::SelectStmt& sel,
                                           const std::vector<Value>* params) {
   Planner planner(&catalog_, &udfs_, planner_options_);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(sel));
   ++stats_.statements_planned;
+  MTB_RETURN_IF_ERROR(VerifyPlan(plan.get()));
   ExecContext ctx = MakeContext(params);
   MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan, &ctx));
   ResultSet rs;

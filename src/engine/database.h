@@ -12,6 +12,7 @@
 #ifndef MTBASE_ENGINE_DATABASE_H_
 #define MTBASE_ENGINE_DATABASE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -24,6 +25,7 @@
 #include "engine/stats.h"
 #include "engine/udf.h"
 #include "engine/udf_cache.h"
+#include "engine/verify/verifier.h"
 #include "sql/ast.h"
 
 namespace mtbase {
@@ -117,6 +119,12 @@ class Database {
   Catalog* catalog() { return &catalog_; }
   const Catalog* catalog() const { return &catalog_; }
   UdfRegistry* udfs() { return &udfs_; }
+  /// Replan any UDF bodies invalidated by DDL. Callers that hand the
+  /// registry to code dereferencing `Udf::body_plan` outside the execute
+  /// path (e.g. `ExplainSelect` with a verify context) must call this first.
+  void EnsureUdfPlansFresh() {
+    if (udf_plans_stale_) RefreshUdfPlans();
+  }
   ExecStats* stats() { return &stats_; }
   DbmsProfile profile() const { return profile_; }
   void set_profile(DbmsProfile p) { profile_ = p; }
@@ -157,6 +165,22 @@ class Database {
   /// cache).
   UdfCacheEpoch CurrentUdfCacheEpoch() const;
 
+  /// Assumptions PlanVerifier may make about plans compiled from now on.
+  /// The MT middleware refreshes this before every statement compile with
+  /// the expected dataset D' (src/mt/session.cc); a plain-SQL embedder keeps
+  /// the default (engine-level checks only). See verify/verifier.h.
+  void set_verify_context(verify::VerifyContext ctx) {
+    verify_ctx_ = std::move(ctx);
+  }
+  const verify::VerifyContext& verify_context() const { return verify_ctx_; }
+
+  /// Test-only: mutate each plan after planning, before verification —
+  /// lets negative suites deliberately break invariants and assert the
+  /// verifier refuses the plan. Pass nullptr to uninstall.
+  void set_plan_mutation_hook_for_testing(std::function<void(Plan*)> hook) {
+    plan_mutation_hook_ = std::move(hook);
+  }
+
  private:
   friend class PreparedPlan;
 
@@ -193,6 +217,12 @@ class Database {
   /// epoch's data component). Called whenever body plans change.
   void RebuildUdfReadTables();
 
+  /// Run the test mutation hook, then — when verification is enforced
+  /// (debug builds / MTBASE_VERIFY_PLANS=1) — prove the plan's invariants
+  /// under the current verify context, counting ExecStats::plans_verified
+  /// and refusing violating plans (ExecStats::verify_violations).
+  Status VerifyPlan(Plan* plan);
+
   ExecContext MakeContext(const std::vector<Value>* params = nullptr);
 
   Catalog catalog_;
@@ -211,6 +241,8 @@ class Database {
   /// next execution (CurrentUdfCacheEpoch falls back to the whole-catalog
   /// data version while stale).
   std::vector<const Table*> udf_read_tables_;
+  verify::VerifyContext verify_ctx_;
+  std::function<void(Plan*)> plan_mutation_hook_;
 };
 
 }  // namespace engine

@@ -269,10 +269,16 @@ std::string ExplainPlan(const Plan& plan, const PlannerOptions* options) {
 Result<std::string> ExplainSelect(const Catalog* catalog,
                                   const UdfRegistry* udfs,
                                   const sql::SelectStmt& sel,
-                                  const PlannerOptions& options) {
+                                  const PlannerOptions& options,
+                                  const verify::VerifyContext* verify_ctx) {
   Planner planner(catalog, udfs, options);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(sel));
-  return ExplainPlan(*plan, &options);
+  std::string out = ExplainPlan(*plan, &options);
+  if (verify_ctx != nullptr) {
+    verify::PlanVerifier verifier(verify_ctx);
+    out += "[verify: " + verifier.Verify(*plan).Summary() + "]\n";
+  }
+  return out;
 }
 
 }  // namespace engine

@@ -9,6 +9,7 @@
 #include "engine/catalog.h"
 #include "engine/planner.h"
 #include "engine/udf.h"
+#include "engine/verify/verifier.h"
 #include "sql/ast.h"
 
 namespace mtbase {
@@ -27,11 +28,16 @@ namespace engine {
 std::string ExplainPlan(const Plan& plan, const PlannerOptions* options = nullptr);
 
 /// Plan a SELECT against the catalog and explain it (parallel annotations
-/// reflect `options`).
+/// reflect `options`). With `verify_ctx` set — the EXPLAIN (VERIFY) surface —
+/// the plan additionally runs through PlanVerifier (regardless of whether
+/// enforcement is on) and a final `[verify: ok]` or `[verify: FAILED <codes>]`
+/// line is appended; see docs/explain.md.
 Result<std::string> ExplainSelect(const Catalog* catalog,
                                   const UdfRegistry* udfs,
                                   const sql::SelectStmt& sel,
-                                  const PlannerOptions& options = {});
+                                  const PlannerOptions& options = {},
+                                  const verify::VerifyContext* verify_ctx =
+                                      nullptr);
 
 }  // namespace engine
 }  // namespace mtbase

@@ -58,6 +58,12 @@ struct ExecStats {
   /// monotonic counter: operator- reports the current value unchanged).
   uint64_t threads_used = 0;
 
+  // Static plan verification (src/engine/verify/). Verification runs at
+  // compile time, so re-executing a prepared statement under an unchanged
+  // fingerprint does not move either counter.
+  uint64_t plans_verified = 0;    // top-level plans run through PlanVerifier
+  uint64_t verify_violations = 0; // invariant violations reported (0 = clean)
+
   void Reset() { *this = ExecStats(); }
   uint64_t total_udf_invocations() const { return udf_calls + udf_cache_hits; }
 
@@ -86,6 +92,8 @@ struct ExecStats {
     d.topn_pushdowns = topn_pushdowns - o.topn_pushdowns;
     d.topn_rows_pruned = topn_rows_pruned - o.topn_rows_pruned;
     d.threads_used = threads_used;  // gauge: carried through, not subtracted
+    d.plans_verified = plans_verified - o.plans_verified;
+    d.verify_violations = verify_violations - o.verify_violations;
     return d;
   }
 

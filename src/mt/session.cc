@@ -175,6 +175,15 @@ Result<std::vector<int64_t>> Session::ResolveDataset(const sql::Stmt& stmt) {
       Optimizer opt(mw_->conversions(), client_);
       MTB_RETURN_IF_ERROR(opt.Optimize(rewritten.get(), level_));
       std::string sql_text = sql::PrintSelect(*rewritten);
+      // The scope query itself is contractually unfiltered (it determines
+      // D); tell the verifier so before the engine compiles it.
+      engine::verify::VerifyContext vctx;
+      vctx.check_tenant = true;
+      vctx.ttid_column = kTtidColumn;
+      vctx.tenant_tables = mw_->schema()->TenantSpecificTables();
+      vctx.expected_tenants = mw_->tenants();
+      vctx.allow_unfiltered = true;
+      mw_->db()->set_verify_context(std::move(vctx));
       MTB_ASSIGN_OR_RETURN(auto rs, mw_->db()->Execute(sql_text));
       for (const auto& row : rs.rows) {
         if (!row.empty() && !row[0].is_null()) {
@@ -189,6 +198,20 @@ Result<std::vector<int64_t>> Session::ResolveDataset(const sql::Stmt& stmt) {
   std::vector<std::string> ts_tables;
   CollectTsTables(stmt, &ts_tables);
   return mw_->privileges()->PruneDataset(dataset, ts_tables, client_);
+}
+
+engine::verify::VerifyContext Session::MakeVerifyContext(
+    const std::vector<int64_t>& dataset) const {
+  engine::verify::VerifyContext ctx;
+  ctx.check_tenant = true;
+  ctx.ttid_column = kTtidColumn;
+  ctx.tenant_tables = mw_->schema()->TenantSpecificTables();
+  ctx.expected_tenants = dataset;
+  std::sort(ctx.expected_tenants.begin(), ctx.expected_tenants.end());
+  // When o1 elides the D-filters (D' = all tenants), unfiltered access is
+  // exactly what the rewrite contract promises.
+  ctx.allow_unfiltered = OptionsFor(dataset).drop_dfilters;
+  return ctx;
 }
 
 RewriteOptions Session::OptionsFor(const std::vector<int64_t>& dataset) const {
@@ -270,6 +293,10 @@ Status PreparedQuery::Recompile(const std::vector<int64_t>& dataset) {
   key.dataset = dataset;
   MTB_ASSIGN_OR_RETURN(auto stmts,
                        session_->RewriteWithDataset(stmt_, dataset));
+  // Tell the verifier what the rewrite just promised: every plan compiled
+  // below must restrict tenant-specific access to this dataset.
+  session_->mw_->db()->set_verify_context(
+      session_->MakeVerifyContext(dataset));
   for (auto& s : stmts) {
     std::string text = sql::PrintStmt(s);
     if (!sql_.empty()) sql_ += ";\n";
@@ -385,7 +412,9 @@ Result<engine::ResultSet> Session::ExecuteStmt(const sql::Stmt& stmt) {
       return mw_->db()->ExecuteStmt(stmt);
     }
     default: {
-      MTB_ASSIGN_OR_RETURN(auto stmts, RewriteStmt(stmt, nullptr));
+      std::vector<int64_t> dataset;
+      MTB_ASSIGN_OR_RETURN(auto stmts, RewriteStmt(stmt, &dataset));
+      mw_->db()->set_verify_context(MakeVerifyContext(dataset));
       engine::ResultSet last;
       last_sql_.clear();
       for (const auto& s : stmts) {
@@ -449,16 +478,24 @@ Result<engine::ResultSet> Session::ExecuteScript(const std::string& mtsql) {
   return last;
 }
 
-Result<std::string> Session::Explain(const std::string& mtsql) {
+Result<std::string> Session::Explain(const std::string& mtsql, bool verify) {
   MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
-  MTB_ASSIGN_OR_RETURN(auto stmts, RewriteStmt(stmt, nullptr));
+  std::vector<int64_t> dataset;
+  MTB_ASSIGN_OR_RETURN(auto stmts, RewriteStmt(stmt, &dataset));
+  engine::verify::VerifyContext vctx;
+  if (verify) {
+    vctx = MakeVerifyContext(dataset);
+    // The verifier follows UDF body plans; replan any staled by DDL first.
+    mw_->db()->EnsureUdfPlansFresh();
+  }
   std::string out;
   for (const auto& s : stmts) {
     if (s.kind != sql::Stmt::Kind::kSelect) continue;
     MTB_ASSIGN_OR_RETURN(
         std::string text,
         engine::ExplainSelect(mw_->db()->catalog(), mw_->db()->udfs(),
-                              *s.select, mw_->db()->planner_options()));
+                              *s.select, mw_->db()->planner_options(),
+                              verify ? &vctx : nullptr));
     out += text;
   }
   return out;

@@ -177,7 +177,10 @@ class Session {
 
   /// Rewrite a query and return the engine's physical plan rendering —
   /// shows how D-filters, ttid joins and inlined conversion joins execute.
-  Result<std::string> Explain(const std::string& mtsql);
+  /// With `verify` — the EXPLAIN (VERIFY) surface — each plan additionally
+  /// runs through the static verifier under this session's expected tenant
+  /// set and a `[verify: ok]` / `[verify: FAILED <codes>]` line is appended.
+  Result<std::string> Explain(const std::string& mtsql, bool verify = false);
 
   Status SetScope(const std::string& scope_text);
   const Scope& scope() const { return scope_; }
@@ -208,6 +211,12 @@ class Session {
   CompilationKey CurrentCompilationKey() const;
   Status HandleGrant(const sql::GrantStmt& grant);
   RewriteOptions OptionsFor(const std::vector<int64_t>& dataset) const;
+  /// The assumptions the engine's PlanVerifier may make about plans compiled
+  /// from this session's statements: tenant-isolation checking on, expected
+  /// tenant set D', unfiltered access admitted exactly when o1 elided the
+  /// D-filters. Installed on the engine database before every compile.
+  engine::verify::VerifyContext MakeVerifyContext(
+      const std::vector<int64_t>& dataset) const;
   void CollectTsTables(const sql::Stmt& stmt,
                        std::vector<std::string>* out) const;
 

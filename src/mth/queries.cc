@@ -326,7 +326,7 @@ std::vector<MthQuery> MthQueries(double scale_factor) {
   for (int i = 0; i < 22; ++i) {
     MthQuery q;
     q.number = i + 1;
-    char name[8];
+    char name[16];
     std::snprintf(name, sizeof(name), "Q%02d", i + 1);
     q.name = name;
     q.sql = texts[i];

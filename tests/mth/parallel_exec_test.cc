@@ -106,7 +106,7 @@ TEST_P(ParallelExecTest, SerialAndParallelResultsByteIdentical) {
 INSTANTIATE_TEST_SUITE_P(AllQueries, ParallelExecTest,
                          ::testing::Range(1, 23),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           char buf[8];
+                           char buf[16];
                            std::snprintf(buf, sizeof(buf), "Q%02d",
                                          info.param);
                            return std::string(buf);

@@ -1,0 +1,185 @@
+// Tenant-isolation proofs over the MT-H workload: every canonical validation
+// query, at every rewrite level, must compile verifier-clean under
+// enforcement (`verify_violations == 0`) — and when the test mutation hook
+// deliberately strips the rewriter's D-filters from the compiled plans, the
+// verifier must refuse each one with TENANT_PREDICATE_MISSING. Sharded per
+// TPC-H query in CMake like the validation suite.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "engine/verify/mutators.h"
+#include "engine/verify/verifier.h"
+#include "mt/mt_schema.h"
+#include "mth/runner.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mth {
+namespace {
+
+class ScopedVerifyEnv {
+ public:
+  ScopedVerifyEnv() { setenv("MTBASE_VERIFY_PLANS", "1", 1); }
+  ~ScopedVerifyEnv() { unsetenv("MTBASE_VERIFY_PLANS"); }
+};
+
+constexpr mt::OptLevel kAllLevels[] = {
+    mt::OptLevel::kCanonical, mt::OptLevel::kO1,
+    mt::OptLevel::kO2,        mt::OptLevel::kO3,
+    mt::OptLevel::kO4,        mt::OptLevel::kInlineOnly,
+};
+
+class IsolationEnv {
+ public:
+  static IsolationEnv& Get() {
+    static IsolationEnv env;
+    return env;
+  }
+
+  MthEnvironment* env() { return env_.get(); }
+  /// SCOPE "IN ()": D' = all tenants, so o1 and above elide the D-filters
+  /// (the verifier's allow_unfiltered path).
+  mt::Session* all_tenants() { return all_.get(); }
+  /// Default scope: D' = {client}, so every level keeps its D-filters (the
+  /// plans the negative suite strips).
+  mt::Session* own_tenant() { return own_.get(); }
+
+ private:
+  IsolationEnv() {
+    MthConfig cfg;
+    cfg.scale_factor = 0.002;
+    cfg.num_tenants = 5;
+    cfg.distribution = MthConfig::Distribution::kZipf;
+    auto r = SetupEnvironment(cfg, engine::DbmsProfile::kPostgres,
+                              /*with_baseline=*/false);
+    if (!r.ok()) {
+      ADD_FAILURE() << r.status().ToString();
+      return;
+    }
+    env_ = std::move(r).value();
+    all_ = std::make_unique<mt::Session>(env_->middleware.get(), 1);
+    auto st = all_->Execute("SET SCOPE = \"IN ()\"");
+    if (!st.ok()) ADD_FAILURE() << st.status().ToString();
+    own_ = std::make_unique<mt::Session>(env_->middleware.get(), 1);
+  }
+
+  std::unique_ptr<MthEnvironment> env_;
+  std::unique_ptr<mt::Session> all_;
+  std::unique_ptr<mt::Session> own_;
+};
+
+class VerifyIsolationTest : public ::testing::TestWithParam<int> {};
+
+// The positive half of the acceptance criterion: both scope shapes, every
+// rewrite level, zero violations — with the verifier demonstrably running.
+TEST_P(VerifyIsolationTest, AllLevelsVerifierClean) {
+  ScopedVerifyEnv verify_env;
+  auto& fixture = IsolationEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  engine::Database* db = fixture.env()->mth_db.get();
+  MthQuery q = GetMthQuery(GetParam(), fixture.env()->config.scale_factor);
+  for (mt::Session* session : {fixture.all_tenants(), fixture.own_tenant()}) {
+    for (mt::OptLevel level : kAllLevels) {
+      engine::StatsScope stats(db->stats());
+      auto run = RunMthQuery(session, q.sql, level);
+      ASSERT_TRUE(run.ok()) << q.name << " at " << mt::OptLevelName(level)
+                            << ": " << run.status().ToString();
+      engine::ExecStats d = stats.Delta();
+      EXPECT_GT(d.plans_verified, 0u)
+          << q.name << " at " << mt::OptLevelName(level)
+          << ": enforcement did not run";
+      EXPECT_EQ(d.verify_violations, 0u)
+          << q.name << " at " << mt::OptLevelName(level);
+    }
+  }
+}
+
+// The negative half: strip the D-filters from the compiled plans at every
+// rewrite level and assert the verifier catches each stripped predicate
+// with the machine-readable code. The own-tenant session keeps D-filters
+// at every level (D' = {1} is never all tenants), so every query touching
+// a tenant-specific table in its main operator tree must lose at least one
+// predicate — and must then be refused. Queries whose tenant access sits
+// only behind global tables (Q11, Q16) or inside immutable sub-query plans
+// the mutator cannot reach (Q20) legitimately strip nothing and must still
+// run clean.
+TEST_P(VerifyIsolationTest, StrippedDFiltersRefusedAtEveryLevel) {
+  ScopedVerifyEnv verify_env;
+  auto& fixture = IsolationEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  engine::Database* db = fixture.env()->mth_db.get();
+  MthQuery q = GetMthQuery(GetParam(), fixture.env()->config.scale_factor);
+  for (mt::OptLevel level : kAllLevels) {
+    int stripped = 0;
+    db->set_plan_mutation_hook_for_testing([&stripped](engine::Plan* p) {
+      stripped += engine::verify::StripTenantPredicates(p, mt::kTtidColumn);
+    });
+    engine::StatsScope stats(db->stats());
+    auto run = RunMthQuery(fixture.own_tenant(), q.sql, level);
+    db->set_plan_mutation_hook_for_testing(nullptr);
+    if (stripped == 0) {
+      EXPECT_TRUE(run.ok()) << q.name << " at " << mt::OptLevelName(level)
+                            << ": " << run.status().ToString();
+      continue;
+    }
+    ASSERT_FALSE(run.ok())
+        << q.name << " at " << mt::OptLevelName(level)
+        << ": executed a plan with stripped tenant predicates";
+    EXPECT_NE(run.status().ToString().find("TENANT_PREDICATE_MISSING"),
+              std::string::npos)
+        << q.name << " at " << mt::OptLevelName(level) << ": "
+        << run.status().ToString();
+    EXPECT_GT(stats.Delta().verify_violations, 0u)
+        << q.name << " at " << mt::OptLevelName(level);
+  }
+}
+
+// A structural mutation must be caught on MT-H plans too: point the first
+// sort key of Q1's ORDER BY out of range.
+TEST(VerifyIsolationMiscTest, BrokenSortKeyRefused) {
+  ScopedVerifyEnv verify_env;
+  auto& fixture = IsolationEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  engine::Database* db = fixture.env()->mth_db.get();
+  MthQuery q = GetMthQuery(1, fixture.env()->config.scale_factor);
+  bool broke = false;
+  db->set_plan_mutation_hook_for_testing([&broke](engine::Plan* p) {
+    broke |= engine::verify::BreakFirstSortKey(p);
+  });
+  auto run = RunMthQuery(fixture.own_tenant(), q.sql, mt::OptLevel::kO4);
+  db->set_plan_mutation_hook_for_testing(nullptr);
+  ASSERT_TRUE(broke);
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().ToString().find("SORT_KEY_OUT_OF_RANGE"),
+            std::string::npos)
+      << run.status().ToString();
+}
+
+// EXPLAIN (VERIFY) over the session surface: the rewritten plan of an MT-H
+// query annotates verifier-clean, and the annotation reflects this
+// session's expected tenant set (not string matching).
+TEST(VerifyIsolationMiscTest, ExplainVerifyAnnotatesCleanPlans) {
+  auto& fixture = IsolationEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  MthQuery q = GetMthQuery(6, fixture.env()->config.scale_factor);
+  ASSERT_OK_AND_ASSIGN(std::string text,
+                       fixture.own_tenant()->Explain(q.sql, /*verify=*/true));
+  EXPECT_NE(text.find("[verify: ok]"), std::string::npos) << text;
+  // Without the flag the annotation stays off.
+  ASSERT_OK_AND_ASSIGN(text, fixture.own_tenant()->Explain(q.sql));
+  EXPECT_EQ(text.find("[verify:"), std::string::npos) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, VerifyIsolationTest,
+                         ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           char buf[16];
+                           std::snprintf(buf, sizeof(buf), "Q%02d",
+                                         info.param);
+                           return std::string(buf);
+                         });
+
+}  // namespace
+}  // namespace mth
+}  // namespace mtbase
