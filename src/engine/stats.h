@@ -64,6 +64,12 @@ struct ExecStats {
   uint64_t plans_verified = 0;    // top-level plans run through PlanVerifier
   uint64_t verify_violations = 0; // invariant violations reported (0 = clean)
 
+  // Static rewrite auditing (src/mt/audit/). Like plan verification this
+  // runs at compile time: cached re-executions move neither counter.
+  uint64_t rewrites_audited = 0;  // rewritten statements run through the
+                                  // RewriteAuditor
+  uint64_t audit_violations = 0;  // audit violations reported (0 = clean)
+
   void Reset() { *this = ExecStats(); }
   uint64_t total_udf_invocations() const { return udf_calls + udf_cache_hits; }
 
@@ -94,6 +100,8 @@ struct ExecStats {
     d.threads_used = threads_used;  // gauge: carried through, not subtracted
     d.plans_verified = plans_verified - o.plans_verified;
     d.verify_violations = verify_violations - o.verify_violations;
+    d.rewrites_audited = rewrites_audited - o.rewrites_audited;
+    d.audit_violations = audit_violations - o.audit_violations;
     return d;
   }
 

@@ -1,0 +1,206 @@
+// Static rewrite auditing: invariant proofs over rewritten MTSQL statements.
+//
+// The MTSQL-to-SQL rewriter (paper section 3.1) and the mt::Optimizer
+// (section 4) are the trusted core of the middleware's correctness story —
+// the engine-side PlanVerifier (src/engine/verify/) only sees the physical
+// plans compiled from their output. RewriteAuditor closes the gap at the AST
+// layer: it statically analyzes each rewritten sql::Stmt, pre-binding, and
+// proves per statement:
+//
+//   1. Rewrite invariants — every tenant-specific base-table occurrence
+//      carries a D-filter whose literal set equals D' (or is legally elided
+//      by o1's drop_dfilters only when D' covers all tenants); every
+//      convertible attribute reference is wrapped in a matched
+//      fromUniversal(toUniversal(attr, T.ttid), C) pair (or legally elided
+//      only when D' = {C}); added ttid join predicates accompany comparisons
+//      of tenant-specific attributes across table instances (or are legally
+//      elided only when |D'| = 1); star expansion never leaks the invisible
+//      ttid column into the top-level projection; and comparisons of
+//      tenant-specific with comparable/convertible attributes are rejected
+//      (paper section 2.4.2). The rules are restated here independently of
+//      the rewriter on purpose: two implementations of the same spec catch
+//      drift.
+//   2. Type soundness — a bottom-up type-inference pass over sql::Expr
+//      (literals, UDF signatures, aggregate/scalar arity) that catches
+//      ill-typed rewrites before the binder can mask them (type_check.h).
+//   3. Cross-level equivalence evidence — a canonicalizing normalizer
+//      (normalizer.h) under which the optimizer's O1-O4 outputs normalize to
+//      the canonical (pre-optimizer) form wherever the transformation is
+//      provably shape-preserving, with machine-readable divergence codes for
+//      the restructuring passes (aggregation distribution, inlining) where
+//      it is not.
+//
+// Violations carry a machine-readable code plus the offending expression
+// rendered through the SQL printer. Enforcement (compilation refusing
+// violating rewrites) is always on in debug builds and opt-in via
+// MTBASE_AUDIT_REWRITES=1 elsewhere; see docs/ARCHITECTURE.md
+// "Static rewrite audit".
+#ifndef MTBASE_MT_AUDIT_AUDIT_H_
+#define MTBASE_MT_AUDIT_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/udf.h"
+#include "mt/conversion.h"
+#include "mt/mt_schema.h"
+#include "mt/rewriter.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace mt {
+namespace audit {
+
+enum class AuditCode : uint8_t {
+  /// A tenant-specific base-table occurrence carries no D-filter in the
+  /// clause the rewrite contract assigns it (WHERE, or the ON condition of
+  /// the LEFT JOIN owning the occurrence).
+  kDFilterMissing,
+  /// A D-filter exists but its literal set differs from D'.
+  kDFilterSetMismatch,
+  /// D-filters were elided (drop_dfilters) although D' does not cover all
+  /// registered tenants (o1 precondition, paper section 4.1).
+  kDFilterSuppressionIllegal,
+  /// A convertible attribute reference is not wrapped in its conversion pair.
+  kConversionMissing,
+  /// A conversion wrapper is malformed: unpaired call, wrong pair for the
+  /// attribute, wrong tenant argument, or wrong client constant.
+  kConversionUnbalanced,
+  /// Conversions were elided (drop_conversions) although D' != {C}.
+  kConversionSuppressionIllegal,
+  /// A comparison of tenant-specific attributes across table instances (or a
+  /// membership test) lacks the added ttid join predicate / ttid pairing.
+  kTtidJoinMissing,
+  /// ttid joins were elided (drop_ttid_joins) although |D'| != 1.
+  kTtidJoinSuppressionIllegal,
+  /// The invisible ttid meta column leaks into the top-level projection
+  /// (star expansion failure or an explicit projection).
+  kTtidProjectionLeak,
+  /// A tenant-specific attribute is compared with a non-tenant-specific
+  /// expression containing attribute references (paper section 2.4.2).
+  kIncomparableAttributes,
+  /// A rewritten INSERT into a tenant-specific table does not set ttid to a
+  /// literal inside D'.
+  kInsertTtidInvalid,
+  /// Bottom-up type inference found incompatible operand/argument types.
+  kTypeMismatch,
+  /// A function call names neither an aggregate, an engine builtin nor a
+  /// registered UDF.
+  kUnknownFunction,
+  /// A function call's argument count disagrees with its signature.
+  kFunctionArityMismatch,
+  /// The optimized statement does not normalize to the canonical form and no
+  /// documented restructuring pass explains the divergence.
+  kEquivalenceUnknownDivergence,
+};
+
+/// The stable machine-readable name, e.g. "DFILTER_MISSING".
+const char* AuditCodeName(AuditCode code);
+
+struct AuditViolation {
+  AuditCode code = AuditCode::kDFilterMissing;
+  std::string detail;   // one human-readable sentence
+  std::string subtree;  // offending expression/statement, SQL-rendered
+};
+
+/// Cross-level equivalence evidence for one statement (tentpole part 3).
+enum class EquivalenceCode : uint8_t {
+  /// No SELECT body to compare (DML without a source query).
+  kNotChecked,
+  /// The optimized form normalizes to the canonical (pre-optimizer) form:
+  /// the optimization is proven shape-preserving at the AST level.
+  kCanonical,
+  /// o3 restructured the statement into a per-tenant partial aggregation
+  /// sub-query (__part); equivalence rests on the distributability rules
+  /// (paper section 4.2.2), not on AST normalization.
+  kDivergeAggDistribution,
+  /// o4 / inl-only replaced conversion calls by meta-table joins or lookup
+  /// sub-queries (__it/__im aliases, paper Listing 17).
+  kDivergeConversionInline,
+  /// Residual conversion push-up shapes the normalizer does not elide.
+  kDivergeConversionPushup,
+  /// Unexplained divergence — reported as kEquivalenceUnknownDivergence.
+  kUnknown,
+};
+
+/// The stable name, e.g. "canonical" or "DIVERGE_AGG_DISTRIBUTION".
+const char* EquivalenceCodeName(EquivalenceCode code);
+
+/// Audit outcome for one rewritten statement.
+struct StatementAudit {
+  std::vector<AuditViolation> violations;
+  EquivalenceCode equivalence = EquivalenceCode::kNotChecked;
+
+  bool ok() const { return violations.empty(); }
+  /// "ok" / "ok, equivalence: canonical" / "FAILED CODE1, CODE2" (codes
+  /// deduplicated, first-seen order) — the EXPLAIN (AUDIT) annotation body.
+  std::string Summary() const;
+  /// Multi-line rendering of every violation for error statuses and tests.
+  std::string Message() const;
+};
+
+/// Audit outcomes for all statements of one rewrite (DML on a multi-tenant
+/// dataset expands into one statement per tenant).
+struct AuditReport {
+  std::vector<StatementAudit> statements;
+
+  bool ok() const;
+  size_t total_violations() const;
+  /// Deduplicated codes across all statements, first-seen order.
+  std::string Codes() const;
+  std::string Message() const;
+};
+
+/// Everything the auditor may assume about the rewrite's provenance. All
+/// pointers are borrowed and must outlive the auditor; catalog and udfs may
+/// be null (type checks then degrade to what MT metadata alone supports).
+struct AuditContext {
+  const MTSchema* schema = nullptr;
+  const ConversionRegistry* conversions = nullptr;
+  /// Physical table schemas (column types incl. ttid and meta tables).
+  const engine::Catalog* catalog = nullptr;
+  /// UDF signatures for the type checker (conversion pairs register their
+  /// functions here via CREATE FUNCTION).
+  const engine::UdfRegistry* udfs = nullptr;
+  int64_t client = 0;
+  std::vector<int64_t> dataset;      // D', sorted
+  std::vector<int64_t> all_tenants;  // registered tenants, sorted
+  /// The o1 flags the rewrite ran under; elisions are judged against the
+  /// dataset/tenant fields above.
+  RewriteOptions options;
+};
+
+class RewriteAuditor {
+ public:
+  /// `ctx` is borrowed, not owned; it must outlive the auditor.
+  explicit RewriteAuditor(const AuditContext* ctx) : ctx_(ctx) {}
+
+  /// Prove the rewrite invariants and type soundness over the rewriter's
+  /// (pre-optimizer) output. Violations append to `out`.
+  void AuditRewrite(const sql::Stmt& stmt, StatementAudit* out) const;
+
+  /// After optimization: type-check the optimized form and compare it to the
+  /// pre-optimizer form under the canonicalizing normalizer, recording the
+  /// equivalence evidence (and a violation on unexplained divergence).
+  void AuditOptimized(const sql::SelectStmt& rewritten,
+                      const sql::SelectStmt& optimized,
+                      StatementAudit* out) const;
+
+ private:
+  const AuditContext* ctx_;
+};
+
+/// Whether compile-time enforcement is on: statements failing the audit
+/// refuse to compile. Always on in debug builds (!NDEBUG);
+/// MTBASE_AUDIT_REWRITES=1 turns it on in release builds and
+/// MTBASE_AUDIT_REWRITES=0 forces it off. Read per call so tests can toggle
+/// the environment in-process.
+bool AuditEnabled();
+
+}  // namespace audit
+}  // namespace mt
+}  // namespace mtbase
+
+#endif  // MTBASE_MT_AUDIT_AUDIT_H_

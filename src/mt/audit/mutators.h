@@ -1,0 +1,45 @@
+// Test-only rewrite mutators: controlled violations of the rewrite
+// invariants proven by the RewriteAuditor (audit.h).
+//
+// Each mutator damages a rewritten statement in exactly one way — strip the
+// D-filters, unbalance the conversion pairs, drop the added ttid join
+// predicates, leak the ttid meta column through the projection — and returns
+// how many sites it mutated (0 = the statement had no such construct and the
+// negative test must expect success). The negative MT-H suites install them
+// through Middleware::set_rewrite_mutation_hook_for_testing and assert that
+// compilation refuses with the matching audit code.
+#ifndef MTBASE_MT_AUDIT_MUTATORS_H_
+#define MTBASE_MT_AUDIT_MUTATORS_H_
+
+#include "mt/conversion.h"
+#include "mt/mt_schema.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace mt {
+namespace audit {
+
+/// Remove every D-filter conjunct `x.ttid IN (literals...)` from WHERE /
+/// HAVING / join conditions, recursively. Expected refusal: DFILTER_MISSING.
+int StripDFilters(sql::Stmt* stmt);
+
+/// Replace every matched fromUniversal(toUniversal(x, t), c) wrapper by its
+/// bare inner toUniversal call. Expected refusal: CONVERSION_PAIR_UNBALANCED.
+int UnbalanceConversionPairs(sql::Stmt* stmt,
+                             const ConversionRegistry* conversions);
+
+/// Remove every added `a.ttid = b.ttid` join predicate and revert every ttid
+/// pairing of membership tests `(x, x.ttid) IN (SELECT y, y.ttid ...)`.
+/// Expected refusal: TTID_JOIN_MISSING.
+int DropTtidJoinPredicates(sql::Stmt* stmt);
+
+/// Re-leak the ttid meta column the rewriter's star expansion hides: append
+/// a `T.ttid` projection item for the first tenant-specific base table of the
+/// top-level FROM. Expected refusal: TTID_PROJECTION_LEAK.
+int LeakTtidThroughStar(sql::Stmt* stmt, const MTSchema* schema);
+
+}  // namespace audit
+}  // namespace mt
+}  // namespace mtbase
+
+#endif  // MTBASE_MT_AUDIT_MUTATORS_H_

@@ -1,0 +1,60 @@
+// Bottom-up type inference over the rewritten AST (tentpole part 2 of the
+// static rewrite audit, audit.h).
+//
+// The inference is deliberately lenient where the engine's binder is the
+// authority — unresolved columns and mixed NULL literals infer to kUnknown
+// and are never violations — and strict where a wrong rewrite could slip
+// through binding: definite class clashes in comparisons and arithmetic,
+// conversion-UDF calls whose argument count or classes contradict the
+// registered signature, unknown function names, and aggregate misuse. Types
+// are tracked as coarse classes (numeric/string/date/...) rather than full
+// SQL types because the rewriter never changes precision, only structure.
+#ifndef MTBASE_MT_AUDIT_TYPE_CHECK_H_
+#define MTBASE_MT_AUDIT_TYPE_CHECK_H_
+
+#include "mt/audit/audit.h"
+#include "sql/ast.h"
+
+namespace mtbase {
+namespace mt {
+namespace audit {
+
+/// Coarse type classes for the audit's inference pass.
+enum class TypeClass : uint8_t {
+  kUnknown,  // unresolved column / NULL literal / parameter — never an error
+  kBool,
+  kNumeric,  // INT, DOUBLE, DECIMAL (the engine coerces freely among them)
+  kString,
+  kDate,
+  kInterval,
+};
+
+const char* TypeClassName(TypeClass c);
+
+/// Class of a runtime type / declared SQL type.
+TypeClass TypeClassOf(TypeId id);
+TypeClass TypeClassOfDecl(const sql::TypeDecl& t);
+
+/// True when values of the two classes may legally meet in a comparison
+/// (either side unknown, same class, or the string<->date coercion the
+/// parser's DATE literals rely on).
+bool TypeClassesComparable(TypeClass a, TypeClass b);
+
+/// Infer types over every expression of the statement, appending
+/// kTypeMismatch / kUnknownFunction / kFunctionArityMismatch violations.
+/// Column classes resolve against ctx.catalog (physical schemas including
+/// ttid and the conversion meta tables), falling back to ctx.schema; UDF
+/// signatures against ctx.udfs (both optional — absent registries skip the
+/// corresponding checks).
+void CheckStatementTypes(const sql::Stmt& stmt, const AuditContext& ctx,
+                         StatementAudit* out);
+
+/// Same, over a single (sub-)query — used for the optimizer's output.
+void CheckSelectTypes(const sql::SelectStmt& sel, const AuditContext& ctx,
+                      StatementAudit* out);
+
+}  // namespace audit
+}  // namespace mt
+}  // namespace mtbase
+
+#endif  // MTBASE_MT_AUDIT_TYPE_CHECK_H_

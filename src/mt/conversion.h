@@ -66,6 +66,9 @@ class ConversionRegistry {
   Status Register(ConversionPair pair);
 
   const ConversionPair* FindByName(const std::string& name) const;
+  /// All registered pairs, registration order (the rewrite auditor scans
+  /// inline specs to recognize o4's meta-table artifacts).
+  const std::vector<ConversionPair>& pairs() const { return pairs_; }
   /// Look up by the name of either UDF of the pair; also reports direction.
   const ConversionPair* FindByFunction(const std::string& fn_name,
                                        bool* is_to_universal) const;

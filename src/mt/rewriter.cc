@@ -1,5 +1,7 @@
 #include "mt/rewriter.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 #include "sql/printer.h"
 
@@ -134,8 +136,8 @@ Status Rewriter::RewriteComparison(sql::ExprPtr* e, const LevelScope* scope) {
     const ResolvedAttr& other_attr = l_ts ? r : l;
     if (other_attr.column != nullptr || ContainsColumnRef(other)) {
       return Status::Rejected(
-          "comparison of tenant-specific attribute with a non-tenant-specific "
-          "attribute: " +
+          "INCOMPARABLE_ATTRIBUTES: comparison of tenant-specific attribute "
+          "with a non-tenant-specific attribute: " +
           sql::PrintExpr(cmp));
     }
   }
@@ -197,8 +199,8 @@ Status Rewriter::RewriteInSubquery(sql::ExprPtr* e, const LevelScope* scope) {
   if (needle_ts && !options_.drop_ttid_joins) {
     if (item0_col == nullptr || !item0_col->tenant_specific()) {
       return Status::Rejected(
-          "tenant-specific attribute tested against a sub-query that does not "
-          "produce a tenant-specific attribute: " +
+          "INCOMPARABLE_SUBQUERY: tenant-specific attribute tested against a "
+          "sub-query that does not produce a tenant-specific attribute: " +
           sql::PrintExpr(in));
     }
     // (x, x.ttid) IN (SELECT y, y.ttid ...): pair the data owners.
@@ -575,8 +577,37 @@ Result<sql::Stmt> Rewriter::RewriteDelete(const sql::DeleteStmt& del) {
   return stmt;
 }
 
+Status Rewriter::ValidateOptions() const {
+  // The legality conditions are judged against the registered tenant
+  // universe; without one (bare Rewriter in tests) every combination passes.
+  if (options_.universe.empty()) return Status::OK();
+  if (options_.drop_ttid_joins && dataset_.size() != 1) {
+    return Status::InvalidArgument(
+        "ILLEGAL_REWRITE_OPTIONS: drop_ttid_joins requires |D'| = 1, got " +
+        std::to_string(dataset_.size()) + " tenants");
+  }
+  if (options_.drop_conversions &&
+      (dataset_.size() != 1 || dataset_[0] != client_)) {
+    return Status::InvalidArgument(
+        "ILLEGAL_REWRITE_OPTIONS: drop_conversions requires D' = {C}");
+  }
+  if (options_.drop_dfilters) {
+    std::vector<int64_t> d = dataset_;
+    std::vector<int64_t> u = options_.universe;
+    std::sort(d.begin(), d.end());
+    std::sort(u.begin(), u.end());
+    if (d != u) {
+      return Status::InvalidArgument(
+          "ILLEGAL_REWRITE_OPTIONS: drop_dfilters requires D' to cover all "
+          "registered tenants");
+    }
+  }
+  return Status::OK();
+}
+
 Result<std::vector<sql::Stmt>> Rewriter::RewriteStatement(
     const sql::Stmt& stmt) {
+  MTB_RETURN_IF_ERROR(ValidateOptions());
   std::vector<sql::Stmt> out;
   switch (stmt.kind) {
     case sql::Stmt::Kind::kSelect: {

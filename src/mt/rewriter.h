@@ -39,6 +39,12 @@ struct RewriteOptions {
   bool drop_ttid_joins = false;
   /// o1: omit conversion calls (valid when D' = {C}).
   bool drop_conversions = false;
+  /// All registered tenants. When non-empty, RewriteStatement validates the
+  /// o1 flags against their legality conditions up front and refuses illegal
+  /// combinations with an ILLEGAL_REWRITE_OPTIONS error (the session always
+  /// passes this; tests constructing a bare Rewriter may leave it empty to
+  /// exercise the flags in isolation).
+  std::vector<int64_t> universe;
 };
 
 class Rewriter {
@@ -54,8 +60,14 @@ class Rewriter {
 
   /// Rewrite an MTSQL statement into one or more SQL statements (DML on a
   /// dataset with several tenants expands into one statement per tenant,
-  /// paper Appendix A.2).
+  /// paper Appendix A.2). When options.universe is set, illegal o1 flag
+  /// combinations refuse up front (ValidateOptions).
   Result<std::vector<sql::Stmt>> RewriteStatement(const sql::Stmt& stmt);
+
+  /// Check the o1 flags against their legality conditions (paper section
+  /// 4.1): drop_ttid_joins needs |D'| = 1, drop_conversions needs D' = {C},
+  /// drop_dfilters needs D' = universe. No-op when options.universe is empty.
+  Status ValidateOptions() const;
 
   /// Rewrite a query (Algorithm 1).
   Result<std::unique_ptr<sql::SelectStmt>> RewriteQuery(

@@ -167,6 +167,7 @@ Result<std::vector<int64_t>> Session::ResolveDataset(const sql::Stmt& stmt) {
       // scope query itself is not D-filtered.
       RewriteOptions opts;
       opts.drop_dfilters = true;
+      opts.universe = mw_->tenants();
       Rewriter rewriter(mw_->schema(), mw_->conversions(), client_,
                         mw_->tenants(), opts);
       // The projected ttid is the meta column; rewrite only the predicate.
@@ -216,6 +217,7 @@ engine::verify::VerifyContext Session::MakeVerifyContext(
 
 RewriteOptions Session::OptionsFor(const std::vector<int64_t>& dataset) const {
   RewriteOptions opts;
+  opts.universe = mw_->tenants();
   if (level_ == OptLevel::kCanonical) return opts;
   // o1, trivial semantic optimizations (paper section 4.1).
   opts.drop_dfilters = mw_->IsAllTenants(dataset);
@@ -231,19 +233,95 @@ Result<std::vector<sql::Stmt>> Session::RewriteStmt(
   return RewriteWithDataset(stmt, dataset);
 }
 
+audit::AuditContext Session::MakeAuditContext(
+    const std::vector<int64_t>& dataset) const {
+  audit::AuditContext ctx;
+  ctx.schema = mw_->schema();
+  ctx.conversions = mw_->conversions();
+  ctx.catalog = mw_->db()->catalog();
+  ctx.udfs = mw_->db()->udfs();
+  ctx.client = client_;
+  ctx.dataset = dataset;
+  std::sort(ctx.dataset.begin(), ctx.dataset.end());
+  ctx.all_tenants = mw_->tenants();  // kept sorted by RegisterTenant
+  ctx.options = OptionsFor(dataset);
+  return ctx;
+}
+
+namespace {
+
+/// The SELECT body the optimizer will transform, if any.
+sql::SelectStmt* OptimizableSelect(sql::Stmt* s) {
+  if (s->kind == sql::Stmt::Kind::kSelect) return s->select.get();
+  if (s->kind == sql::Stmt::Kind::kInsert && s->insert->select) {
+    return s->insert->select.get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 Result<std::vector<sql::Stmt>> Session::RewriteWithDataset(
-    const sql::Stmt& stmt, const std::vector<int64_t>& dataset) {
+    const sql::Stmt& stmt, const std::vector<int64_t>& dataset,
+    audit::AuditReport* audit_out) {
   ++mw_->db()->stats()->statements_rewritten;
   Rewriter rewriter(mw_->schema(), mw_->conversions(), client_, dataset,
                     OptionsFor(dataset));
   MTB_ASSIGN_OR_RETURN(auto stmts, rewriter.RewriteStatement(stmt));
+  if (mw_->rewrite_mutation_hook()) {
+    for (auto& s : stmts) mw_->rewrite_mutation_hook()(&s);
+  }
+
+  // Audit the rewriter's output before the optimizer touches it; keep
+  // pre-optimizer clones of the SELECT bodies as the canonical side of the
+  // cross-level equivalence comparison. Enforcement refuses before any
+  // further compilation work — except on the EXPLAIN (AUDIT) surface
+  // (audit_out != nullptr), which reports instead of refusing.
+  const bool auditing = audit_out != nullptr || audit::AuditEnabled();
+  audit::AuditReport report;
+  audit::AuditContext actx;
+  std::vector<std::unique_ptr<sql::SelectStmt>> pre_opt;
+  if (auditing) {
+    actx = MakeAuditContext(dataset);
+    audit::RewriteAuditor auditor(&actx);
+    report.statements.resize(stmts.size());
+    pre_opt.resize(stmts.size());
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      auditor.AuditRewrite(stmts[i], &report.statements[i]);
+      if (const sql::SelectStmt* sel = OptimizableSelect(&stmts[i])) {
+        pre_opt[i] = sel->Clone();
+      }
+    }
+    mw_->db()->stats()->rewrites_audited += stmts.size();
+    if (!report.ok() && audit_out == nullptr) {
+      mw_->db()->stats()->audit_violations += report.total_violations();
+      return Status::InvalidArgument("rewrite audit failed (" +
+                                     report.Codes() + "):\n" +
+                                     report.Message());
+    }
+  }
+
   Optimizer opt(mw_->conversions(), client_);
   for (auto& s : stmts) {
-    if (s.kind == sql::Stmt::Kind::kSelect) {
-      MTB_RETURN_IF_ERROR(opt.Optimize(s.select.get(), level_));
-    } else if (s.kind == sql::Stmt::Kind::kInsert && s.insert->select) {
-      MTB_RETURN_IF_ERROR(opt.Optimize(s.insert->select.get(), level_));
+    if (sql::SelectStmt* sel = OptimizableSelect(&s)) {
+      MTB_RETURN_IF_ERROR(opt.Optimize(sel, level_));
     }
+  }
+
+  if (auditing) {
+    audit::RewriteAuditor auditor(&actx);
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      if (!pre_opt[i]) continue;
+      auditor.AuditOptimized(*pre_opt[i], *OptimizableSelect(&stmts[i]),
+                             &report.statements[i]);
+    }
+    mw_->db()->stats()->audit_violations += report.total_violations();
+    if (!report.ok() && audit_out == nullptr) {
+      return Status::InvalidArgument("rewrite audit failed (" +
+                                     report.Codes() + "):\n" +
+                                     report.Message());
+    }
+    if (audit_out != nullptr) *audit_out = std::move(report);
   }
   return stmts;
 }
@@ -478,25 +556,35 @@ Result<engine::ResultSet> Session::ExecuteScript(const std::string& mtsql) {
   return last;
 }
 
-Result<std::string> Session::Explain(const std::string& mtsql, bool verify) {
+Result<std::string> Session::Explain(const std::string& mtsql,
+                                     const ExplainOptions& options) {
   MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
-  std::vector<int64_t> dataset;
-  MTB_ASSIGN_OR_RETURN(auto stmts, RewriteStmt(stmt, &dataset));
+  MTB_ASSIGN_OR_RETURN(std::vector<int64_t> dataset, ResolveDataset(stmt));
+  audit::AuditReport report;
+  MTB_ASSIGN_OR_RETURN(
+      auto stmts,
+      RewriteWithDataset(stmt, dataset, options.audit ? &report : nullptr));
   engine::verify::VerifyContext vctx;
-  if (verify) {
+  if (options.verify) {
     vctx = MakeVerifyContext(dataset);
     // The verifier follows UDF body plans; replan any staled by DDL first.
     mw_->db()->EnsureUdfPlansFresh();
   }
   std::string out;
-  for (const auto& s : stmts) {
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    const sql::Stmt& s = stmts[i];
     if (s.kind != sql::Stmt::Kind::kSelect) continue;
     MTB_ASSIGN_OR_RETURN(
         std::string text,
         engine::ExplainSelect(mw_->db()->catalog(), mw_->db()->udfs(),
                               *s.select, mw_->db()->planner_options(),
-                              verify ? &vctx : nullptr));
+                              options.verify ? &vctx : nullptr));
     out += text;
+    // Fixed annotation order: the engine renders the verify line above, the
+    // audit footer always comes last.
+    if (options.audit && i < report.statements.size()) {
+      out += "[audit: " + report.statements[i].Summary() + "]\n";
+    }
   }
   return out;
 }

@@ -18,12 +18,14 @@
 #define MTBASE_MT_SESSION_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "engine/database.h"
+#include "mt/audit/audit.h"
 #include "mt/conversion.h"
 #include "mt/mt_schema.h"
 #include "mt/optimizer.h"
@@ -97,6 +99,18 @@ class Middleware {
   void SetMaxThreads(int max_threads);
   int max_threads() const { return db_->planner_options().max_threads; }
 
+  /// Test-only: mutate each rewritten statement before it is audited,
+  /// optimized and compiled. The negative audit suites install the
+  /// mt/audit/mutators.h mutators here to prove each invariant violation is
+  /// caught; pass nullptr to uninstall.
+  void set_rewrite_mutation_hook_for_testing(
+      std::function<void(sql::Stmt*)> hook) {
+    rewrite_mutation_hook_ = std::move(hook);
+  }
+  const std::function<void(sql::Stmt*)>& rewrite_mutation_hook() const {
+    return rewrite_mutation_hook_;
+  }
+
  private:
   engine::Database* db_;
   MTSchema schema_;
@@ -104,6 +118,22 @@ class Middleware {
   PrivilegeManager privileges_;
   std::vector<int64_t> tenants_;
   uint64_t tenant_epoch_ = 0;
+  std::function<void(sql::Stmt*)> rewrite_mutation_hook_;
+};
+
+/// What Session::Explain annotates beyond the engine's plan rendering. The
+/// annotations compose in a fixed order: the verifier's `[verify: ...]` line
+/// (rendered by the engine) always precedes the auditor's `[audit: ...]`
+/// line.
+struct ExplainOptions {
+  /// EXPLAIN (VERIFY): run each physical plan through the static
+  /// PlanVerifier and append `[verify: ok]` / `[verify: FAILED <codes>]`.
+  bool verify = false;
+  /// EXPLAIN (AUDIT): run the rewrite through the RewriteAuditor and append
+  /// `[audit: <summary>]` per statement (StatementAudit::Summary()). The
+  /// annotation never refuses: violating rewrites explain with their FAILED
+  /// summary even under enforcement.
+  bool audit = false;
 };
 
 /// An MTSQL statement parsed once and executable many times. The first
@@ -180,7 +210,16 @@ class Session {
   /// With `verify` — the EXPLAIN (VERIFY) surface — each plan additionally
   /// runs through the static verifier under this session's expected tenant
   /// set and a `[verify: ok]` / `[verify: FAILED <codes>]` line is appended.
-  Result<std::string> Explain(const std::string& mtsql, bool verify = false);
+  Result<std::string> Explain(const std::string& mtsql, bool verify = false) {
+    ExplainOptions options;
+    options.verify = verify;
+    return Explain(mtsql, options);
+  }
+  /// Full EXPLAIN surface: `options.audit` additionally runs the rewrite
+  /// through the RewriteAuditor and appends an `[audit: ...]` footer per
+  /// statement, after the verify line when both are requested.
+  Result<std::string> Explain(const std::string& mtsql,
+                              const ExplainOptions& options);
 
   Status SetScope(const std::string& scope_text);
   const Scope& scope() const { return scope_; }
@@ -201,9 +240,14 @@ class Session {
   Result<engine::ResultSet> ExecuteOwned(sql::Stmt stmt);
   Result<std::vector<sql::Stmt>> RewriteStmt(const sql::Stmt& stmt,
                                              std::vector<int64_t>* dataset_out);
-  /// Rewrite + optimize against an already resolved dataset D'.
+  /// Rewrite + optimize against an already resolved dataset D'. When the
+  /// rewrite auditor is enabled (audit::AuditEnabled) the rewritten
+  /// statements are audited before and after optimization and audit failures
+  /// refuse compilation — unless `audit_out` is non-null (the EXPLAIN
+  /// (AUDIT) surface), which always audits and reports instead of refusing.
   Result<std::vector<sql::Stmt>> RewriteWithDataset(
-      const sql::Stmt& stmt, const std::vector<int64_t>& dataset);
+      const sql::Stmt& stmt, const std::vector<int64_t>& dataset,
+      audit::AuditReport* audit_out = nullptr);
   /// Does `key` still describe the current session/middleware state
   /// (everything except a complex scope's dataset)? Allocation-free.
   bool MatchesCompilationKey(const CompilationKey& key) const;
@@ -216,6 +260,10 @@ class Session {
   /// tenant set D', unfiltered access admitted exactly when o1 elided the
   /// D-filters. Installed on the engine database before every compile.
   engine::verify::VerifyContext MakeVerifyContext(
+      const std::vector<int64_t>& dataset) const;
+  /// The provenance the rewrite auditor may assume about statements rewritten
+  /// for this session under dataset D'.
+  audit::AuditContext MakeAuditContext(
       const std::vector<int64_t>& dataset) const;
   void CollectTsTables(const sql::Stmt& stmt,
                        std::vector<std::string>* out) const;

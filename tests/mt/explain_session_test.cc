@@ -66,6 +66,32 @@ TEST_F(ExplainSessionTest, ExistsBecomesSemiJoinAfterRewrite) {
   EXPECT_NE(plan.find("HashJoin SEMI (2 keys)"), std::string::npos) << plan;
 }
 
+TEST_F(ExplainSessionTest, VerifyAndAuditFootersComposeInFixedOrder) {
+  const std::string q = "SELECT SUM(o_totalprice) FROM orders";
+  ExplainOptions opts;
+  opts.verify = true;
+  opts.audit = true;
+  ASSERT_OK_AND_ASSIGN(std::string plan, session_->Explain(q, opts));
+  size_t verify_pos = plan.find("[verify: ");
+  size_t audit_pos = plan.find("[audit: ");
+  ASSERT_NE(verify_pos, std::string::npos) << plan;
+  ASSERT_NE(audit_pos, std::string::npos) << plan;
+  // Deterministic footer order: the verify line always precedes the audit
+  // line (docs/explain.md).
+  EXPECT_LT(verify_pos, audit_pos) << plan;
+
+  // Each flag acts independently.
+  opts.verify = false;
+  ASSERT_OK_AND_ASSIGN(plan, session_->Explain(q, opts));
+  EXPECT_EQ(plan.find("[verify: "), std::string::npos) << plan;
+  EXPECT_NE(plan.find("[audit: "), std::string::npos) << plan;
+  opts.verify = true;
+  opts.audit = false;
+  ASSERT_OK_AND_ASSIGN(plan, session_->Explain(q, opts));
+  EXPECT_NE(plan.find("[verify: "), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("[audit: "), std::string::npos) << plan;
+}
+
 }  // namespace
 }  // namespace mt
 }  // namespace mtbase

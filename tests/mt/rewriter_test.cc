@@ -141,16 +141,34 @@ TEST_F(RewriterTest, ComparisonWithConstantInClientFormat) {
 }
 
 TEST_F(RewriterTest, RejectsTenantSpecificVsComparable) {
-  // Paper section 2.4.2.
+  // Paper section 2.4.2. The refusal carries a machine-readable code prefix
+  // so tools (and the audit suite) can match on it.
   auto st = RewriteStatus(
       "SELECT E_name FROM Employees WHERE E_role_id = E_age");
   EXPECT_EQ(st.code(), StatusCode::kRejected);
+  EXPECT_NE(st.ToString().find("INCOMPARABLE_ATTRIBUTES: "),
+            std::string::npos)
+      << st.ToString();
 }
 
 TEST_F(RewriterTest, RejectsTenantSpecificVsConvertible) {
   auto st = RewriteStatus(
       "SELECT E_name FROM Employees WHERE E_role_id = E_salary");
   EXPECT_EQ(st.code(), StatusCode::kRejected);
+  EXPECT_NE(st.ToString().find("INCOMPARABLE_ATTRIBUTES: "),
+            std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(RewriterTest, RejectsTenantSpecificVsNonSpecificSubquery) {
+  // A tenant-specific needle tested against a sub-query producing a
+  // comparable attribute gets its own code.
+  auto st = RewriteStatus(
+      "SELECT E_name FROM Employees WHERE E_role_id IN "
+      "(SELECT E_age FROM Employees)");
+  EXPECT_EQ(st.code(), StatusCode::kRejected);
+  EXPECT_NE(st.ToString().find("INCOMPARABLE_SUBQUERY: "), std::string::npos)
+      << st.ToString();
 }
 
 TEST_F(RewriterTest, AllowsTenantSpecificVsConstant) {

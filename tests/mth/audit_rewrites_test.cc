@@ -1,0 +1,281 @@
+// Static rewrite-audit proofs over the MT-H workload: every validation
+// query, at every rewrite level, must compile audit-clean under enforcement
+// (`audit_violations == 0` with `rewrites_audited > 0`) — and when the test
+// mutation hook damages the rewritten ASTs before the audit runs, the
+// session must refuse each compilation with the invariant's machine-readable
+// code. Sharded per TPC-H query in CMake like the validation suite.
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mt/audit/audit.h"
+#include "mt/audit/mutators.h"
+#include "mt/mt_schema.h"
+#include "mth/runner.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mth {
+namespace {
+
+class ScopedAuditEnv {
+ public:
+  ScopedAuditEnv() { setenv("MTBASE_AUDIT_REWRITES", "1", 1); }
+  ~ScopedAuditEnv() { unsetenv("MTBASE_AUDIT_REWRITES"); }
+};
+
+constexpr mt::OptLevel kAllLevels[] = {
+    mt::OptLevel::kCanonical, mt::OptLevel::kO1,
+    mt::OptLevel::kO2,        mt::OptLevel::kO3,
+    mt::OptLevel::kO4,        mt::OptLevel::kInlineOnly,
+};
+
+class AuditEnv {
+ public:
+  static AuditEnv& Get() {
+    static AuditEnv env;
+    return env;
+  }
+
+  MthEnvironment* env() { return env_.get(); }
+  /// SCOPE "IN ()": D' = all tenants — o1 and above legally suppress the
+  /// D-filters, but conversions and ttid joins stay (|D'| = 5).
+  mt::Session* all_tenants() { return all_.get(); }
+  /// Default scope: D' = {client} — every level keeps its D-filters, while
+  /// o1 and above legally drop conversions and ttid joins.
+  mt::Session* own_tenant() { return own_.get(); }
+
+ private:
+  AuditEnv() {
+    MthConfig cfg;
+    cfg.scale_factor = 0.002;
+    cfg.num_tenants = 5;
+    cfg.distribution = MthConfig::Distribution::kZipf;
+    auto r = SetupEnvironment(cfg, engine::DbmsProfile::kPostgres,
+                              /*with_baseline=*/false);
+    if (!r.ok()) {
+      ADD_FAILURE() << r.status().ToString();
+      return;
+    }
+    env_ = std::move(r).value();
+    all_ = std::make_unique<mt::Session>(env_->middleware.get(), 1);
+    auto st = all_->Execute("SET SCOPE = \"IN ()\"");
+    if (!st.ok()) ADD_FAILURE() << st.status().ToString();
+    own_ = std::make_unique<mt::Session>(env_->middleware.get(), 1);
+  }
+
+  std::unique_ptr<MthEnvironment> env_;
+  std::unique_ptr<mt::Session> all_;
+  std::unique_ptr<mt::Session> own_;
+};
+
+class AuditRewritesTest : public ::testing::TestWithParam<int> {};
+
+// The positive half of the acceptance criterion: both scope shapes, every
+// rewrite level, zero violations — with the auditor demonstrably running.
+TEST_P(AuditRewritesTest, AllLevelsAuditClean) {
+  ScopedAuditEnv audit_env;
+  auto& fixture = AuditEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  engine::Database* db = fixture.env()->mth_db.get();
+  MthQuery q = GetMthQuery(GetParam(), fixture.env()->config.scale_factor);
+  for (mt::Session* session : {fixture.all_tenants(), fixture.own_tenant()}) {
+    for (mt::OptLevel level : kAllLevels) {
+      engine::StatsScope stats(db->stats());
+      auto run = RunMthQuery(session, q.sql, level);
+      ASSERT_TRUE(run.ok()) << q.name << " at " << mt::OptLevelName(level)
+                            << ": " << run.status().ToString();
+      engine::ExecStats d = stats.Delta();
+      EXPECT_GT(d.rewrites_audited, 0u)
+          << q.name << " at " << mt::OptLevelName(level)
+          << ": audit did not run";
+      EXPECT_EQ(d.audit_violations, 0u)
+          << q.name << " at " << mt::OptLevelName(level);
+    }
+  }
+}
+
+/// Run one query at one level with an AST mutator installed on the
+/// middleware, asserting the audit refuses with `code` whenever the mutator
+/// actually changed anything. Queries a given mutator cannot touch (no
+/// matching construct in the rewritten AST) must still run clean.
+void RunMutated(mt::Session* session, const MthQuery& q, mt::OptLevel level,
+                const std::function<int(sql::Stmt*)>& mutate,
+                const char* code) {
+  auto& fixture = AuditEnv::Get();
+  engine::Database* db = fixture.env()->mth_db.get();
+  mt::Middleware* mw = fixture.env()->middleware.get();
+  int mutated = 0;
+  mw->set_rewrite_mutation_hook_for_testing(
+      [&mutated, &mutate](sql::Stmt* s) { mutated += mutate(s); });
+  engine::StatsScope stats(db->stats());
+  auto run = RunMthQuery(session, q.sql, level);
+  mw->set_rewrite_mutation_hook_for_testing(nullptr);
+  if (mutated == 0) {
+    EXPECT_TRUE(run.ok()) << q.name << " at " << mt::OptLevelName(level)
+                          << ": " << run.status().ToString();
+    return;
+  }
+  ASSERT_FALSE(run.ok()) << q.name << " at " << mt::OptLevelName(level)
+                         << ": executed a damaged rewrite (" << code << ")";
+  EXPECT_NE(run.status().ToString().find("rewrite audit failed"),
+            std::string::npos)
+      << q.name << ": " << run.status().ToString();
+  EXPECT_NE(run.status().ToString().find(code), std::string::npos)
+      << q.name << " at " << mt::OptLevelName(level) << ": "
+      << run.status().ToString();
+  EXPECT_GT(stats.Delta().audit_violations, 0u)
+      << q.name << " at " << mt::OptLevelName(level);
+}
+
+// Strip the D-filters from the rewritten statements. The own-tenant session
+// keeps D-filters at every level (D' = {1} is never all tenants), so every
+// query over tenant-specific tables loses at least one and must be refused.
+TEST_P(AuditRewritesTest, StrippedDFiltersRefused) {
+  ScopedAuditEnv audit_env;
+  auto& fixture = AuditEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  MthQuery q = GetMthQuery(GetParam(), fixture.env()->config.scale_factor);
+  for (mt::OptLevel level : kAllLevels) {
+    RunMutated(fixture.own_tenant(), q, level,
+               [](sql::Stmt* s) { return mt::audit::StripDFilters(s); },
+               "DFILTER_MISSING");
+  }
+}
+
+// Unwrap each fromUniversal(toUniversal(...)) pair down to its bare to-call.
+// The all-tenants session keeps conversions at every level (D' is never
+// {C}), so every query touching a convertible attribute must be refused.
+TEST_P(AuditRewritesTest, UnbalancedConversionsRefused) {
+  ScopedAuditEnv audit_env;
+  auto& fixture = AuditEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  const mt::ConversionRegistry* conversions =
+      fixture.env()->middleware->conversions();
+  MthQuery q = GetMthQuery(GetParam(), fixture.env()->config.scale_factor);
+  for (mt::OptLevel level : kAllLevels) {
+    RunMutated(fixture.all_tenants(), q, level,
+               [conversions](sql::Stmt* s) {
+                 return mt::audit::UnbalanceConversionPairs(s, conversions);
+               },
+               "CONVERSION_PAIR_UNBALANCED");
+  }
+}
+
+// Drop the added ttid join predicates and revert membership-test pairings.
+// The all-tenants session keeps them at every level (|D'| = 5).
+TEST_P(AuditRewritesTest, DroppedTtidJoinsRefused) {
+  ScopedAuditEnv audit_env;
+  auto& fixture = AuditEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  MthQuery q = GetMthQuery(GetParam(), fixture.env()->config.scale_factor);
+  for (mt::OptLevel level : kAllLevels) {
+    RunMutated(fixture.all_tenants(), q, level,
+               [](sql::Stmt* s) { return mt::audit::DropTtidJoinPredicates(s); },
+               "TTID_JOIN_MISSING");
+  }
+}
+
+// Append a ttid projection to the top-level select list, simulating a star
+// expansion that forgot to hide the meta column.
+TEST_P(AuditRewritesTest, LeakedTtidProjectionRefused) {
+  ScopedAuditEnv audit_env;
+  auto& fixture = AuditEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  const mt::MTSchema* schema = fixture.env()->middleware->schema();
+  MthQuery q = GetMthQuery(GetParam(), fixture.env()->config.scale_factor);
+  for (mt::OptLevel level : kAllLevels) {
+    RunMutated(fixture.own_tenant(), q, level,
+               [schema](sql::Stmt* s) {
+                 return mt::audit::LeakTtidThroughStar(s, schema);
+               },
+               "TTID_PROJECTION_LEAK");
+  }
+}
+
+// EXPLAIN (AUDIT) over the session surface: the audit footer annotates each
+// statement and composes with the verify footer in fixed order.
+TEST(AuditRewritesMiscTest, ExplainAuditComposesWithVerify) {
+  auto& fixture = AuditEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  MthQuery q = GetMthQuery(6, fixture.env()->config.scale_factor);
+  mt::ExplainOptions both;
+  both.verify = true;
+  both.audit = true;
+  ASSERT_OK_AND_ASSIGN(std::string text,
+                       fixture.own_tenant()->Explain(q.sql, both));
+  size_t verify_pos = text.find("[verify: ok]");
+  size_t audit_pos = text.find("[audit: ok");
+  EXPECT_NE(verify_pos, std::string::npos) << text;
+  EXPECT_NE(audit_pos, std::string::npos) << text;
+  EXPECT_LT(verify_pos, audit_pos) << text;  // fixed order: verify, audit
+
+  mt::ExplainOptions audit_only;
+  audit_only.audit = true;
+  ASSERT_OK_AND_ASSIGN(text, fixture.own_tenant()->Explain(q.sql, audit_only));
+  EXPECT_EQ(text.find("[verify:"), std::string::npos) << text;
+  EXPECT_NE(text.find("[audit: ok"), std::string::npos) << text;
+
+  ASSERT_OK_AND_ASSIGN(text, fixture.own_tenant()->Explain(q.sql));
+  EXPECT_EQ(text.find("[verify:"), std::string::npos) << text;
+  EXPECT_EQ(text.find("[audit:"), std::string::npos) << text;
+}
+
+// EXPLAIN (AUDIT) reports a failed audit in the footer without refusing the
+// explain itself — the diagnostic surface must stay usable for debugging the
+// very rewrites the enforcement path rejects.
+TEST(AuditRewritesMiscTest, ExplainAuditReportsFailureWithoutRefusing) {
+  ScopedAuditEnv audit_env;
+  auto& fixture = AuditEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  mt::Middleware* mw = fixture.env()->middleware.get();
+  MthQuery q = GetMthQuery(6, fixture.env()->config.scale_factor);
+  int mutated = 0;
+  mw->set_rewrite_mutation_hook_for_testing([&mutated](sql::Stmt* s) {
+    mutated += mt::audit::StripDFilters(s);
+  });
+  mt::ExplainOptions opts;
+  opts.audit = true;
+  auto text = fixture.own_tenant()->Explain(q.sql, opts);
+  mw->set_rewrite_mutation_hook_for_testing(nullptr);
+  ASSERT_GT(mutated, 0);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text.value().find("[audit: FAILED DFILTER_MISSING"),
+            std::string::npos)
+      << text.value();
+}
+
+// The footer names the cross-level equivalence evidence: canonical at the
+// levels that normalize back, a documented divergence code for the
+// restructuring passes.
+TEST(AuditRewritesMiscTest, ExplainAuditNamesEquivalence) {
+  auto& fixture = AuditEnv::Get();
+  ASSERT_NE(fixture.env(), nullptr);
+  MthQuery q = GetMthQuery(6, fixture.env()->config.scale_factor);
+  mt::ExplainOptions opts;
+  opts.audit = true;
+  mt::OptLevel prev = fixture.own_tenant()->optimization_level();
+  fixture.own_tenant()->set_optimization_level(mt::OptLevel::kO2);
+  auto text = fixture.own_tenant()->Explain(q.sql, opts);
+  fixture.own_tenant()->set_optimization_level(prev);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text.value().find("[audit: ok, equivalence: "),
+            std::string::npos)
+      << text.value();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, AuditRewritesTest,
+                         ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           char buf[16];
+                           std::snprintf(buf, sizeof(buf), "Q%02d",
+                                         info.param);
+                           return std::string(buf);
+                         });
+
+}  // namespace
+}  // namespace mth
+}  // namespace mtbase

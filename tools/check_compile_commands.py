@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fail when a source file is missing from the compilation database.
+
+The lint lane runs clang-tidy against compile_commands.json; a .cc file that
+never made it into a CMake target silently escapes both the build and the
+linter. This check walks src/ (the library code the lane must cover) and
+compares against the entries CMake exported.
+
+Usage: check_compile_commands.py <repo-root> <build-dir>
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    root = os.path.abspath(sys.argv[1])
+    build = os.path.abspath(sys.argv[2])
+
+    db_path = os.path.join(build, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read {db_path}: {e}", file=sys.stderr)
+        return 2
+
+    compiled = set()
+    for entry in entries:
+        path = entry.get("file", "")
+        if not os.path.isabs(path):
+            path = os.path.join(entry.get("directory", ""), path)
+        compiled.add(os.path.normpath(path))
+
+    missing = []
+    src_root = os.path.join(root, "src")
+    for dirpath, _, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if not name.endswith(".cc"):
+                continue
+            path = os.path.normpath(os.path.join(dirpath, name))
+            if path not in compiled:
+                missing.append(os.path.relpath(path, root))
+
+    if missing:
+        print("sources missing from compile_commands.json "
+              "(not part of any CMake target):")
+        for path in missing:
+            print(f"  {path}")
+        return 1
+
+    print(f"compile_commands.json covers all "
+          f"{sum(1 for p in compiled if p.startswith(src_root))} "
+          f"src/ translation units.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
