@@ -4,9 +4,12 @@
 // API amortizes away on repeated execution.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <map>
+#include <string>
 
 #include "bench/bench_common.h"
+#include "engine/obs/metrics.h"
 #include "mt/mtbase.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -323,6 +326,25 @@ void BM_ParallelThreadsSweep(benchmark::State& state) {
     last = r.value().stats;
     ++iters;
   }
+  // Instrumentation overhead under this cell's thread budget: the same
+  // warm prepared plan re-executed with per-operator profiling off vs on
+  // (Database::set_profile_execution — the EXPLAIN (ANALYZE) code path).
+  // The acceptance bar is < 5% on the scan-heavy cells.
+  constexpr int kOverheadIters = 3;
+  double plain_secs = 0;
+  double profiled_secs = 0;
+  for (int i = 0; i < kOverheadIters; ++i) {
+    auto r = mth::RunPrepared(&prepared);
+    if (r.ok()) plain_secs += r.value().seconds;
+  }
+  f.env->mth_db->set_profile_execution(true);
+  for (int i = 0; i < kOverheadIters; ++i) {
+    auto r = mth::RunPrepared(&prepared);
+    if (r.ok()) profiled_secs += r.value().seconds;
+  }
+  f.env->mth_db->set_profile_execution(false);
+  state.counters["analyze_overhead_pct"] =
+      plain_secs > 0 ? (profiled_secs / plain_secs - 1.0) * 100.0 : 0;
   mth::SetMthThreads(f.env.get(), 1);
   const double per_iter = iters > 0 ? total / iters : 0;
   const auto key = std::make_pair(query, static_cast<int>(level));
@@ -443,11 +465,31 @@ void RegisterParallelSweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --metrics_json=<path> is ours, not the benchmark library's: peel it off
+  // before Initialize rejects it. After the run the process-wide metrics
+  // registry (counters + latency histograms fed by every statement executed
+  // above) is dumped to the path as JSON.
+  std::string metrics_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--metrics_json=";
+    if (arg.rfind(prefix, 0) == 0) {
+      metrics_path = arg.substr(prefix.size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   RegisterAll();
   RegisterParallelSweep();
   RegisterSortSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << mtbase::obs::MetricsRegistry::Global()->RenderJson() << "\n";
+  }
   benchmark::Shutdown();
   return 0;
 }

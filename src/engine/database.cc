@@ -1,9 +1,14 @@
 #include "engine/database.h"
 
+#include <chrono>
+#include <cstdio>
 #include <set>
 #include <unordered_set>
 
 #include "common/str_util.h"
+#include "engine/explain.h"
+#include "engine/obs/metrics.h"
+#include "engine/obs/trace.h"
 #include "engine/parallel/parallel.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -40,6 +45,9 @@ ExecContext Database::MakeContext(const std::vector<Value>* params) {
     ctx.shared_udf_cache = &shared_udf_cache_;
     ctx.shared_udf_epoch = CurrentUdfCacheEpoch();
   }
+  // Bench overhead knob (set_profile_execution): every statement pays the
+  // ANALYZE instrumentation cost into a reused, never-rendered profiler.
+  if (profile_execution_) ctx.profiler = &bench_profiler_;
   return ctx;
 }
 
@@ -123,9 +131,13 @@ Status PreparedPlan::Compile() {
       : stmt_.kind == sql::Stmt::Kind::kInsert ? stmt_.insert->select.get()
                                                : nullptr;
   if (sel != nullptr) {
-    Planner planner(&db_->catalog_, &db_->udfs_, db_->planner_options_);
-    MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(*sel));
-    ++db_->stats_.statements_planned;
+    PlanPtr plan;
+    {
+      obs::SpanTimer span(db_->active_trace_, "plan", &db_->stats_);
+      Planner planner(&db_->catalog_, &db_->udfs_, db_->planner_options_);
+      MTB_ASSIGN_OR_RETURN(plan, planner.PlanSelect(*sel));
+      ++db_->stats_.statements_planned;
+    }
     MTB_RETURN_IF_ERROR(db_->VerifyPlan(plan.get()));
     column_names_.clear();
     for (const auto& c : plan->columns) column_names_.push_back(c.name);
@@ -146,6 +158,49 @@ Status PreparedPlan::Compile() {
 }
 
 Result<ResultSet> PreparedPlan::Execute(const std::vector<Value>& params) {
+  // Observability shell around the execution body: one engine-layer trace
+  // record per statement (nested statements append to the enclosing record
+  // via the Database slot), plus process-wide metrics. With tracing off
+  // (no MTBASE_TRACE) the record scope is inert; the metrics feed is a few
+  // mutex-guarded map bumps per statement.
+  obs::TraceRecordScope trace(obs::Tracer::Global(), &db_->active_trace_,
+                              "engine", sql_);
+  StatsScope scope(&db_->stats_);
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<ResultSet> result = ExecuteInternal(params);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  trace.FinishFromStatus(result.ok() ? Status::OK() : result.status());
+  const ExecStats d = scope.Delta();
+  auto* metrics = obs::MetricsRegistry::Global();
+  metrics->Add("mtbase_engine_statements_total");
+  if (!result.ok()) metrics->Add("mtbase_engine_statement_errors_total");
+  metrics->Observe("mtbase_engine_execute_seconds", secs);
+  if (d.udf_calls > 0) {
+    metrics->Add("mtbase_engine_udf_calls_total", d.udf_calls);
+  }
+  if (d.udf_cache_hits > 0) {
+    metrics->Add("mtbase_engine_udf_cache_hits_total", d.udf_cache_hits);
+  }
+  if (d.udf_cache_misses > 0) {
+    metrics->Add("mtbase_engine_udf_cache_misses_total", d.udf_cache_misses);
+  }
+  if (d.plan_cache_hits > 0) {
+    metrics->Add("mtbase_engine_plan_cache_hits_total", d.plan_cache_hits);
+  }
+  if (d.plans_verified > 0) {
+    metrics->Add("mtbase_engine_plans_verified_total", d.plans_verified);
+  }
+  if (result.ok()) {
+    metrics->Add("mtbase_engine_rows_returned_total",
+                 result.value().rows.size());
+  }
+  return result;
+}
+
+Result<ResultSet> PreparedPlan::ExecuteInternal(
+    const std::vector<Value>& params) {
   if (static_cast<int>(params.size()) < param_count_) {
     return Status::InvalidArgument(
         "prepared statement needs " + std::to_string(param_count_) +
@@ -161,6 +216,7 @@ Result<ResultSet> PreparedPlan::Execute(const std::vector<Value>& params) {
   } else {
     ++db_->stats_.plan_cache_hits;
   }
+  obs::SpanTimer exec_span(db_->active_trace_, "execute", &db_->stats_);
   const std::vector<Value>* bound = params.empty() ? nullptr : &params;
   if (stmt_.kind == sql::Stmt::Kind::kSelect) {
     ExecContext ctx = db_->MakeContext(bound);
@@ -200,7 +256,11 @@ Result<ResultSet> PreparedPlan::Execute(const std::vector<Value>& params) {
 
 Result<PreparedPlan> Database::Prepare(const std::string& sql) {
   ++stats_.statements_parsed;
-  MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(sql));
+  sql::Stmt stmt;
+  {
+    obs::SpanTimer span(active_trace_, "parse", &stats_);
+    MTB_ASSIGN_OR_RETURN(stmt, sql::ParseStatement(sql));
+  }
   return PrepareStmt(std::move(stmt), sql);
 }
 
@@ -220,8 +280,18 @@ Result<PreparedPlan> Database::PrepareStmt(sql::Stmt stmt,
 }
 
 Result<ResultSet> Database::Execute(const std::string& sql) {
-  MTB_ASSIGN_OR_RETURN(PreparedPlan plan, Prepare(sql));
-  return plan.Execute();
+  // Open the statement's trace record here so the compile-time spans
+  // (parse/plan/verify, recorded inside Prepare) land in the same record as
+  // the execute span; PreparedPlan::Execute's own record scope nests into
+  // this one via the slot.
+  obs::TraceRecordScope trace(obs::Tracer::Global(), &active_trace_, "engine",
+                              sql);
+  auto result = [&]() -> Result<ResultSet> {
+    MTB_ASSIGN_OR_RETURN(PreparedPlan plan, Prepare(sql));
+    return plan.Execute();
+  }();
+  trace.FinishFromStatus(result.ok() ? Status::OK() : result.status());
+  return result;
 }
 
 Result<ResultSet> Database::ExecuteScript(const std::string& sql) {
@@ -319,6 +389,7 @@ Status Database::VerifyPlan(Plan* plan) {
   // The verifier walks UDF body plans, which hold raw catalog pointers and
   // are only safe to dereference once replanned against the current catalog.
   if (udf_plans_stale_) RefreshUdfPlans();
+  obs::SpanTimer span(active_trace_, "verify", &stats_);
   ++stats_.plans_verified;
   verify::PlanVerifier verifier(&verify_ctx_);
   verify::VerifyResult result = verifier.Verify(*plan);
@@ -330,16 +401,111 @@ Status Database::VerifyPlan(Plan* plan) {
 
 Result<ResultSet> Database::ExecuteSelect(const sql::SelectStmt& sel,
                                           const std::vector<Value>* params) {
+  // Ad-hoc SELECTs (scripts, ExecuteStmt callers) reach execution without a
+  // PreparedPlan, so this path carries its own observability shell. The
+  // statement text only exists as an AST here; it is printed back to SQL
+  // for the trace record only when tracing is actually on.
+  obs::Tracer* tracer = obs::Tracer::Global();
+  obs::TraceRecordScope trace(
+      tracer, &active_trace_, "engine",
+      tracer != nullptr && tracer->enabled() ? sql::PrintSelect(sel)
+                                             : std::string());
+  StatsScope scope(&stats_);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = [&]() -> Result<ResultSet> {
+    PlanPtr plan;
+    {
+      obs::SpanTimer span(active_trace_, "plan", &stats_);
+      Planner planner(&catalog_, &udfs_, planner_options_);
+      MTB_ASSIGN_OR_RETURN(plan, planner.PlanSelect(sel));
+      ++stats_.statements_planned;
+    }
+    MTB_RETURN_IF_ERROR(VerifyPlan(plan.get()));
+    obs::SpanTimer span(active_trace_, "execute", &stats_);
+    ExecContext ctx = MakeContext(params);
+    MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan, &ctx));
+    ResultSet rs;
+    for (const auto& c : plan->columns) rs.column_names.push_back(c.name);
+    rs.rows = std::move(rows);
+    return rs;
+  }();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  trace.FinishFromStatus(result.ok() ? Status::OK() : result.status());
+  const ExecStats d = scope.Delta();
+  auto* metrics = obs::MetricsRegistry::Global();
+  metrics->Add("mtbase_engine_statements_total");
+  if (!result.ok()) metrics->Add("mtbase_engine_statement_errors_total");
+  metrics->Observe("mtbase_engine_execute_seconds", secs);
+  if (d.udf_calls > 0) {
+    metrics->Add("mtbase_engine_udf_calls_total", d.udf_calls);
+  }
+  if (d.udf_cache_hits > 0) {
+    metrics->Add("mtbase_engine_udf_cache_hits_total", d.udf_cache_hits);
+  }
+  if (d.udf_cache_misses > 0) {
+    metrics->Add("mtbase_engine_udf_cache_misses_total", d.udf_cache_misses);
+  }
+  if (d.plans_verified > 0) {
+    metrics->Add("mtbase_engine_plans_verified_total", d.plans_verified);
+  }
+  if (result.ok()) {
+    metrics->Add("mtbase_engine_rows_returned_total",
+                 result.value().rows.size());
+  }
+  return result;
+}
+
+Result<std::string> Database::ExplainAnalyzeSelect(
+    const sql::SelectStmt& sel, const verify::VerifyContext* footer_verify_ctx,
+    ResultSet* result_out) {
+  if (udf_plans_stale_) RefreshUdfPlans();
   Planner planner(&catalog_, &udfs_, planner_options_);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(sel));
   ++stats_.statements_planned;
   MTB_RETURN_IF_ERROR(VerifyPlan(plan.get()));
-  ExecContext ctx = MakeContext(params);
+  // Instrumented execution: same context a plain run gets, plus a profiler.
+  obs::PlanProfiler profiler;
+  StatsScope scope(&stats_);
+  ExecContext ctx = MakeContext();
+  ctx.profiler = &profiler;
+  const auto t0 = std::chrono::steady_clock::now();
   MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan, &ctx));
-  ResultSet rs;
-  for (const auto& c : plan->columns) rs.column_names.push_back(c.name);
-  rs.rows = std::move(rows);
-  return rs;
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  const ExecStats d = scope.Delta();
+  std::string out = ExplainPlan(*plan, &planner_options_, &profiler);
+  // Footer order is fixed (docs/observability.md): verify, analyze; the
+  // session layer appends its audit footer after both.
+  if (footer_verify_ctx != nullptr) {
+    verify::PlanVerifier verifier(footer_verify_ctx);
+    out += "[verify: " + verifier.Verify(*plan).Summary() + "]\n";
+  }
+  char footer[160];
+  std::snprintf(footer, sizeof(footer),
+                "[analyze: rows=%llu workers=%d time=%.3fms udf_calls=%llu"
+                " udf_cache_hits=%llu]\n",
+                static_cast<unsigned long long>(rows.size()),
+                profiler.MaxWorkers(), total_ms,
+                static_cast<unsigned long long>(d.udf_calls),
+                static_cast<unsigned long long>(d.udf_cache_hits));
+  out += footer;
+  obs::MetricsRegistry::Global()->Add("mtbase_engine_analyze_runs_total");
+  if (result_out != nullptr) {
+    result_out->column_names.clear();
+    for (const auto& c : plan->columns) {
+      result_out->column_names.push_back(c.name);
+    }
+    result_out->rows = std::move(rows);
+  }
+  return out;
+}
+
+std::string Database::DumpMetrics() const {
+  return obs::MetricsRegistry::Global()->RenderPrometheus();
 }
 
 Status Database::ExecuteCreateTable(const sql::CreateTableStmt& ct) {

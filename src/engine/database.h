@@ -21,6 +21,7 @@
 #include "common/result.h"
 #include "engine/catalog.h"
 #include "engine/exec.h"
+#include "engine/obs/profile.h"
 #include "engine/planner.h"
 #include "engine/stats.h"
 #include "engine/udf.h"
@@ -29,6 +30,11 @@
 #include "sql/ast.h"
 
 namespace mtbase {
+
+namespace obs {
+struct StatementTrace;
+}  // namespace obs
+
 namespace engine {
 
 class Database;
@@ -78,6 +84,11 @@ class PreparedPlan {
   /// failed recompile (e.g. a dropped table) cannot leave a usable handle.
   Status Compile();
 
+  /// The execution body. Execute() wraps it with the observability surface
+  /// (statement trace record, execute span, metrics) so the wrapped path
+  /// stays readable.
+  Result<ResultSet> ExecuteInternal(const std::vector<Value>& params);
+
   Database* db_ = nullptr;
   std::string sql_;
   sql::Stmt stmt_;
@@ -115,6 +126,34 @@ class Database {
   /// Validate primary keys, foreign keys and check constraints of `table`
   /// (all tables if empty). Deferred validation keeps bulk loads fast.
   Status ValidateConstraints(const std::string& table = "");
+
+  /// EXPLAIN (ANALYZE) (docs/observability.md): plan `sel`, execute it with
+  /// per-operator instrumentation attached, and render the plan with
+  /// trailing `[actual: ...]` annotations plus an `[analyze: ...]` statement
+  /// footer. With `footer_verify_ctx` set a `[verify: ...]` footer precedes
+  /// the analyze footer (the EXPLAIN (VERIFY, ANALYZE) composition — footer
+  /// order is fixed: verify, analyze, then the session layer's audit).
+  /// `result_out`, if non-null, receives the instrumented run's result set
+  /// so callers can prove byte-identity against an uninstrumented run.
+  Result<std::string> ExplainAnalyzeSelect(
+      const sql::SelectStmt& sel,
+      const verify::VerifyContext* footer_verify_ctx = nullptr,
+      ResultSet* result_out = nullptr);
+
+  /// Prometheus-text snapshot of the process-wide obs::MetricsRegistry
+  /// (docs/observability.md "Metrics").
+  std::string DumpMetrics() const;
+
+  /// Bench knob: attach a Database-owned PlanProfiler to every statement
+  /// context so executions pay the full ANALYZE instrumentation cost
+  /// without rendering anything — rewrite_bench measures
+  /// analyze_overhead_pct by toggling this. Off by default; plain execution
+  /// never touches the profiler.
+  void set_profile_execution(bool on) {
+    profile_execution_ = on;
+    bench_profiler_.Clear();
+  }
+  bool profile_execution() const { return profile_execution_; }
 
   Catalog* catalog() { return &catalog_; }
   const Catalog* catalog() const { return &catalog_; }
@@ -243,6 +282,14 @@ class Database {
   std::vector<const Table*> udf_read_tables_;
   verify::VerifyContext verify_ctx_;
   std::function<void(Plan*)> plan_mutation_hook_;
+  /// Engine-layer trace slot (obs::TraceRecordScope): the active statement's
+  /// trace record, or null outside a traced statement. Nested engine
+  /// statements (e.g. UDF refresh inside Execute) append spans to the
+  /// enclosing record instead of emitting their own.
+  obs::StatementTrace* active_trace_ = nullptr;
+  /// Reused profiler for set_profile_execution (bench overhead knob).
+  obs::PlanProfiler bench_profiler_;
+  bool profile_execution_ = false;
 };
 
 }  // namespace engine

@@ -1,10 +1,12 @@
 #include "engine/exec.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/str_util.h"
 #include "engine/catalog.h"
+#include "engine/obs/profile.h"
 #include "engine/parallel/parallel.h"
 #include "engine/udf.h"
 
@@ -528,9 +530,19 @@ Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args,
   ctx->stats->udf_calls++;
   if (ctx->in_parallel_worker) ctx->stats->udf_parallel_evals++;
   const std::vector<Value>* saved = ctx->params;
+  // UDF bodies execute un-profiled: their plans are not part of the rendered
+  // EXPLAIN tree (the invoking operator's [actual: udf=...] accounts for
+  // them), and skipping per-node instrumentation here bounds the ANALYZE
+  // overhead on conversion-heavy plans.
+  obs::PlanProfiler* saved_profiler = ctx->profiler;
+  obs::OpProfile* saved_op = ctx->current_op;
+  ctx->profiler = nullptr;
+  ctx->current_op = nullptr;
   ctx->params = &args;
   auto rows = ExecutePlan(*udf.body_plan, ctx);
   ctx->params = saved;
+  ctx->profiler = saved_profiler;
+  ctx->current_op = saved_op;
   if (!rows.ok()) return rows.status();
   Value result =
       rows.value().empty() ? Value::Null() : rows.value()[0][0];
@@ -714,7 +726,9 @@ Result<std::vector<Row>> ExecTopN(const Plan& p, ExecContext* ctx) {
 
 }  // namespace
 
-Result<std::vector<Row>> ExecutePlan(const Plan& plan, ExecContext* ctx) {
+/// Uninstrumented execution — the plain hot path.
+static Result<std::vector<Row>> ExecutePlanImpl(const Plan& plan,
+                                                ExecContext* ctx) {
   switch (plan.kind) {
     case Plan::Kind::kScan:
       return ExecScan(plan, ctx);
@@ -761,6 +775,45 @@ Result<std::vector<Row>> ExecutePlan(const Plan& plan, ExecContext* ctx) {
     }
   }
   return Status::Internal("unhandled plan kind");
+}
+
+/// Instrumented execution for EXPLAIN (ANALYZE): record an OpProfile per
+/// plan node. Inclusive semantics — wall/CPU and counter deltas cover the
+/// node's whole subtree; the renderer subtracts children where an exclusive
+/// figure reads better. CPU is the statement thread's own thread-CPU delta
+/// (which includes executing children on this thread, and region worker 0)
+/// plus the pool-worker CPU RunPoolProfiled accumulated into
+/// `ctx->child_cpu_nanos` during the node.
+static Result<std::vector<Row>> ExecutePlanProfiled(const Plan& plan,
+                                                    ExecContext* ctx) {
+  obs::OpProfile* prof = ctx->profiler->Profile(&plan);
+  obs::OpProfile* saved_op = ctx->current_op;
+  ctx->current_op = prof;
+  const ExecStats before = *ctx->stats;
+  const uint64_t pool_cpu_before = ctx->child_cpu_nanos;
+  const uint64_t cpu_before = obs::ThreadCpuNanos();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto rows = ExecutePlanImpl(plan, ctx);
+  prof->wall_nanos += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  prof->cpu_nanos += (obs::ThreadCpuNanos() - cpu_before) +
+                     (ctx->child_cpu_nanos - pool_cpu_before);
+  ctx->current_op = saved_op;
+  prof->executions++;
+  const ExecStats d = *ctx->stats - before;
+  prof->rows_scanned += d.rows_scanned;
+  prof->morsels += d.parallel_morsels;
+  prof->udf_calls += d.udf_calls;
+  prof->udf_cache_hits += d.udf_cache_hits;
+  if (rows.ok()) prof->rows_out += rows.value().size();
+  return rows;
+}
+
+Result<std::vector<Row>> ExecutePlan(const Plan& plan, ExecContext* ctx) {
+  if (ctx->profiler == nullptr) return ExecutePlanImpl(plan, ctx);
+  return ExecutePlanProfiled(plan, ctx);
 }
 
 namespace {

@@ -15,6 +15,12 @@
 #include "engine/udf_cache.h"
 
 namespace mtbase {
+
+namespace obs {
+class PlanProfiler;
+struct OpProfile;
+}  // namespace obs
+
 namespace engine {
 
 /// Per-statement execution state. Sub-query / UDF caches live here, so their
@@ -41,6 +47,19 @@ struct ExecContext {
   /// `shared_udf_epoch` is the validity token captured at statement start.
   SharedUdfCache* shared_udf_cache = nullptr;
   UdfCacheEpoch shared_udf_epoch;
+
+  /// EXPLAIN (ANALYZE) instrumentation (null = off, the plain hot path).
+  /// Statement-thread only: WorkerContext deliberately never copies these
+  /// (see parallel_exec.cc), so the profile map needs no locking; worker
+  /// counters reach the profiler through the MergeWorker fold.
+  obs::PlanProfiler* profiler = nullptr;
+  /// Profile of the plan node currently executing — parallel regions report
+  /// their worker counts here (null when not profiling).
+  obs::OpProfile* current_op = nullptr;
+  /// Pool-worker thread CPU (nanoseconds) accumulated by RunPoolProfiled
+  /// while profiling. Worker 0 of every region runs on this thread and is
+  /// excluded: its CPU is already in the statement thread's own delta.
+  uint64_t child_cpu_nanos = 0;
 
   /// Rows of enclosing queries for correlated sub-query evaluation;
   /// OuterSlot(depth = 1) reads the innermost enclosing row.

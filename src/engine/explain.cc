@@ -1,5 +1,8 @@
 #include "engine/explain.h"
 
+#include <cstdio>
+
+#include "engine/obs/profile.h"
 #include "engine/parallel/parallel.h"
 #include "engine/planner.h"
 #include "engine/udf.h"
@@ -9,10 +12,14 @@ namespace engine {
 
 namespace {
 
-/// Rendering context for the parallel annotations (null = omit them).
+/// Rendering context for the parallel and [actual: ...] annotations
+/// (null = omit them all).
 struct ExplainCtx {
   int threads = 1;
   size_t min_rows = 0;
+  /// Profiles from an instrumented execution (EXPLAIN (ANALYZE));
+  /// null = no actuals.
+  const obs::PlanProfiler* profiles = nullptr;
 };
 
 /// Append " [parallel: N threads]" when the operator is parallel-safe and
@@ -31,6 +38,78 @@ void AppendParallelSort(const Plan& p, const ExplainCtx* ctx,
   if (ctx == nullptr || ctx->threads <= 1 || !p.parallel_safe) return;
   if (parallel::EstimatePlanRows(p) < ctx->min_rows) return;
   *out += " [parallel sort: " + std::to_string(ctx->threads) + " threads]";
+}
+
+std::string FormatMs(uint64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(nanos) / 1e6);
+  return buf;
+}
+
+/// Immediate plan children of a node: left/right inputs plus the sub-plans
+/// hanging off its own expressions (SubPlan/InitPlan). Used to turn the
+/// profiler's inclusive counter deltas into per-node exclusive figures.
+void CollectExprSubplans(const BoundExpr& e, std::vector<const Plan*>* out) {
+  if (e.subplan) out->push_back(e.subplan.get());
+  ForEachExprChild(e,
+                   [out](const BoundExpr& c) { CollectExprSubplans(c, out); });
+}
+
+std::vector<const Plan*> ImmediateChildren(const Plan& p) {
+  std::vector<const Plan*> children;
+  if (p.left) children.push_back(p.left.get());
+  if (p.right) children.push_back(p.right.get());
+  ForEachPlanExpr(p, [&children](const BoundExpr& e) {
+    CollectExprSubplans(e, &children);
+  });
+  return children;
+}
+
+/// Append the EXPLAIN (ANALYZE) annotation: " [actual: rows=N ...]" from the
+/// node's OpProfile, or " [actual: never executed]" for nodes the execution
+/// skipped (e.g. a sub-plan behind a short-circuited predicate). rows/time/
+/// cpu are inclusive of the subtree; morsels and udf/hit are exclusive (the
+/// immediate children's inclusive deltas are subtracted) so per-operator
+/// attribution reads directly. loops appears when the node executed more
+/// than once (per-row sub-plans); workers when a parallel region engaged.
+void AppendActual(const Plan& p, const ExplainCtx* ctx, std::string* out) {
+  if (ctx == nullptr || ctx->profiles == nullptr) return;
+  const obs::OpProfile* prof = ctx->profiles->Find(&p);
+  if (prof == nullptr) {
+    *out += " [actual: never executed]";
+    return;
+  }
+  uint64_t child_morsels = 0;
+  uint64_t child_udf = 0;
+  uint64_t child_hits = 0;
+  for (const Plan* c : ImmediateChildren(p)) {
+    const obs::OpProfile* cp = ctx->profiles->Find(c);
+    if (cp == nullptr) continue;
+    child_morsels += cp->morsels;
+    child_udf += cp->udf_calls;
+    child_hits += cp->udf_cache_hits;
+  }
+  const uint64_t morsels =
+      prof->morsels > child_morsels ? prof->morsels - child_morsels : 0;
+  const uint64_t udf =
+      prof->udf_calls > child_udf ? prof->udf_calls - child_udf : 0;
+  const uint64_t hits =
+      prof->udf_cache_hits > child_hits ? prof->udf_cache_hits - child_hits
+                                        : 0;
+  *out += " [actual: rows=" + std::to_string(prof->rows_out);
+  if (prof->executions > 1) {
+    *out += " loops=" + std::to_string(prof->executions);
+  }
+  *out += " time=" + FormatMs(prof->wall_nanos) + "ms";
+  *out += " cpu=" + FormatMs(prof->cpu_nanos) + "ms";
+  if (prof->workers > 1) {
+    *out += " workers=" + std::to_string(prof->workers);
+  }
+  if (morsels > 0) *out += " morsels=" + std::to_string(morsels);
+  if (udf > 0 || hits > 0) {
+    *out += " udf=" + std::to_string(udf) + " hit=" + std::to_string(hits);
+  }
+  *out += "]";
 }
 
 const char* JoinKindName(JoinKind k) {
@@ -168,6 +247,7 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
       if (p.scan_filter) *out += " (filtered)";
       AppendUdf(p, out);
       AppendParallel(p, ctx, out);
+      AppendActual(p, ctx, out);
       *out += "\n";
       RenderPlanSubplans(p, depth + 1, ctx, out);
       return;
@@ -185,6 +265,7 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
       }
       AppendUdf(p, out);
       AppendParallel(p, ctx, out);
+      AppendActual(p, ctx, out);
       *out += "\n";
       RenderPlanSubplans(p, depth + 1, ctx, out);
       Render(*p.left, depth + 1, ctx, out);
@@ -194,12 +275,14 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
       *out += "Filter";
       AppendUdf(p, out);
       AppendParallel(p, ctx, out);
+      AppendActual(p, ctx, out);
       *out += "\n";
       break;
     case Plan::Kind::kProject:
       *out += "Project (" + std::to_string(p.exprs.size()) + " columns)";
       AppendUdf(p, out);
       AppendParallel(p, ctx, out);
+      AppendActual(p, ctx, out);
       *out += "\n";
       break;
     case Plan::Kind::kAggregate: {
@@ -213,6 +296,7 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
       *out += ")";
       AppendUdf(p, out);
       AppendParallel(p, ctx, out);
+      AppendActual(p, ctx, out);
       *out += "\n";
       break;
     }
@@ -223,6 +307,7 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
       }
       *out += ")";
       AppendParallelSort(p, ctx, out);
+      AppendActual(p, ctx, out);
       *out += "\n";
       break;
     }
@@ -235,16 +320,20 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
       if (p.offset > 0) *out += ", offset " + std::to_string(p.offset);
       *out += "]";
       AppendParallelSort(p, ctx, out);
+      AppendActual(p, ctx, out);
       *out += "\n";
       break;
     }
     case Plan::Kind::kLimit:
       *out += "Limit " + std::to_string(p.limit);
       if (p.offset > 0) *out += " OFFSET " + std::to_string(p.offset);
+      AppendActual(p, ctx, out);
       *out += "\n";
       break;
     case Plan::Kind::kDistinct:
-      *out += "Distinct\n";
+      *out += "Distinct";
+      AppendActual(p, ctx, out);
+      *out += "\n";
       break;
   }
   RenderPlanSubplans(p, depth + 1, ctx, out);
@@ -253,12 +342,16 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
 
 }  // namespace
 
-std::string ExplainPlan(const Plan& plan, const PlannerOptions* options) {
+std::string ExplainPlan(const Plan& plan, const PlannerOptions* options,
+                        const obs::PlanProfiler* profiles) {
   std::string out;
-  if (options != nullptr) {
+  if (options != nullptr || profiles != nullptr) {
     ExplainCtx ctx;
-    ctx.threads = parallel::ResolveMaxThreads(options->max_threads);
-    ctx.min_rows = options->min_parallel_rows;
+    if (options != nullptr) {
+      ctx.threads = parallel::ResolveMaxThreads(options->max_threads);
+      ctx.min_rows = options->min_parallel_rows;
+    }
+    ctx.profiles = profiles;
     Render(plan, 0, &ctx, &out);
   } else {
     Render(plan, 0, nullptr, &out);

@@ -13,6 +13,11 @@
 #include "sql/ast.h"
 
 namespace mtbase {
+
+namespace obs {
+class PlanProfiler;
+}  // namespace obs
+
 namespace engine {
 
 /// Render a physical plan as an indented operator tree, e.g.
@@ -25,7 +30,12 @@ namespace engine {
 /// The full line grammar — operator subjects, (details), and the bracketed
 /// annotations [nested-loop] / [decorrelated ...] / [udf: ...] /
 /// [parallel: ...], with worked examples — is documented in docs/explain.md.
-std::string ExplainPlan(const Plan& plan, const PlannerOptions* options = nullptr);
+///
+/// With `profiles` set — the EXPLAIN (ANALYZE) surface, filled by an
+/// instrumented execution of this exact plan tree — every operator line gets
+/// a trailing `[actual: ...]` annotation (docs/observability.md).
+std::string ExplainPlan(const Plan& plan, const PlannerOptions* options = nullptr,
+                        const obs::PlanProfiler* profiles = nullptr);
 
 /// Plan a SELECT against the catalog and explain it (parallel annotations
 /// reflect `options`). With `verify_ctx` set — the EXPLAIN (VERIFY) surface —

@@ -1,0 +1,163 @@
+#include "engine/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace mtbase {
+namespace obs {
+
+namespace {
+
+// Render a double the way Prometheus clients do: shortest form that
+// round-trips, no trailing zeros ("0.005", "1", "2.5").
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos &&
+      s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos) {
+    // %.17g can print noise like 0.25000000000000006 for clean inputs that
+    // came through arithmetic; prefer the shortest representation that
+    // still round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+      std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+      double back;
+      if (std::sscanf(buf, "%lf", &back) == 1 && back == v) {
+        s = buf;
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();
+  return g;
+}
+
+const std::vector<double>& MetricsRegistry::LatencyBuckets() {
+  static const std::vector<double>* kBuckets = new std::vector<double>{
+      0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+      0.1,    0.25,    0.5,    1,    2.5,    5,     10,
+      std::numeric_limits<double>::infinity()};
+  return *kBuckets;
+}
+
+void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram& h = histograms_[name];
+  const auto& bounds = LatencyBuckets();
+  if (h.buckets.empty()) h.buckets.assign(bounds.size(), 0);
+  size_t i = 0;
+  while (i + 1 < bounds.size() && seconds > bounds[i]) ++i;
+  ++h.buckets[i];
+  ++h.count;
+  h.sum += seconds;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+uint64_t MetricsRegistry::HistogramCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0 : it->second.count;
+}
+
+double MetricsRegistry::QuantileLocked(const Histogram& h, double q) const {
+  if (h.count == 0) return 0;
+  const auto& bounds = LatencyBuckets();
+  // Rank of the target observation, 1-based, clamped into [1, count].
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(h.count));
+  if (rank < 1) rank = 1;
+  if (rank > h.count) rank = h.count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    seen += h.buckets[i];
+    if (seen >= rank) {
+      // The +Inf bucket has no finite upper bound; report the largest
+      // finite one as the floor of the estimate.
+      if (i + 1 == bounds.size()) return bounds[bounds.size() - 2];
+      return bounds[i];
+    }
+  }
+  return bounds[bounds.size() - 2];
+}
+
+double MetricsRegistry::Quantile(const std::string& name, double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) return 0;
+  return QuantileLocked(it->second, q);
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  const auto& bounds = LatencyBuckets();
+  for (const auto& [name, h] : histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      std::string le = i + 1 == bounds.size() ? "+Inf" : FormatDouble(bounds[i]);
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + FormatDouble(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + FormatDouble(h.sum) +
+           ", \"p50\": " + FormatDouble(QuantileLocked(h, 0.5)) +
+           ", \"p95\": " + FormatDouble(QuantileLocked(h, 0.95)) +
+           ", \"p99\": " + FormatDouble(QuantileLocked(h, 0.99)) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace obs
+}  // namespace mtbase

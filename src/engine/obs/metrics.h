@@ -1,0 +1,76 @@
+// Process-wide metrics registry: named monotonic counters and fixed-bucket
+// latency histograms, exportable as Prometheus text format
+// (`Database::DumpMetrics`) or JSON (`rewrite_bench --metrics_json=...`).
+//
+// Naming convention (docs/observability.md): `mtbase_<layer>_<noun>_<unit>`,
+// counters end in `_total`, histograms in `_seconds`. Metrics are created on
+// first use; reads of never-touched names return zero rather than erroring so
+// exporters and tests stay decoupled from feed-point order.
+#ifndef MTBASE_ENGINE_OBS_METRICS_H_
+#define MTBASE_ENGINE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mtbase {
+namespace obs {
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every feed point writes to.
+  static MetricsRegistry* Global();
+
+  /// Upper bounds (seconds) of the fixed latency histogram buckets, ending
+  /// with +Inf. Shared by every histogram so quantiles stay comparable.
+  static const std::vector<double>& LatencyBuckets();
+
+  /// Increment counter `name` by `delta`.
+  void Add(const std::string& name, uint64_t delta = 1);
+
+  /// Record one observation (in seconds) into histogram `name`.
+  void Observe(const std::string& name, double seconds);
+
+  /// Current value of a counter (0 if never incremented).
+  uint64_t CounterValue(const std::string& name) const;
+
+  /// Observation count of a histogram (0 if never observed).
+  uint64_t HistogramCount(const std::string& name) const;
+
+  /// Quantile estimate (q in [0, 1], e.g. 0.5 / 0.95 / 0.99) from the
+  /// histogram buckets: the upper bound of the bucket containing the q-th
+  /// observation (the +Inf bucket reports the largest finite bound). 0 if the
+  /// histogram is empty or unknown.
+  double Quantile(const std::string& name, double q) const;
+
+  /// Prometheus text exposition format: TYPE comments, counters, and
+  /// cumulative `_bucket{le=...}` / `_sum` / `_count` series per histogram.
+  std::string RenderPrometheus() const;
+
+  /// JSON object: {"counters": {...}, "histograms": {name: {"count": N,
+  /// "sum": S, "p50": ..., "p95": ..., "p99": ...}}}.
+  std::string RenderJson() const;
+
+  /// Drop every metric (unit tests only; the registry is process-global).
+  void ResetForTesting();
+
+ private:
+  struct Histogram {
+    std::vector<uint64_t> buckets;  // one per LatencyBuckets() entry
+    uint64_t count = 0;
+    double sum = 0;
+  };
+
+  double QuantileLocked(const Histogram& h, double q) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace mtbase
+
+#endif  // MTBASE_ENGINE_OBS_METRICS_H_

@@ -1,0 +1,20 @@
+#include "engine/obs/profile.h"
+
+#include <ctime>
+
+namespace mtbase {
+namespace obs {
+
+uint64_t ThreadCpuNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace obs
+}  // namespace mtbase

@@ -33,6 +33,8 @@
 #define MTBASE_ENGINE_PARALLEL_PARALLEL_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
@@ -69,6 +71,16 @@ int PlanWorkers(const Plan& plan, size_t input_rows, const ExecContext& ctx);
 /// EXPLAIN uses it to decide whether an operator would plausibly clear the
 /// min_parallel_rows gate at runtime.
 size_t EstimatePlanRows(const Plan& plan);
+
+/// TaskPool::Run with EXPLAIN (ANALYZE) CPU accounting: when `ctx` is being
+/// profiled, each pool worker's thread-CPU delta is summed into
+/// ctx->child_cpu_nanos after the region (worker 0 runs on the calling
+/// thread and is excluded — its CPU is already in the statement thread's
+/// own delta). Without a profiler this is exactly TaskPool::Run. Every
+/// parallel region — morsel plumbing and the raw sort/join pool sites —
+/// must launch through here so instrumented CPU totals stay complete.
+void RunPoolProfiled(ExecContext* ctx, int workers,
+                     const std::function<void(int)>& fn);
 
 // Unified operator implementations: with workers == 1 they run the exact
 // serial loops the executor always had; with workers > 1 the same per-row

@@ -12,6 +12,7 @@
 
 #include "engine/catalog.h"
 #include "engine/exec.h"
+#include "engine/obs/profile.h"
 #include "engine/parallel/task_pool.h"
 #include "engine/udf.h"
 
@@ -157,6 +158,27 @@ int PlanWorkers(const Plan& plan, size_t input_rows, const ExecContext& ctx) {
 // Parallel region plumbing
 // ---------------------------------------------------------------------------
 
+void RunPoolProfiled(ExecContext* ctx, int workers,
+                     const std::function<void(int)>& fn) {
+  if (ctx->profiler == nullptr) {
+    TaskPool::Global()->Run(workers, fn);
+    return;
+  }
+  std::vector<uint64_t> cpu(static_cast<size_t>(workers), 0);
+  TaskPool::Global()->Run(workers, [&](int w) {
+    if (w == 0) {
+      // Worker 0 runs on the calling (statement) thread: its CPU is already
+      // part of the statement thread's own thread-CPU delta.
+      fn(w);
+      return;
+    }
+    const uint64_t before = obs::ThreadCpuNanos();
+    fn(w);
+    cpu[static_cast<size_t>(w)] = obs::ThreadCpuNanos() - before;
+  });
+  for (uint64_t c : cpu) ctx->child_cpu_nanos += c;
+}
+
 namespace {
 
 ExecContext WorkerContext(const ExecContext& parent, ExecStats* stats) {
@@ -174,6 +196,9 @@ ExecContext WorkerContext(const ExecContext& parent, ExecStats* stats) {
   // distinct key per worker) before executing a body.
   c.shared_udf_cache = parent.shared_udf_cache;
   c.shared_udf_epoch = parent.shared_udf_epoch;
+  // parent.profiler / parent.current_op are deliberately NOT copied: the
+  // PlanProfiler map is statement-thread-only state. Worker counters reach
+  // it via the MergeWorker fold below; worker CPU via RunPoolProfiled.
   return c;
 }
 
@@ -205,7 +230,7 @@ Status RunRegion(
     const std::function<void(int, ExecContext*, RegionError*)>& fn) {
   std::vector<ExecStats> worker_stats(static_cast<size_t>(workers));
   RegionError err;
-  TaskPool::Global()->Run(workers, [&](int w) {
+  RunPoolProfiled(ctx, workers, [&](int w) {
     ExecContext wctx =
         WorkerContext(*ctx, &worker_stats[static_cast<size_t>(w)]);
     fn(w, &wctx, &err);
@@ -214,6 +239,11 @@ Status RunRegion(
   if (err.failed.load()) return err.status;
   ctx->stats->threads_used = std::max<uint64_t>(
       ctx->stats->threads_used, static_cast<uint64_t>(workers));
+  // The region ran while ctx->current_op was the invoking plan node, so the
+  // worker count attributes to exactly that node.
+  if (ctx->current_op != nullptr && workers > ctx->current_op->workers) {
+    ctx->current_op->workers = workers;
+  }
   return Status::OK();
 }
 
@@ -514,7 +544,7 @@ Result<std::vector<Row>> HashJoinExec(const Plan& p, ExecContext* ctx,
   // Phase 2: per-partition merge into the shared table (one task per
   // partition; partitions are independent maps, so no locking).
   std::atomic<size_t> next_part{0};
-  TaskPool::Global()->Run(workers, [&](int) {
+  RunPoolProfiled(ctx, workers, [&](int) {
     for (;;) {
       size_t part = next_part.fetch_add(1, std::memory_order_relaxed);
       if (part >= P) break;

@@ -31,8 +31,8 @@
 #include <vector>
 
 #include "engine/exec.h"
+#include "engine/obs/profile.h"
 #include "engine/parallel/parallel.h"
-#include "engine/parallel/task_pool.h"
 
 namespace mtbase {
 namespace engine {
@@ -85,6 +85,10 @@ void RecordParallelSort(ExecContext* ctx, size_t runs, int workers) {
   ctx->stats->parallel_morsels += runs;
   ctx->stats->threads_used = std::max<uint64_t>(
       ctx->stats->threads_used, static_cast<uint64_t>(workers));
+  // EXPLAIN (ANALYZE): the sort region ran under the invoking plan node.
+  if (ctx->current_op != nullptr && workers > ctx->current_op->workers) {
+    ctx->current_op->workers = workers;
+  }
 }
 
 }  // namespace
@@ -106,7 +110,7 @@ Result<std::vector<Row>> SortExec(const Plan& p, ExecContext* ctx,
   const size_t initial_runs = runs.size();
   {
     std::atomic<size_t> next{0};
-    TaskPool::Global()->Run(workers, [&](int) {
+    RunPoolProfiled(ctx, workers, [&](int) {
       for (;;) {
         size_t r = next.fetch_add(1, std::memory_order_relaxed);
         if (r >= runs.size()) break;
@@ -171,7 +175,7 @@ Result<std::vector<Row>> SortExec(const Plan& p, ExecContext* ctx,
                                 t.first});
     }
     std::atomic<size_t> next{0};
-    TaskPool::Global()->Run(workers, [&](int) {
+    RunPoolProfiled(ctx, workers, [&](int) {
       for (;;) {
         size_t ti = next.fetch_add(1, std::memory_order_relaxed);
         if (ti >= tasks.size()) break;
@@ -251,7 +255,7 @@ Result<std::vector<Row>> TopNExec(const Plan& p, ExecContext* ctx,
     std::vector<std::pair<size_t, size_t>> runs = WorkerRuns(n, workers);
     heaps.resize(runs.size());
     std::atomic<size_t> next{0};
-    TaskPool::Global()->Run(workers, [&](int) {
+    RunPoolProfiled(ctx, workers, [&](int) {
       for (;;) {
         size_t r = next.fetch_add(1, std::memory_order_relaxed);
         if (r >= runs.size()) break;

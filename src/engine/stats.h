@@ -6,6 +6,7 @@
 #ifndef MTBASE_ENGINE_STATS_H_
 #define MTBASE_ENGINE_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 
 namespace mtbase {
@@ -55,7 +56,9 @@ struct ExecStats {
   // materializing them into a full sorted result (input - merged candidates).
   uint64_t topn_rows_pruned = 0;
   /// High-water mark of workers used by any parallel region (a gauge, not a
-  /// monotonic counter: operator- reports the current value unchanged).
+  /// monotonic counter: operator- takes max(threads_used, o.threads_used),
+  /// i.e. a delta reports the higher watermark of the two snapshots rather
+  /// than a meaningless subtraction).
   uint64_t threads_used = 0;
 
   // Static plan verification (src/engine/verify/). Verification runs at
@@ -97,7 +100,8 @@ struct ExecStats {
     d.parallel_sorts = parallel_sorts - o.parallel_sorts;
     d.topn_pushdowns = topn_pushdowns - o.topn_pushdowns;
     d.topn_rows_pruned = topn_rows_pruned - o.topn_rows_pruned;
-    d.threads_used = threads_used;  // gauge: carried through, not subtracted
+    // Gauge, not a counter: explicit max semantics (see the field comment).
+    d.threads_used = std::max(threads_used, o.threads_used);
     d.plans_verified = plans_verified - o.plans_verified;
     d.verify_violations = verify_violations - o.verify_violations;
     d.rewrites_audited = rewrites_audited - o.rewrites_audited;

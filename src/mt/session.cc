@@ -1,10 +1,13 @@
 #include "mt/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "common/str_util.h"
 #include "engine/explain.h"
+#include "engine/obs/metrics.h"
+#include "engine/obs/trace.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 
@@ -265,11 +268,15 @@ Result<std::vector<sql::Stmt>> Session::RewriteWithDataset(
     const sql::Stmt& stmt, const std::vector<int64_t>& dataset,
     audit::AuditReport* audit_out) {
   ++mw_->db()->stats()->statements_rewritten;
-  Rewriter rewriter(mw_->schema(), mw_->conversions(), client_, dataset,
-                    OptionsFor(dataset));
-  MTB_ASSIGN_OR_RETURN(auto stmts, rewriter.RewriteStatement(stmt));
-  if (mw_->rewrite_mutation_hook()) {
-    for (auto& s : stmts) mw_->rewrite_mutation_hook()(&s);
+  std::vector<sql::Stmt> stmts;
+  {
+    obs::SpanTimer span(active_trace_, "rewrite", mw_->db()->stats());
+    Rewriter rewriter(mw_->schema(), mw_->conversions(), client_, dataset,
+                      OptionsFor(dataset));
+    MTB_ASSIGN_OR_RETURN(stmts, rewriter.RewriteStatement(stmt));
+    if (mw_->rewrite_mutation_hook()) {
+      for (auto& s : stmts) mw_->rewrite_mutation_hook()(&s);
+    }
   }
 
   // Audit the rewriter's output before the optimizer touches it; keep
@@ -282,6 +289,9 @@ Result<std::vector<sql::Stmt>> Session::RewriteWithDataset(
   audit::AuditContext actx;
   std::vector<std::unique_ptr<sql::SelectStmt>> pre_opt;
   if (auditing) {
+    // Traced as "audit" even though it interleaves with optimization below:
+    // repeated phases in one record sum to the phase total.
+    obs::SpanTimer span(active_trace_, "audit", mw_->db()->stats());
     actx = MakeAuditContext(dataset);
     audit::RewriteAuditor auditor(&actx);
     report.statements.resize(stmts.size());
@@ -301,14 +311,18 @@ Result<std::vector<sql::Stmt>> Session::RewriteWithDataset(
     }
   }
 
-  Optimizer opt(mw_->conversions(), client_);
-  for (auto& s : stmts) {
-    if (sql::SelectStmt* sel = OptimizableSelect(&s)) {
-      MTB_RETURN_IF_ERROR(opt.Optimize(sel, level_));
+  {
+    obs::SpanTimer span(active_trace_, "rewrite", mw_->db()->stats());
+    Optimizer opt(mw_->conversions(), client_);
+    for (auto& s : stmts) {
+      if (sql::SelectStmt* sel = OptimizableSelect(&s)) {
+        MTB_RETURN_IF_ERROR(opt.Optimize(sel, level_));
+      }
     }
   }
 
   if (auditing) {
+    obs::SpanTimer span(active_trace_, "audit", mw_->db()->stats());
     audit::RewriteAuditor auditor(&actx);
     for (size_t i = 0; i < stmts.size(); ++i) {
       if (!pre_opt[i]) continue;
@@ -390,6 +404,38 @@ Status PreparedQuery::Recompile(const std::vector<int64_t>& dataset) {
 
 Result<engine::ResultSet> PreparedQuery::Execute(
     const std::vector<Value>& params) {
+  // Observability shell around the execution body: one session-layer trace
+  // record per statement plus session metrics. Nested statements (e.g. a
+  // one-shot Session::Execute that already opened a record) append their
+  // spans to the enclosing record via the Session slot. The MTSQL text is
+  // empty on the one-shot path — print the AST back only when tracing is on.
+  obs::Tracer* tracer = obs::Tracer::Global();
+  obs::TraceRecordScope trace(
+      tracer, &session_->active_trace_, "session",
+      !mtsql_.empty() || tracer == nullptr || !tracer->enabled()
+          ? mtsql_
+          : sql::PrintStmt(stmt_));
+  engine::StatsScope scope(session_->mw_->db()->stats());
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<engine::ResultSet> result = ExecuteImpl(params);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  trace.FinishFromStatus(result.ok() ? Status::OK() : result.status());
+  const engine::ExecStats d = scope.Delta();
+  auto* metrics = obs::MetricsRegistry::Global();
+  metrics->Add("mtbase_session_statements_total");
+  if (!result.ok()) metrics->Add("mtbase_session_statement_errors_total");
+  metrics->Observe("mtbase_session_execute_seconds", secs);
+  if (d.rewrite_cache_hits > 0) {
+    metrics->Add("mtbase_session_rewrite_cache_hits_total",
+                 d.rewrite_cache_hits);
+  }
+  return result;
+}
+
+Result<engine::ResultSet> PreparedQuery::ExecuteImpl(
+    const std::vector<Value>& params) {
   std::vector<int64_t> dataset;
   bool resolved = false;
   if (session_->scope_.kind == Scope::Kind::kComplex) {
@@ -409,6 +455,8 @@ Result<engine::ResultSet> PreparedQuery::Execute(
     ++session_->mw_->db()->stats()->rewrite_cache_hits;
   }
   session_->last_sql_ = sql_;
+  obs::SpanTimer span(session_->active_trace_, "execute",
+                      session_->mw_->db()->stats());
   engine::ResultSet last;
   for (auto& plan : plans_) {
     MTB_ASSIGN_OR_RETURN(last, plan.Execute(params));
@@ -539,9 +587,22 @@ Result<PreparedQuery> Session::Prepare(const std::string& mtsql) {
 }
 
 Result<engine::ResultSet> Session::Execute(const std::string& mtsql) {
-  ++mw_->db()->stats()->statements_parsed;
-  MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
-  return ExecuteOwned(std::move(stmt));
+  // Open the session-layer trace record here so the parse span and the
+  // rewrite/audit/execute spans of the nested prepared path all land in one
+  // record for the one-shot surface.
+  obs::TraceRecordScope trace(obs::Tracer::Global(), &active_trace_,
+                              "session", mtsql);
+  auto result = [&]() -> Result<engine::ResultSet> {
+    ++mw_->db()->stats()->statements_parsed;
+    sql::Stmt stmt;
+    {
+      obs::SpanTimer span(active_trace_, "parse", mw_->db()->stats());
+      MTB_ASSIGN_OR_RETURN(stmt, sql::ParseStatement(mtsql));
+    }
+    return ExecuteOwned(std::move(stmt));
+  }();
+  trace.FinishFromStatus(result.ok() ? Status::OK() : result.status());
+  return result;
 }
 
 Result<engine::ResultSet> Session::ExecuteScript(const std::string& mtsql) {
@@ -557,7 +618,8 @@ Result<engine::ResultSet> Session::ExecuteScript(const std::string& mtsql) {
 }
 
 Result<std::string> Session::Explain(const std::string& mtsql,
-                                     const ExplainOptions& options) {
+                                     const ExplainOptions& options,
+                                     engine::ResultSet* analyze_result) {
   MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
   MTB_ASSIGN_OR_RETURN(std::vector<int64_t> dataset, ResolveDataset(stmt));
   audit::AuditReport report;
@@ -565,23 +627,37 @@ Result<std::string> Session::Explain(const std::string& mtsql,
       auto stmts,
       RewriteWithDataset(stmt, dataset, options.audit ? &report : nullptr));
   engine::verify::VerifyContext vctx;
-  if (options.verify) {
+  if (options.verify || options.analyze) {
     vctx = MakeVerifyContext(dataset);
     // The verifier follows UDF body plans; replan any staled by DDL first.
     mw_->db()->EnsureUdfPlansFresh();
+  }
+  if (options.analyze) {
+    // ANALYZE executes the plans, so install this session's verify context
+    // first — enforcement (debug builds / MTBASE_VERIFY_PLANS=1) proves the
+    // same invariants a plain execution of the statement would.
+    mw_->db()->set_verify_context(MakeVerifyContext(dataset));
   }
   std::string out;
   for (size_t i = 0; i < stmts.size(); ++i) {
     const sql::Stmt& s = stmts[i];
     if (s.kind != sql::Stmt::Kind::kSelect) continue;
-    MTB_ASSIGN_OR_RETURN(
-        std::string text,
-        engine::ExplainSelect(mw_->db()->catalog(), mw_->db()->udfs(),
-                              *s.select, mw_->db()->planner_options(),
-                              options.verify ? &vctx : nullptr));
+    std::string text;
+    if (options.analyze) {
+      MTB_ASSIGN_OR_RETURN(
+          text, mw_->db()->ExplainAnalyzeSelect(
+                    *s.select, options.verify ? &vctx : nullptr,
+                    analyze_result));
+    } else {
+      MTB_ASSIGN_OR_RETURN(
+          text,
+          engine::ExplainSelect(mw_->db()->catalog(), mw_->db()->udfs(),
+                                *s.select, mw_->db()->planner_options(),
+                                options.verify ? &vctx : nullptr));
+    }
     out += text;
-    // Fixed annotation order: the engine renders the verify line above, the
-    // audit footer always comes last.
+    // Fixed footer order: the engine renders the verify and analyze lines
+    // above, the audit footer always comes last.
     if (options.audit && i < report.statements.size()) {
       out += "[audit: " + report.statements[i].Summary() + "]\n";
     }

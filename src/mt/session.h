@@ -122,9 +122,9 @@ class Middleware {
 };
 
 /// What Session::Explain annotates beyond the engine's plan rendering. The
-/// annotations compose in a fixed order: the verifier's `[verify: ...]` line
-/// (rendered by the engine) always precedes the auditor's `[audit: ...]`
-/// line.
+/// footers compose in a fixed order: the verifier's `[verify: ...]` line
+/// (rendered by the engine), then the `[analyze: ...]` statement footer,
+/// then the auditor's `[audit: ...]` line — always last.
 struct ExplainOptions {
   /// EXPLAIN (VERIFY): run each physical plan through the static
   /// PlanVerifier and append `[verify: ok]` / `[verify: FAILED <codes>]`.
@@ -134,6 +134,12 @@ struct ExplainOptions {
   /// annotation never refuses: violating rewrites explain with their FAILED
   /// summary even under enforcement.
   bool audit = false;
+  /// EXPLAIN (ANALYZE): actually execute each rewritten SELECT with
+  /// per-operator instrumentation, annotate every plan line with its
+  /// `[actual: ...]` measurements and append an `[analyze: ...]` statement
+  /// footer (docs/observability.md). Unlike verify/audit this runs the
+  /// query; plan verification is enforced exactly as for a normal execution.
+  bool analyze = false;
 };
 
 /// An MTSQL statement parsed once and executable many times. The first
@@ -168,6 +174,9 @@ class PreparedQuery {
   PreparedQuery(Session* session, sql::Stmt stmt, std::string mtsql);
 
   Status Recompile(const std::vector<int64_t>& dataset);
+  /// The execution body. Execute() wraps it with the observability surface
+  /// (session-layer trace record, execute span, metrics).
+  Result<engine::ResultSet> ExecuteImpl(const std::vector<Value>& params);
 
   Session* session_;
   std::string mtsql_;
@@ -217,9 +226,14 @@ class Session {
   }
   /// Full EXPLAIN surface: `options.audit` additionally runs the rewrite
   /// through the RewriteAuditor and appends an `[audit: ...]` footer per
-  /// statement, after the verify line when both are requested.
+  /// statement; `options.analyze` executes each SELECT instrumented and adds
+  /// `[actual: ...]` annotations plus an `[analyze: ...]` footer. Footer
+  /// order is fixed: verify, analyze, audit. With `analyze_result` non-null
+  /// the instrumented run's result set is returned through it (tests prove
+  /// byte-identity against an uninstrumented execution).
   Result<std::string> Explain(const std::string& mtsql,
-                              const ExplainOptions& options);
+                              const ExplainOptions& options,
+                              engine::ResultSet* analyze_result = nullptr);
 
   Status SetScope(const std::string& scope_text);
   const Scope& scope() const { return scope_; }
@@ -273,6 +287,12 @@ class Session {
   Scope scope_ = Scope::Default();
   OptLevel level_ = OptLevel::kO4;
   std::string last_sql_;
+  /// Session-layer trace slot (obs::TraceRecordScope): the active MTSQL
+  /// statement's trace record, or null outside a traced statement. Distinct
+  /// from the engine Database's slot — with MTBASE_TRACE set, one statement
+  /// emits a session-layer record (parse/rewrite/audit/execute spans) plus
+  /// an engine-layer record per SQL statement sent down.
+  obs::StatementTrace* active_trace_ = nullptr;
 };
 
 }  // namespace mt

@@ -92,6 +92,50 @@ TEST_F(ExplainSessionTest, VerifyAndAuditFootersComposeInFixedOrder) {
   EXPECT_EQ(plan.find("[audit: "), std::string::npos) << plan;
 }
 
+// EXPLAIN (VERIFY, AUDIT, ANALYZE): all three footers compose, always in
+// the fixed order verify -> analyze -> audit, at both ends of the rewrite
+// spectrum. ANALYZE also annotates every operator with [actual: ...]; the
+// other flags never do.
+TEST_F(ExplainSessionTest, AllThreeFootersComposeInFixedOrder) {
+  const std::string q = "SELECT SUM(o_totalprice) FROM orders";
+  for (OptLevel level : {OptLevel::kCanonical, OptLevel::kO4}) {
+    session_->set_optimization_level(level);
+    ExplainOptions opts;
+    opts.verify = true;
+    opts.audit = true;
+    opts.analyze = true;
+    ASSERT_OK_AND_ASSIGN(std::string plan, session_->Explain(q, opts));
+    const size_t verify_pos = plan.find("[verify: ");
+    const size_t analyze_pos = plan.find("[analyze: ");
+    const size_t audit_pos = plan.find("[audit: ");
+    ASSERT_NE(verify_pos, std::string::npos) << plan;
+    ASSERT_NE(analyze_pos, std::string::npos) << plan;
+    ASSERT_NE(audit_pos, std::string::npos) << plan;
+    EXPECT_LT(verify_pos, analyze_pos) << plan;
+    EXPECT_LT(analyze_pos, audit_pos) << plan;
+    EXPECT_NE(plan.find("[actual:"), std::string::npos) << plan;
+
+    // Without ANALYZE the plan stays estimate-only: no actuals, no footer.
+    opts.analyze = false;
+    ASSERT_OK_AND_ASSIGN(plan, session_->Explain(q, opts));
+    EXPECT_EQ(plan.find("[actual:"), std::string::npos) << plan;
+    EXPECT_EQ(plan.find("[analyze: "), std::string::npos) << plan;
+  }
+}
+
+// ANALYZE alone hands back the instrumented run's rows, matching a plain
+// execution byte for byte.
+TEST_F(ExplainSessionTest, AnalyzeReturnsExecutedRows) {
+  const std::string q = "SELECT SUM(o_totalprice) FROM orders";
+  session_->set_optimization_level(OptLevel::kO2);
+  ASSERT_OK_AND_ASSIGN(engine::ResultSet plain, session_->Execute(q));
+  ExplainOptions opts;
+  opts.analyze = true;
+  engine::ResultSet analyzed;
+  ASSERT_OK(session_->Explain(q, opts, &analyzed));
+  EXPECT_EQ(CanonRows(analyzed.rows), CanonRows(plain.rows));
+}
+
 }  // namespace
 }  // namespace mt
 }  // namespace mtbase

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a statement-trace JSONL file against the documented schema.
+
+Every line must be a standalone JSON object of the shape produced by
+obs::StatementTrace::ToJson (docs/observability.md): a statement record with
+a monotone sequence number, a layer, an outcome, and one span per executed
+phase. Fails with a per-line diagnostic on the first schema departure so the
+CI quick lane catches format drift the C++ unit tests cannot see (they assert
+substrings, not the whole grammar).
+
+Usage: python3 tools/check_trace_schema.py <trace.jsonl>
+"""
+import json
+import sys
+
+LAYERS = {"engine", "session"}
+OUTCOMES = {"ok", "refused", "error"}
+PHASES = {"parse", "rewrite", "audit", "plan", "verify", "execute"}
+# ExecStats fields, mirroring AppendStatsJson in src/engine/obs/trace.cc.
+STATS_FIELDS = {
+    "rows_scanned",
+    "rows_joined",
+    "udf_calls",
+    "udf_cache_hits",
+    "udf_shared_cache_hits",
+    "udf_cache_misses",
+    "udf_parallel_evals",
+    "subquery_execs",
+    "initplan_execs",
+    "decorrelated_execs",
+    "statements_parsed",
+    "statements_rewritten",
+    "statements_planned",
+    "prepare_count",
+    "plan_cache_hits",
+    "rewrite_cache_hits",
+    "parallel_morsels",
+    "parallel_joins",
+    "parallel_sorts",
+    "topn_pushdowns",
+    "topn_rows_pruned",
+    "threads_used",
+    "plans_verified",
+    "verify_violations",
+    "rewrites_audited",
+    "audit_violations",
+}
+RECORD_KEYS = {"seq", "layer", "statement", "outcome", "codes", "spans"}
+SPAN_KEYS = {"phase", "duration_ms", "outcome", "codes", "stats"}
+
+
+def check_span(span, where):
+    if not isinstance(span, dict):
+        return f"{where}: span is not an object"
+    unknown = set(span) - SPAN_KEYS
+    if unknown:
+        return f"{where}: unknown span key(s) {sorted(unknown)}"
+    if span.get("phase") not in PHASES:
+        return f"{where}: bad phase {span.get('phase')!r}"
+    dur = span.get("duration_ms")
+    if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+        return f"{where}: bad duration_ms {dur!r}"
+    if span.get("outcome") not in OUTCOMES:
+        return f"{where}: bad span outcome {span.get('outcome')!r}"
+    if "codes" in span and not isinstance(span["codes"], str):
+        return f"{where}: span codes is not a string"
+    if "stats" in span:
+        stats = span["stats"]
+        if not isinstance(stats, dict):
+            return f"{where}: span stats is not an object"
+        bad = set(stats) - STATS_FIELDS
+        if bad:
+            return f"{where}: unknown stats field(s) {sorted(bad)}"
+        for name, value in stats.items():
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                return f"{where}: stats.{name} is not a non-negative integer"
+    return None
+
+
+def check_record(rec, where):
+    if not isinstance(rec, dict):
+        return f"{where}: record is not an object"
+    unknown = set(rec) - RECORD_KEYS
+    if unknown:
+        return f"{where}: unknown record key(s) {sorted(unknown)}"
+    seq = rec.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 1:
+        return f"{where}: bad seq {seq!r}"
+    if rec.get("layer") not in LAYERS:
+        return f"{where}: bad layer {rec.get('layer')!r}"
+    if not isinstance(rec.get("statement"), str):
+        return f"{where}: statement is not a string"
+    if rec.get("outcome") not in OUTCOMES:
+        return f"{where}: bad record outcome {rec.get('outcome')!r}"
+    if "codes" in rec and not isinstance(rec["codes"], str):
+        return f"{where}: record codes is not a string"
+    spans = rec.get("spans")
+    if not isinstance(spans, list):
+        return f"{where}: spans is not a list"
+    for i, span in enumerate(spans):
+        err = check_span(span, f"{where} span {i}")
+        if err:
+            return err
+    return None
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip().splitlines()[-1])
+        return 2
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"cannot read {path}: {e}")
+        return 1
+    if not lines:
+        print(f"{path}: empty trace file")
+        return 1
+    records = 0
+    for n, line in enumerate(lines, 1):
+        if not line:
+            print(f"{path}:{n}: blank line")
+            return 1
+        try:
+            rec = json.loads(line)
+        except ValueError as e:
+            print(f"{path}:{n}: invalid JSON: {e}")
+            return 1
+        err = check_record(rec, f"{path}:{n}")
+        if err:
+            print(err)
+            return 1
+        records += 1
+    print(f"{path}: {records} trace record(s) conform to the schema.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
