@@ -443,6 +443,112 @@ void RegisterSortSweep() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Tenant-aware physical design sweep: the same MT-H data loaded flat and
+// hash-partitioned on ttid (MTH_PART partitions, default 8), queried at
+// own-tenant scope (default SCOPE: D = {client}) so the rewriter's D-filter
+// prunes every tenant-table scan down to one partition. Each partitioned
+// cell reports a "speedup_vs_flat" counter — per-iteration time of the flat
+// cell of the same query divided by this cell's (the flat cell runs first
+// and anchors the baseline) — plus the pruning counters themselves, so the
+// row-visit reduction behind the speedup is visible
+// (partitions_pruned / rows_scanned; see docs/benchmarks.md).
+// ---------------------------------------------------------------------------
+
+struct PhysicalDesignFixture {
+  static PhysicalDesignFixture& Get() {
+    static PhysicalDesignFixture f;
+    return f;
+  }
+
+  PhysicalDesignFixture() {
+    mth::MthConfig cfg;
+    sf = bench::EnvDouble("MTH_PAR_SF", 0.01);
+    cfg.scale_factor = sf;
+    cfg.num_tenants = 3;
+    cfg.distribution = mth::MthConfig::Distribution::kUniform;
+    auto flat_env = mth::SetupEnvironment(cfg, engine::DbmsProfile::kPostgres,
+                                          /*with_baseline=*/false);
+    cfg.partitions = static_cast<int64_t>(bench::EnvDouble("MTH_PART", 8));
+    auto part_env = mth::SetupEnvironment(cfg, engine::DbmsProfile::kPostgres,
+                                          /*with_baseline=*/false);
+    if (!flat_env.ok() || !part_env.ok()) return;
+    flat = std::move(flat_env).value();
+    part = std::move(part_env).value();
+    // Default scope (no SET SCOPE): D = {1}, the single-tenant fast path.
+    flat_session = std::make_unique<mt::Session>(flat->middleware.get(), 1);
+    part_session = std::make_unique<mt::Session>(part->middleware.get(), 1);
+    ok = true;
+  }
+
+  std::unique_ptr<mth::MthEnvironment> flat;
+  std::unique_ptr<mth::MthEnvironment> part;
+  std::unique_ptr<mt::Session> flat_session;
+  std::unique_ptr<mt::Session> part_session;
+  std::map<int, double> flat_secs;  // per-query flat baseline
+  double sf = 0.01;
+  bool ok = false;
+};
+
+void BM_PartitionPruningSweep(benchmark::State& state) {
+  auto& f = PhysicalDesignFixture::Get();
+  if (!f.ok) {
+    state.SkipWithError("fixture setup failed");
+    return;
+  }
+  const int query = static_cast<int>(state.range(0));
+  const bool partitioned = state.range(1) != 0;
+  mt::Session* session =
+      partitioned ? f.part_session.get() : f.flat_session.get();
+  std::string sql = mth::GetMthQuery(query, f.sf).sql;
+  auto pr = mth::PrepareMthQuery(session, sql, mt::OptLevel::kO4);
+  if (!pr.ok()) {
+    state.SkipWithError(pr.status().ToString().c_str());
+    return;
+  }
+  mth::PreparedMthQuery prepared = std::move(pr).value();
+  auto warm = mth::RunPrepared(&prepared);  // untimed compile
+  if (!warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    return;
+  }
+  double total = 0;
+  int64_t iters = 0;
+  engine::ExecStats last;
+  for (auto _ : state) {
+    auto r = mth::RunPrepared(&prepared);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    total += r.value().seconds;
+    last = r.value().stats;
+    ++iters;
+  }
+  const double per_iter = iters > 0 ? total / iters : 0;
+  if (!partitioned) f.flat_secs[query] = per_iter;
+  auto it = f.flat_secs.find(query);
+  state.counters["speedup_vs_flat"] =
+      it != f.flat_secs.end() && per_iter > 0 ? it->second / per_iter : 0;
+  state.counters["partitions_pruned"] =
+      static_cast<double>(last.partitions_pruned);
+  state.counters["index_scans"] = static_cast<double>(last.index_scans);
+  state.counters["rows_scanned"] = static_cast<double>(last.rows_scanned);
+}
+
+void RegisterPartitionSweep() {
+  for (int q : {1, 6, 13}) {  // scan-heavy, aggregate, LEFT JOIN shapes
+    for (int part : {0, 1}) {  // the flat cell anchors the baseline
+      std::string name = "BM_PartitionPruningSweep/Q" + std::to_string(q) +
+                         "/" + (part != 0 ? "Partitioned" : "Flat");
+      benchmark::RegisterBenchmark(name.c_str(), BM_PartitionPruningSweep)
+          ->Args({q, part})
+          ->Iterations(5)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
 void RegisterParallelSweep() {
   for (auto level : {mt::OptLevel::kO4, mt::OptLevel::kCanonical}) {
     // Q3 stays o4-only: its canonical shape is join-dominated, not
@@ -484,6 +590,7 @@ int main(int argc, char** argv) {
   RegisterAll();
   RegisterParallelSweep();
   RegisterSortSweep();
+  RegisterPartitionSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   if (!metrics_path.empty()) {

@@ -113,6 +113,7 @@ struct AggSpec {
 struct Plan {
   enum class Kind : uint8_t {
     kScan,      // table + optional pushed-down filter
+    kIndexScan, // ordered-index candidate lookup + the full pushed filter
     kJoin,      // hash join on equi keys, nested loop if none
     kFilter,
     kProject,
@@ -134,9 +135,23 @@ struct Plan {
   /// configured thread budget.
   bool parallel_safe = false;
 
-  // kScan
+  // kScan / kIndexScan
   const Table* table = nullptr;
   BoundExprPtr scan_filter;
+
+  // kScan partition pruning (planner post-pass, ApplyPhysicalAccessPaths):
+  // when `pruned`, only the listed partition ids (ascending) are scanned.
+  // The full scan_filter is still applied — pruning is a superset cut, not
+  // a filter replacement.
+  bool pruned = false;
+  std::vector<uint32_t> partitions;
+
+  // kIndexScan: equality/IN keys on the index's leading column. The index is
+  // resolved by name against `table` at execution time; the raw-pointer
+  // safety argument is the same as for `table` (any DDL bumps the catalog
+  // version and forces a recompile).
+  std::string index_name;
+  std::vector<int64_t> index_keys;
 
   // children (kScan has none; kJoin uses both; others use `left`)
   std::unique_ptr<Plan> left;

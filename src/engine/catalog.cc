@@ -1,6 +1,7 @@
 #include "engine/catalog.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/str_util.h"
 
@@ -14,7 +15,7 @@ int TableSchema::FindColumn(const std::string& col) const {
   return -1;
 }
 
-Status Table::Insert(Row row) {
+Status Table::CheckRow(const Row& row) const {
   if (row.size() != schema_.columns.size()) {
     return Status::InvalidArgument("row arity mismatch for table " +
                                    schema_.name);
@@ -25,9 +26,94 @@ Status Table::Insert(Row row) {
                                          schema_.columns[i].name);
     }
   }
+  return Status::OK();
+}
+
+Status Table::Insert(Row row) {
+  MTB_RETURN_IF_ERROR(CheckRow(row));
   rows_.push_back(std::move(row));
   ++data_version_;
   return Status::OK();
+}
+
+int IndexKeyCompare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return (a.is_null() ? 0 : 1) - (b.is_null() ? 0 : 1);
+  }
+  auto c = a.Compare(b);
+  if (c.ok()) return c.value();
+  return static_cast<int>(a.type()) - static_cast<int>(b.type());
+}
+
+const std::vector<std::vector<uint32_t>>& Table::PartitionRows() const {
+  std::lock_guard<std::mutex> lock(phys_mu_);
+  const PartitionScheme& ps = schema_.partition;
+  if (!partitions_built_ || partitions_built_version_ != data_version_) {
+    partition_rows_.assign(static_cast<size_t>(ps.Count()), {});
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      int p = ps.RouteValue(rows_[i][static_cast<size_t>(ps.column)]);
+      partition_rows_[static_cast<size_t>(p)].push_back(
+          static_cast<uint32_t>(i));
+    }
+    partitions_built_version_ = data_version_;
+    partitions_built_ = true;
+  }
+  return partition_rows_;
+}
+
+const TableIndex* Table::FindIndex(const std::string& name) const {
+  for (const auto& ix : indexes_) {
+    if (EqualsIgnoreCase(ix.name, name)) return &ix;
+  }
+  return nullptr;
+}
+
+const TableIndex* Table::FindIndexLeadingOn(int slot) const {
+  for (const auto& ix : indexes_) {
+    if (!ix.slots.empty() && ix.slots[0] == slot) return &ix;
+  }
+  return nullptr;
+}
+
+Status Table::AddIndex(TableIndex index) {
+  if (FindIndex(index.name) != nullptr) {
+    return Status::AlreadyExists("index " + index.name + " already exists");
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+bool Table::RemoveIndex(const std::string& name) {
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if (EqualsIgnoreCase(it->name, name)) {
+      indexes_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<uint32_t>& Table::IndexOrder(const TableIndex& index) const {
+  std::lock_guard<std::mutex> lock(phys_mu_);
+  if (!index.built || index.built_version != data_version_) {
+    index.order.resize(rows_.size());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      index.order[i] = static_cast<uint32_t>(i);
+    }
+    std::stable_sort(index.order.begin(), index.order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       for (int slot : index.slots) {
+                         int c = IndexKeyCompare(
+                             rows_[a][static_cast<size_t>(slot)],
+                             rows_[b][static_cast<size_t>(slot)]);
+                         if (c != 0) return c < 0;
+                       }
+                       return false;  // stable: insertion order breaks ties
+                     });
+    index.built_version = data_version_;
+    index.built = true;
+  }
+  return index.order;
 }
 
 uint64_t Catalog::data_version() const {
@@ -58,9 +144,55 @@ Status Catalog::CreateView(std::string name,
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  if (!tables_.erase(ToLowerCopy(name))) {
+  std::string key = ToLowerCopy(name);
+  if (!tables_.erase(key)) {
     return Status::NotFound("table " + name + " does not exist");
   }
+  for (auto it = index_to_table_.begin(); it != index_to_table_.end();) {
+    it = it->second == key ? index_to_table_.erase(it) : std::next(it);
+  }
+  ++version_;
+  return Status::OK();
+}
+
+Status Catalog::CreateIndex(const std::string& name, const std::string& table,
+                            const std::vector<std::string>& columns) {
+  std::string key = ToLowerCopy(name);
+  if (index_to_table_.count(key)) {
+    return Status::AlreadyExists("index " + name + " already exists");
+  }
+  Table* t = FindTable(table);
+  if (t == nullptr) {
+    return Status::NotFound("table " + table + " does not exist");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("index " + name + " needs key columns");
+  }
+  TableIndex ix;
+  ix.name = name;
+  ix.columns = columns;
+  for (const auto& c : columns) {
+    int slot = t->schema().FindColumn(c);
+    if (slot < 0) {
+      return Status::NotFound("column " + c + " does not exist in " + table);
+    }
+    ix.slots.push_back(slot);
+  }
+  MTB_RETURN_IF_ERROR(t->AddIndex(std::move(ix)));
+  index_to_table_[key] = ToLowerCopy(table);
+  ++version_;
+  return Status::OK();
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  std::string key = ToLowerCopy(name);
+  auto it = index_to_table_.find(key);
+  if (it == index_to_table_.end()) {
+    return Status::NotFound("index " + name + " does not exist");
+  }
+  auto table_it = tables_.find(it->second);
+  if (table_it != tables_.end()) table_it->second->RemoveIndex(name);
+  index_to_table_.erase(it);
   ++version_;
   return Status::OK();
 }

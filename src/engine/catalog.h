@@ -3,6 +3,7 @@
 #define MTBASE_ENGINE_CATALOG_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,7 +16,35 @@
 namespace mtbase {
 namespace engine {
 
+/// Total order over index key values: NULLs first, then SQL comparison;
+/// values whose kinds cannot compare (only possible in ill-typed rows) fall
+/// back to the type-id order so the sort stays strict-weak. Shared between
+/// the index build (Table::IndexOrder) and the executor's binary searches,
+/// which must agree exactly.
+int IndexKeyCompare(const Value& a, const Value& b);
+
+/// Ordered secondary index over a table (CREATE INDEX). The physical order
+/// is a row-id permutation sorted by the key columns ascending (NULLs first,
+/// ties broken by row id, i.e. insertion order), rebuilt lazily whenever the
+/// table's data version moved — so an aborted DML statement, which leaves
+/// rows() untouched, trivially leaves every index consistent.
+struct TableIndex {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<int> slots;  // schema slots of the key columns
+
+  // Lazily maintained by Table::IndexOrder (guarded by the table's
+  // physical-state mutex; mutable so const scans can refresh it).
+  mutable std::vector<uint32_t> order;
+  mutable uint64_t built_version = 0;
+  mutable bool built = false;
+};
+
 /// Row-oriented in-memory table.
+///
+/// The insertion-ordered rows_ vector stays the single source of truth for
+/// row data and result ordering; partitions and indexes are derived
+/// structures over row ids, rebuilt lazily when data_version() has moved.
 class Table {
  public:
   explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
@@ -26,6 +55,9 @@ class Table {
 
   /// Append a row; checks arity and NOT NULL constraints.
   Status Insert(Row row);
+  /// Insert's validation half without the append: lets multi-row DML check
+  /// every row before mutating anything (evaluate-all-before-mutating).
+  Status CheckRow(const Row& row) const;
   void Reserve(size_t n) { rows_.reserve(n); }
 
   /// Monotonic row-mutation counter: Insert bumps it, and the UPDATE/DELETE
@@ -35,10 +67,35 @@ class Table {
   uint64_t data_version() const { return data_version_; }
   void BumpDataVersion() { ++data_version_; }
 
+  // -- physical design ------------------------------------------------------
+
+  const PartitionScheme& partition() const { return schema_.partition; }
+
+  /// Per-partition ascending row-id lists, rebuilt if stale. Thread-safe:
+  /// UDF body plans scan from worker threads in parallel.
+  const std::vector<std::vector<uint32_t>>& PartitionRows() const;
+
+  const std::vector<TableIndex>& indexes() const { return indexes_; }
+  const TableIndex* FindIndex(const std::string& name) const;
+  /// First index whose leading key column is `slot` (ttid-leading lookup).
+  const TableIndex* FindIndexLeadingOn(int slot) const;
+  Status AddIndex(TableIndex index);
+  bool RemoveIndex(const std::string& name);
+
+  /// The index's sorted row-id permutation, rebuilt if stale. Thread-safe.
+  const std::vector<uint32_t>& IndexOrder(const TableIndex& index) const;
+
  private:
   TableSchema schema_;
   std::vector<Row> rows_;
   uint64_t data_version_ = 0;
+
+  std::vector<TableIndex> indexes_;
+  // Lazily derived physical state (guarded by phys_mu_).
+  mutable std::mutex phys_mu_;
+  mutable std::vector<std::vector<uint32_t>> partition_rows_;
+  mutable uint64_t partitions_built_version_ = 0;
+  mutable bool partitions_built_ = false;
 };
 
 struct ViewDef {
@@ -52,6 +109,14 @@ class Catalog {
   Status CreateView(std::string name, std::unique_ptr<sql::SelectStmt> select);
   Status DropTable(const std::string& name);
   Status DropView(const std::string& name);
+
+  /// CREATE INDEX name ON table (columns). Index names are catalog-global so
+  /// DROP INDEX needs no table qualifier. Bumps version(): prepared plans and
+  /// MT session fingerprints recompile, so a new index is picked up (and a
+  /// dropped one abandoned) before the next execution.
+  Status CreateIndex(const std::string& name, const std::string& table,
+                     const std::vector<std::string>& columns);
+  Status DropIndex(const std::string& name);
 
   Table* FindTable(const std::string& name) const;
   const ViewDef* FindView(const std::string& name) const;
@@ -71,6 +136,7 @@ class Catalog {
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, ViewDef> views_;
+  std::unordered_map<std::string, std::string> index_to_table_;  // lower names
   uint64_t version_ = 0;
 };
 

@@ -325,6 +325,12 @@ Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt,
     case sql::Stmt::Kind::kCreateFunction:
       MTB_RETURN_IF_ERROR(ExecuteCreateFunction(*stmt.create_function));
       return empty;
+    case sql::Stmt::Kind::kCreateIndex:
+      MTB_RETURN_IF_ERROR(catalog_.CreateIndex(stmt.create_index->name,
+                                               stmt.create_index->table,
+                                               stmt.create_index->columns));
+      udf_plans_stale_ = true;
+      return empty;
     case sql::Stmt::Kind::kInsert:
       // Ad-hoc DML shares the prepared path's bound form; only the
       // INSERT ... SELECT source still plans per execution here.
@@ -360,6 +366,8 @@ Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt,
     case sql::Stmt::Kind::kDrop:
       if (stmt.drop->what == sql::DropStmt::What::kTable) {
         MTB_RETURN_IF_ERROR(catalog_.DropTable(stmt.drop->name));
+      } else if (stmt.drop->what == sql::DropStmt::What::kIndex) {
+        MTB_RETURN_IF_ERROR(catalog_.DropIndex(stmt.drop->name));
       } else {
         MTB_RETURN_IF_ERROR(catalog_.DropView(stmt.drop->name));
       }
@@ -528,6 +536,26 @@ Status Database::ExecuteCreateTable(const sql::CreateTableStmt& ct) {
         break;
     }
   }
+  if (ct.partition.method != sql::PartitionSpec::Method::kNone) {
+    PartitionScheme ps;
+    ps.method = ct.partition.method == sql::PartitionSpec::Method::kHash
+                    ? PartitionScheme::Method::kHash
+                    : PartitionScheme::Method::kList;
+    ps.column = schema.FindColumn(ct.partition.column);
+    if (ps.column < 0) {
+      return Status::NotFound("partition column " + ct.partition.column +
+                              " does not exist in " + ct.name);
+    }
+    if (schema.columns[static_cast<size_t>(ps.column)].type.id !=
+        TypeId::kInt) {
+      return Status::InvalidArgument("partition column " + ct.partition.column +
+                                     " must be INTEGER");
+    }
+    ps.column_name = schema.columns[static_cast<size_t>(ps.column)].name;
+    ps.hash_count = ct.partition.count;
+    ps.lists = ct.partition.lists;
+    schema.partition = std::move(ps);
+  }
   return catalog_.CreateTable(std::move(schema));
 }
 
@@ -551,9 +579,16 @@ Status Database::ExecuteCreateFunction(const sql::CreateFunctionStmt& cf) {
 namespace {
 
 /// Map source rows through the target column slots and append to the table.
+/// Evaluate-all-before-mutating: every row is built and checked before the
+/// first one is appended, so an arity/constraint error on row k leaves the
+/// table — and with it every derived partition list and index order —
+/// exactly as it was. (A half-applied multi-row INSERT used to leave rows
+/// 1..k-1 behind; docs/ARCHITECTURE.md "Physical design".)
 Status ApplyInsertRows(Table* table, const std::vector<int>& targets,
                        std::vector<Row> source_rows) {
   const TableSchema& schema = table->schema();
+  std::vector<Row> staged;
+  staged.reserve(source_rows.size());
   for (Row& src : source_rows) {
     if (src.size() != targets.size()) {
       return Status::InvalidArgument("INSERT arity mismatch");
@@ -562,6 +597,11 @@ Status ApplyInsertRows(Table* table, const std::vector<int>& targets,
     for (size_t i = 0; i < targets.size(); ++i) {
       row[static_cast<size_t>(targets[i])] = std::move(src[i]);
     }
+    MTB_RETURN_IF_ERROR(table->CheckRow(row));
+    staged.push_back(std::move(row));
+  }
+  table->Reserve(table->rows().size() + staged.size());
+  for (Row& row : staged) {
     MTB_RETURN_IF_ERROR(table->Insert(std::move(row)));
   }
   return Status::OK();

@@ -560,8 +560,62 @@ Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args,
 // ---------------------------------------------------------------------------
 
 Result<std::vector<Row>> ExecScan(const Plan& p, ExecContext* ctx) {
-  size_t n = p.table != nullptr ? p.table->rows().size() : 0;
+  if (p.table == nullptr) return parallel::ScanExec(p, ctx, 1);
+  // Partition pruning: scan only the surviving partitions' row ids, merged
+  // back to ascending (insertion) order so output bytes match a full scan.
+  if (p.pruned) {
+    const auto& parts = p.table->PartitionRows();
+    std::vector<uint32_t> cand;
+    size_t total = 0;
+    for (uint32_t pid : p.partitions) {
+      if (pid < parts.size()) total += parts[pid].size();
+    }
+    cand.reserve(total);
+    for (uint32_t pid : p.partitions) {
+      if (pid < parts.size()) {
+        cand.insert(cand.end(), parts[pid].begin(), parts[pid].end());
+      }
+    }
+    std::sort(cand.begin(), cand.end());
+    ctx->stats->partitions_pruned += parts.size() - p.partitions.size();
+    int workers = parallel::PlanWorkers(p, cand.size(), *ctx);
+    return parallel::ScanExec(p, ctx, workers, &cand);
+  }
+  size_t n = p.table->rows().size();
   return parallel::ScanExec(p, ctx, parallel::PlanWorkers(p, n, *ctx));
+}
+
+/// Ordered-index scan: binary-search the index's row-id permutation for each
+/// equality key, then re-apply the full scan filter to the candidates (the
+/// lookup is a superset cut, not a filter replacement). Candidates are
+/// re-sorted ascending so output bytes match the equivalent full scan.
+Result<std::vector<Row>> ExecIndexScan(const Plan& p, ExecContext* ctx) {
+  if (p.table == nullptr) return parallel::ScanExec(p, ctx, 1);
+  const TableIndex* ix = p.table->FindIndex(p.index_name);
+  if (ix == nullptr) {
+    return Status::Internal("index " + p.index_name +
+                            " disappeared under a compiled plan");
+  }
+  const auto& order = p.table->IndexOrder(*ix);
+  const auto& rows = p.table->rows();
+  const size_t slot = static_cast<size_t>(ix->slots[0]);
+  std::vector<uint32_t> cand;
+  for (int64_t k : p.index_keys) {
+    const Value key = Value::Int(k);
+    auto lo = std::lower_bound(order.begin(), order.end(), key,
+                               [&](uint32_t id, const Value& v) {
+                                 return IndexKeyCompare(rows[id][slot], v) < 0;
+                               });
+    auto hi = std::upper_bound(lo, order.end(), key,
+                               [&](const Value& v, uint32_t id) {
+                                 return IndexKeyCompare(v, rows[id][slot]) < 0;
+                               });
+    cand.insert(cand.end(), lo, hi);
+  }
+  std::sort(cand.begin(), cand.end());
+  ctx->stats->index_scans += 1;
+  ctx->stats->index_rows_skipped += rows.size() - cand.size();
+  return parallel::ScanExec(p, ctx, 1, &cand);
 }
 
 /// Null-aware anti join (decorrelated NOT IN). Keys are split: the first
@@ -732,6 +786,8 @@ static Result<std::vector<Row>> ExecutePlanImpl(const Plan& plan,
   switch (plan.kind) {
     case Plan::Kind::kScan:
       return ExecScan(plan, ctx);
+    case Plan::Kind::kIndexScan:
+      return ExecIndexScan(plan, ctx);
     case Plan::Kind::kJoin:
       return ExecJoin(plan, ctx);
     case Plan::Kind::kFilter: {

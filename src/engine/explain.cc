@@ -245,12 +245,44 @@ void Render(const Plan& p, int depth, const ExplainCtx* ctx,
       *out += "Scan ";
       *out += p.table != nullptr ? p.table->schema().name : "<dual>";
       if (p.scan_filter) *out += " (filtered)";
+      if (p.pruned && p.table != nullptr) {
+        const int total = p.table->partition().Count();
+        const int kept = static_cast<int>(p.partitions.size());
+        *out += " [partitions: " + std::to_string(total - kept) + "/" +
+                std::to_string(total) + " pruned]";
+      }
       AppendUdf(p, out);
       AppendParallel(p, ctx, out);
       AppendActual(p, ctx, out);
       *out += "\n";
       RenderPlanSubplans(p, depth + 1, ctx, out);
       return;
+    case Plan::Kind::kIndexScan: {
+      *out += "IndexScan ";
+      *out += p.table != nullptr ? p.table->schema().name : "<dual>";
+      if (p.scan_filter) *out += " (filtered)";
+      const TableIndex* ix =
+          p.table != nullptr ? p.table->FindIndex(p.index_name) : nullptr;
+      const std::string col =
+          ix != nullptr && !ix->columns.empty() ? ix->columns[0] : "?";
+      *out += " [index scan: " + p.index_name + ", " + col;
+      if (p.index_keys.size() == 1) {
+        *out += " = " + std::to_string(p.index_keys[0]);
+      } else {
+        *out += " IN (";
+        for (size_t i = 0; i < p.index_keys.size(); ++i) {
+          if (i) *out += ", ";
+          *out += std::to_string(p.index_keys[i]);
+        }
+        *out += ")";
+      }
+      *out += "]";
+      AppendUdf(p, out);
+      AppendActual(p, ctx, out);
+      *out += "\n";
+      RenderPlanSubplans(p, depth + 1, ctx, out);
+      return;
+    }
     case Plan::Kind::kJoin:
       *out += "HashJoin ";
       *out += JoinKindName(p.join_kind);

@@ -85,8 +85,14 @@ void RunPoolProfiled(ExecContext* ctx, int workers,
 // Unified operator implementations: with workers == 1 they run the exact
 // serial loops the executor always had; with workers > 1 the same per-row
 // code runs inside morsel workers. exec.cc dispatches here.
-Result<std::vector<Row>> ScanExec(const Plan& p, ExecContext* ctx,
-                                  int workers);
+/// `candidates` (optional) restricts the scan to the given row ids of
+/// p.table->rows(), in the given order — exec.cc passes the ascending
+/// (insertion-order) survivor list of partition pruning or an index lookup,
+/// so pruned and full scans emit rows in the same order. rows_scanned counts
+/// candidates only, identically for serial and parallel execution.
+Result<std::vector<Row>> ScanExec(const Plan& p, ExecContext* ctx, int workers,
+                                  const std::vector<uint32_t>* candidates =
+                                      nullptr);
 Result<std::vector<Row>> FilterExec(const Plan& p, ExecContext* ctx,
                                     std::vector<Row> input, int workers);
 Result<std::vector<Row>> ProjectExec(const Plan& p, ExecContext* ctx,

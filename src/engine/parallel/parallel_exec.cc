@@ -87,6 +87,11 @@ void MarkParallelSafe(Plan* p) {
     case Plan::Kind::kScan:
       safe = p->table != nullptr && SafeOrNull(p->scan_filter);
       break;
+    case Plan::Kind::kIndexScan:
+      // The ordered-index lookup is a serial binary search; partition-pruned
+      // scans (kScan) carry the morsel parallelism story instead.
+      safe = false;
+      break;
     case Plan::Kind::kJoin:
       // Hash joins only; the nested loop and the null-aware anti join keep
       // their serial implementations.
@@ -125,7 +130,7 @@ void MarkParallelSafe(Plan* p) {
 }
 
 size_t EstimatePlanRows(const Plan& p) {
-  if (p.kind == Plan::Kind::kScan) {
+  if (p.kind == Plan::Kind::kScan || p.kind == Plan::Kind::kIndexScan) {
     return p.table != nullptr ? p.table->rows().size() : 1;
   }
   size_t n = 0;
@@ -316,10 +321,11 @@ Result<bool> ComputeKey(const std::vector<BoundExprPtr>& keys, const Row& r,
 
 namespace {
 
-Status ScanRange(const Plan& p, const std::vector<Row>& rows, size_t begin,
-                 size_t end, ExecContext* ctx, std::vector<Row>* out) {
+Status ScanRange(const Plan& p, const std::vector<Row>& rows,
+                 const std::vector<uint32_t>* cand, size_t begin, size_t end,
+                 ExecContext* ctx, std::vector<Row>* out) {
   for (size_t i = begin; i < end; ++i) {
-    const Row& r = rows[i];
+    const Row& r = cand != nullptr ? rows[(*cand)[i]] : rows[i];
     if (p.scan_filter) {
       MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p.scan_filter, r, ctx));
       if (!IsTrue(v)) continue;
@@ -331,24 +337,26 @@ Status ScanRange(const Plan& p, const std::vector<Row>& rows, size_t begin,
 
 }  // namespace
 
-Result<std::vector<Row>> ScanExec(const Plan& p, ExecContext* ctx,
-                                  int workers) {
+Result<std::vector<Row>> ScanExec(const Plan& p, ExecContext* ctx, int workers,
+                                  const std::vector<uint32_t>* candidates) {
   std::vector<Row> out;
   if (p.table == nullptr) {
     out.emplace_back();  // one empty row (SELECT without FROM, dummy input)
     return out;
   }
   const auto& rows = p.table->rows();
-  ctx->stats->rows_scanned += rows.size();
+  const size_t n = candidates != nullptr ? candidates->size() : rows.size();
+  ctx->stats->rows_scanned += n;
   if (workers <= 1) {
-    out.reserve(p.scan_filter ? rows.size() / 4 : rows.size());
-    MTB_RETURN_IF_ERROR(ScanRange(p, rows, 0, rows.size(), ctx, &out));
+    out.reserve(p.scan_filter ? n / 4 : n);
+    MTB_RETURN_IF_ERROR(ScanRange(p, rows, candidates, 0, n, ctx, &out));
     return out;
   }
-  return RunMorsels(ctx, rows.size(), workers,
-                    [&p, &rows](size_t b, size_t e, ExecContext* wctx,
-                                std::vector<Row>* o) {
-                      return ScanRange(p, rows, b, e, wctx, o);
+  return RunMorsels(ctx, n, workers,
+                    [&p, &rows, candidates](size_t b, size_t e,
+                                            ExecContext* wctx,
+                                            std::vector<Row>* o) {
+                      return ScanRange(p, rows, candidates, b, e, wctx, o);
                     });
 }
 

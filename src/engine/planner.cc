@@ -1,5 +1,6 @@
 #include "engine/planner.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -136,6 +137,49 @@ BoundExprPtr AndBound(BoundExprPtr a, BoundExprPtr b) {
   e->args.push_back(std::move(a));
   e->args.push_back(std::move(b));
   return e;
+}
+
+// Attach a predicate that only reads one join input directly to that input:
+// onto a base-table scan's filter (where partition pruning and index
+// selection can see it), as a Filter node otherwise.
+void AttachFilterToInput(PlanPtr* input, BoundExprPtr pred) {
+  Plan& p = **input;
+  if (p.kind == Plan::Kind::kScan && p.table != nullptr) {
+    p.scan_filter = AndBound(std::move(p.scan_filter), std::move(pred));
+    return;
+  }
+  auto filter = std::make_unique<Plan>();
+  filter->kind = Plan::Kind::kFilter;
+  filter->predicate = std::move(pred);
+  filter->columns = p.columns;
+  filter->left = std::move(*input);
+  *input = std::move(filter);
+}
+
+// Slot footprint of a bound predicate, for sinking it below a join. False
+// when the predicate must not move at all: outer slots, UDF params and
+// correlated sub-plans mean different things depending on where the
+// expression evaluates.
+bool SinkableSlotRange(const BoundExpr& e, int* max_slot) {
+  switch (e.kind) {
+    case BoundExpr::Kind::kOuterSlot:
+    case BoundExpr::Kind::kParam:
+      return false;
+    case BoundExpr::Kind::kSlot:
+      if (e.slot > *max_slot) *max_slot = e.slot;
+      break;
+    default:
+      break;
+  }
+  if (e.correlated) return false;
+  for (const auto& a : e.args) {
+    if (!SinkableSlotRange(*a, max_slot)) return false;
+  }
+  if (e.case_operand && !SinkableSlotRange(*e.case_operand, max_slot)) {
+    return false;
+  }
+  if (e.else_expr && !SinkableSlotRange(*e.else_expr, max_slot)) return false;
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -446,6 +490,31 @@ Result<PlannerImpl::RelInfo> PlannerImpl::PlanFromItem(const sql::TableRef& t,
       if (t.join_cond) SplitAndClone(*t.join_cond, &conjs);
       BoundExprPtr residual;
       for (auto& c : conjs) {
+        // Single-side ON conjuncts sink into their input, where partition
+        // pruning and index selection can use them. The right input is
+        // always safe (the predicate only decides which right rows can
+        // match); the left input only under INNER (a LEFT join preserves
+        // left rows that fail the ON). Conjuncts whose refs resolve on
+        // *both* sides fall through, so ambiguous references keep failing
+        // in Bind below exactly as before.
+        if (!ContainsSubquery(*c)) {
+          std::vector<const std::vector<ColumnMeta>*> cl{&li.cols};
+          std::vector<const std::vector<ColumnMeta>*> cr{&ri.cols};
+          std::vector<const sql::Expr*> not_on_left, not_on_right;
+          MTB_RETURN_IF_ERROR(CollectFreeRefs(*c, &cl, &not_on_left));
+          MTB_RETURN_IF_ERROR(CollectFreeRefs(*c, &cr, &not_on_right));
+          if (not_on_right.empty() && !not_on_left.empty()) {
+            MTB_ASSIGN_OR_RETURN(auto b, Bind(*c, &rscope, nullptr));
+            AttachFilterToInput(&ri.plan, std::move(b));
+            continue;
+          }
+          if (join->join_kind == JoinKind::kInner && not_on_left.empty() &&
+              !not_on_right.empty()) {
+            MTB_ASSIGN_OR_RETURN(auto b, Bind(*c, &lscope, nullptr));
+            AttachFilterToInput(&li.plan, std::move(b));
+            continue;
+          }
+        }
         bool is_key = false;
         if (c->kind == sql::ExprKind::kBinary && c->op == "=" &&
             !ContainsSubquery(*c)) {
@@ -1163,8 +1232,31 @@ Result<PlanPtr> PlannerImpl::PlanSelect(const sql::SelectStmt& sel,
     BoundExprPtr pred;
     for (auto& c : scan_filters[i]) {
       MTB_ASSIGN_OR_RETURN(auto b, Bind(*c, &rel_scope, nullptr));
+      // An explicit-join FROM item: sink the conjunct through preserved
+      // (left) inputs while its slots stay inside them — the left input's
+      // columns are a prefix of the join's, so slots keep their meaning.
+      // This is what lets tenant D-filters prune partitions below a
+      // LEFT JOIN (TPC-H Q13's shape).
+      if (rels[i].plan->kind == Plan::Kind::kJoin) {
+        int max_slot = -1;
+        if (SinkableSlotRange(*b, &max_slot)) {
+          PlanPtr* target = &rels[i].plan;
+          while ((*target)->kind == Plan::Kind::kJoin &&
+                 ((*target)->join_kind == JoinKind::kInner ||
+                  (*target)->join_kind == JoinKind::kLeft) &&
+                 max_slot <
+                     static_cast<int>((*target)->left->columns.size())) {
+            target = &(*target)->left;
+          }
+          if (target != &rels[i].plan) {
+            AttachFilterToInput(target, std::move(b));
+            continue;
+          }
+        }
+      }
       pred = AndBound(std::move(pred), std::move(b));
     }
+    if (!pred) continue;
     if (rels[i].plan->kind == Plan::Kind::kScan) {
       rels[i].plan->scan_filter =
           AndBound(std::move(rels[i].plan->scan_filter), std::move(pred));
@@ -1491,6 +1583,109 @@ Result<PlanPtr> PlannerImpl::PlanSelect(const sql::SelectStmt& sel,
   return cur;
 }
 
+// ---------------------------------------------------------------------------
+// Physical access paths (partition pruning + index-scan selection)
+// ---------------------------------------------------------------------------
+
+void CollectConjuncts(const BoundExpr& e, std::vector<const BoundExpr*>* out) {
+  if (e.kind == BoundExpr::Kind::kBinary && e.bin_op == BinOp::kAnd) {
+    CollectConjuncts(*e.args[0], out);
+    CollectConjuncts(*e.args[1], out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+/// Integer-literal image of an equality/IN conjunct over a scan output slot:
+/// `slot = 7` or `slot IN (3, 5)`. Fills `keys` and returns the slot, or -1
+/// when the conjunct has any other shape. Scan output slots are the table's
+/// schema slots (base scans project every schema column in order), so the
+/// result compares directly against PartitionScheme::column / index slots.
+int ConjunctKeySlot(const BoundExpr& e, std::vector<int64_t>* keys) {
+  if (e.kind == BoundExpr::Kind::kBinary && e.bin_op == BinOp::kEq) {
+    const BoundExpr* slot = e.args[0].get();
+    const BoundExpr* lit = e.args[1].get();
+    if (slot->kind != BoundExpr::Kind::kSlot) std::swap(slot, lit);
+    if (slot->kind == BoundExpr::Kind::kSlot &&
+        lit->kind == BoundExpr::Kind::kLiteral &&
+        lit->literal.type() == TypeId::kInt) {
+      keys->push_back(lit->literal.int_value());
+      return slot->slot;
+    }
+    return -1;
+  }
+  if (e.kind == BoundExpr::Kind::kInList && !e.negated && !e.args.empty() &&
+      e.args[0]->kind == BoundExpr::Kind::kSlot) {
+    for (size_t i = 1; i < e.args.size(); ++i) {
+      if (e.args[i]->kind != BoundExpr::Kind::kLiteral ||
+          e.args[i]->literal.type() != TypeId::kInt) {
+        return -1;
+      }
+      keys->push_back(e.args[i]->literal.int_value());
+    }
+    return e.args[0]->slot;
+  }
+  return -1;
+}
+
+void ApplyAccessPathToScan(Plan* p) {
+  if (p->table == nullptr || !p->scan_filter) return;
+  std::vector<const BoundExpr*> conjuncts;
+  CollectConjuncts(*p->scan_filter, &conjuncts);
+  // Partition pruning wins over index selection: a pruned scan keeps morsel
+  // parallelism over the surviving partitions, and the MT-H single-tenant
+  // invariant (partitions_pruned == N-1) is stated over it.
+  const PartitionScheme& ps = p->table->partition();
+  if (ps.partitioned()) {
+    for (const BoundExpr* c : conjuncts) {
+      std::vector<int64_t> keys;
+      if (ConjunctKeySlot(*c, &keys) != ps.column || keys.empty()) continue;
+      std::vector<uint32_t> parts;
+      for (int64_t k : keys) {
+        parts.push_back(static_cast<uint32_t>(ps.RouteInt(k)));
+      }
+      std::sort(parts.begin(), parts.end());
+      parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+      p->pruned = true;
+      p->partitions = std::move(parts);
+      return;
+    }
+  }
+  for (const BoundExpr* c : conjuncts) {
+    std::vector<int64_t> keys;
+    int slot = ConjunctKeySlot(*c, &keys);
+    if (slot < 0 || keys.empty()) continue;
+    const TableIndex* ix = p->table->FindIndexLeadingOn(slot);
+    if (ix == nullptr) continue;
+    // The full scan_filter stays attached and is re-applied to every
+    // candidate row: the index lookup is a superset cut, never a filter
+    // replacement, so residual conjuncts keep their semantics.
+    p->kind = Plan::Kind::kIndexScan;
+    p->index_name = ix->name;
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    p->index_keys = std::move(keys);
+    return;
+  }
+}
+
+void ApplyPhysicalAccessPaths(Plan* p);
+
+void VisitExprPlans(const BoundExpr& e) {
+  // The planner exclusively owns the freshly built tree, sub-plans included;
+  // the const_cast mirrors parallel::MarkParallelSafe's sub-plan marking.
+  if (e.subplan) ApplyPhysicalAccessPaths(const_cast<Plan*>(e.subplan.get()));
+  ForEachExprChild(e, [](const BoundExpr& c) { VisitExprPlans(c); });
+}
+
+void ApplyPhysicalAccessPaths(Plan* p) {
+  if (p == nullptr) return;
+  if (p->kind == Plan::Kind::kScan) ApplyAccessPathToScan(p);
+  ForEachPlanExpr(*p, [](const BoundExpr& e) { VisitExprPlans(e); });
+  ApplyPhysicalAccessPaths(p->left.get());
+  ApplyPhysicalAccessPaths(p->right.get());
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -1500,6 +1695,10 @@ Result<PlanPtr> PlannerImpl::PlanSelect(const sql::SelectStmt& sel,
 Result<PlanPtr> Planner::PlanSelect(const sql::SelectStmt& sel) const {
   PlannerImpl impl(catalog_, udfs_, options_);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, impl.PlanSelect(sel, nullptr));
+  // Rewrite logical scans onto the tables' physical design (partition
+  // pruning, index scans) before parallel-safety marking, which needs the
+  // final operator kinds.
+  if (options_.physical_access_paths) ApplyPhysicalAccessPaths(plan.get());
   // Mark which operators the executor may run on worker threads (covers
   // nested sub-plans too). Purely advisory: execution still gates on input
   // size and the max_threads budget.

@@ -40,6 +40,14 @@ struct PlannerOptions {
   /// force the parallel path on small data sets.
   size_t min_parallel_rows = 4096;
 
+  /// Use tenant-aware physical access paths: partition pruning on scans of
+  /// partitioned tables whose pushed filter pins the partition column to an
+  /// integer equality/IN set, and ordered-index scans when a leading index
+  /// column is pinned the same way. Results are byte-identical either way;
+  /// off forces full scans, which regression tests and the bench compare
+  /// against. Toggling recompiles prepared statements (options version).
+  bool physical_access_paths = true;
+
   /// Fuse an ORDER BY directly under a LIMIT into a bounded top-N operator
   /// (per-worker heaps keep only limit + offset candidates instead of
   /// sorting the full input). Output is byte-identical to full-sort +

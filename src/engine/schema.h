@@ -32,12 +32,59 @@ struct CheckConstraint {
   std::string expr_sql;
 };
 
+/// Physical partitioning of a table's row store (CREATE TABLE ... PARTITION
+/// BY). Routing is a pure function of the partition-column value, so the
+/// planner and the verifier can both compute the image of a tenant set
+/// without touching storage. The partition column must be INTEGER.
+struct PartitionScheme {
+  enum class Method : uint8_t { kNone, kHash, kList } method = Method::kNone;
+  int column = -1;  // schema slot of the partition column
+  std::string column_name;
+  int64_t hash_count = 0;                   // kHash: PARTITIONS n
+  std::vector<std::vector<int64_t>> lists;  // kList value groups
+
+  bool partitioned() const { return method != Method::kNone; }
+
+  /// Total partition count. List partitioning carries one implicit overflow
+  /// partition after the declared value groups.
+  int Count() const {
+    if (method == Method::kHash) return static_cast<int>(hash_count);
+    if (method == Method::kList) return static_cast<int>(lists.size()) + 1;
+    return 0;
+  }
+
+  /// Partition id for an integer key. Hash mixing is deterministic (a
+  /// Fibonacci-hash fold), never seeded: the planner, the verifier and the
+  /// storage layer must all agree on the routing.
+  int RouteInt(int64_t key) const {
+    if (method == Method::kHash) {
+      uint64_t h = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+      h ^= h >> 32;
+      return static_cast<int>(h % static_cast<uint64_t>(hash_count));
+    }
+    for (size_t g = 0; g < lists.size(); ++g) {
+      for (int64_t v : lists[g]) {
+        if (v == key) return static_cast<int>(g);
+      }
+    }
+    return static_cast<int>(lists.size());  // overflow partition
+  }
+
+  /// Partition id for a row value. NULL routes to partition 0 — safe because
+  /// pruning only ever follows equality/IN conjuncts, which never match NULL.
+  int RouteValue(const Value& v) const {
+    if (v.is_null() || v.type() != TypeId::kInt) return 0;
+    return RouteInt(v.int_value());
+  }
+};
+
 struct TableSchema {
   std::string name;
   std::vector<ColumnInfo> columns;
   std::vector<std::string> primary_key;
   std::vector<ForeignKey> foreign_keys;
   std::vector<CheckConstraint> checks;
+  PartitionScheme partition;
 
   /// Case-insensitive column lookup; -1 if absent.
   int FindColumn(const std::string& col) const;

@@ -55,6 +55,12 @@ struct ExecStats {
   // Rows a top-N operator discarded via its bounded heaps instead of
   // materializing them into a full sorted result (input - merged candidates).
   uint64_t topn_rows_pruned = 0;
+  // Tenant-aware physical design (partition pruning + index scans). All
+  // three can tick inside UDF body plans running on worker threads, so they
+  // are worker-mergeable.
+  uint64_t partitions_pruned = 0;   // partitions skipped by pruned scans
+  uint64_t index_scans = 0;         // kIndexScan operator executions
+  uint64_t index_rows_skipped = 0;  // rows an index lookup never visited
   /// High-water mark of workers used by any parallel region (a gauge, not a
   /// monotonic counter: operator- takes max(threads_used, o.threads_used),
   /// i.e. a delta reports the higher watermark of the two snapshots rather
@@ -100,6 +106,9 @@ struct ExecStats {
     d.parallel_sorts = parallel_sorts - o.parallel_sorts;
     d.topn_pushdowns = topn_pushdowns - o.topn_pushdowns;
     d.topn_rows_pruned = topn_rows_pruned - o.topn_rows_pruned;
+    d.partitions_pruned = partitions_pruned - o.partitions_pruned;
+    d.index_scans = index_scans - o.index_scans;
+    d.index_rows_skipped = index_rows_skipped - o.index_rows_skipped;
     // Gauge, not a counter: explicit max semantics (see the field comment).
     d.threads_used = std::max(threads_used, o.threads_used);
     d.plans_verified = plans_verified - o.plans_verified;
@@ -128,6 +137,9 @@ struct ExecStats {
     parallel_sorts += w.parallel_sorts;
     topn_pushdowns += w.topn_pushdowns;
     topn_rows_pruned += w.topn_rows_pruned;
+    partitions_pruned += w.partitions_pruned;
+    index_scans += w.index_scans;
+    index_rows_skipped += w.index_rows_skipped;
   }
 };
 

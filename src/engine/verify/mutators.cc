@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/str_util.h"
+#include "engine/catalog.h"
 
 namespace mtbase {
 namespace engine {
@@ -101,6 +102,21 @@ bool MislabelFirstSerialNode(Plan* plan) {
   }
   if (plan->left && MislabelFirstSerialNode(plan->left.get())) return true;
   if (plan->right && MislabelFirstSerialNode(plan->right.get())) return true;
+  return false;
+}
+
+bool WidenPartitionPruning(Plan* plan) {
+  if (plan->kind == Plan::Kind::kScan && plan->pruned &&
+      plan->table != nullptr) {
+    int64_t count = plan->table->partition().Count();
+    plan->partitions.clear();
+    for (int64_t i = 0; i < count; ++i) {
+      plan->partitions.push_back(static_cast<uint32_t>(i));
+    }
+    return true;
+  }
+  if (plan->left && WidenPartitionPruning(plan->left.get())) return true;
+  if (plan->right && WidenPartitionPruning(plan->right.get())) return true;
   return false;
 }
 

@@ -29,6 +29,11 @@ bool MislabelFirstSerialNode(Plan* plan);
 /// has no sort keys.
 bool BreakFirstSortKey(Plan* plan);
 
+/// Widen the first pruned scan's partition set to every partition of its
+/// table — simulating a pruning pass whose superset cut drifted past the
+/// D-filter's tenant image. Returns false when no scan was pruned.
+bool WidenPartitionPruning(Plan* plan);
+
 }  // namespace verify
 }  // namespace engine
 }  // namespace mtbase

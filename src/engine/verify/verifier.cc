@@ -34,6 +34,8 @@ const char* ViolationCodeName(ViolationCode code) {
       return "SORT_KEY_OUT_OF_RANGE";
     case ViolationCode::kNegativeLimit:
       return "NEGATIVE_LIMIT";
+    case ViolationCode::kPartitionSetMismatch:
+      return "PARTITION_SET_MISMATCH";
   }
   return "UNKNOWN";
 }
@@ -324,6 +326,8 @@ class VerifierImpl {
       case Plan::Kind::kScan:
         if (p.table == nullptr) return "dual scans have no morsel source";
         return nullptr;
+      case Plan::Kind::kIndexScan:
+        return "index scans run serially (ordered binary search)";
       default:
         return nullptr;
     }
@@ -393,6 +397,7 @@ class VerifierImpl {
   TenantState VerifyNode(const Plan& p) {
     switch (p.kind) {
       case Plan::Kind::kScan:
+      case Plan::Kind::kIndexScan:
         return VerifyScan(p);
       case Plan::Kind::kJoin:
         return VerifyJoin(p);
@@ -426,6 +431,9 @@ class VerifierImpl {
       CheckExprSlots(*p.scan_filter, p.columns.size(), &p, "scan filter");
       VerifyExprSubplans(*p.scan_filter, p.columns.size());
     }
+    if (TenantChecksOn() && p.table != nullptr && IsTenantTable(*p.table)) {
+      VerifyPartitionSet(p);
+    }
     TenantState state;
     if (TenantChecksOn() && p.table != nullptr && IsTenantTable(*p.table)) {
       if (ctx_->allow_unfiltered) return state;
@@ -452,6 +460,59 @@ class VerifierImpl {
       if (p.scan_filter) ApplyPredicate(*p.scan_filter, &state);
     }
     return state;
+  }
+
+  /// Prove a pruned scan's partition set lies inside the image of D' under
+  /// the table's routing function. Pruning is a physical superset cut over a
+  /// ttid predicate, so a partition outside {Route(t) : t in D'} (or out of
+  /// range) means the planner selected storage no expected tenant routes to —
+  /// either a routing drift or a widened cut that breaks the
+  /// scan-exactly-one-partition contract single-tenant scopes rely on.
+  void VerifyPartitionSet(const Plan& p) {
+    if (!p.pruned) return;
+    const PartitionScheme& ps = p.table->partition();
+    if (!ps.partitioned()) {
+      Report(ViolationCode::kPartitionSetMismatch,
+             "scan of " + p.table->schema().name +
+                 " claims partition pruning but the table is not partitioned",
+             &p);
+      return;
+    }
+    const TableSchema& schema = p.table->schema();
+    if (ps.column < 0 ||
+        static_cast<size_t>(ps.column) >= schema.columns.size() ||
+        !EqualsIgnoreCase(schema.columns[static_cast<size_t>(ps.column)].name,
+                          ctx_->ttid_column)) {
+      // Partitioned on something other than ttid: pruning carries no tenant
+      // meaning, nothing to prove here.
+      return;
+    }
+    int64_t count = ps.Count();
+    std::vector<uint32_t> allowed;
+    allowed.reserve(expected_sorted_.size());
+    for (int64_t t : expected_sorted_) {
+      allowed.push_back(static_cast<uint32_t>(ps.RouteInt(t)));
+    }
+    std::sort(allowed.begin(), allowed.end());
+    for (uint32_t part : p.partitions) {
+      if (part >= static_cast<uint64_t>(count)) {
+        Report(ViolationCode::kPartitionSetMismatch,
+               "pruned scan of " + p.table->schema().name +
+                   " selects partition " + std::to_string(part) +
+                   " but the table has only " + std::to_string(count),
+               &p);
+        return;
+      }
+      if (ctx_->allow_unfiltered) continue;
+      if (!std::binary_search(allowed.begin(), allowed.end(), part)) {
+        Report(ViolationCode::kPartitionSetMismatch,
+               "pruned scan of " + p.table->schema().name +
+                   " selects partition " + std::to_string(part) +
+                   " which no expected tenant routes to",
+               &p);
+        return;
+      }
+    }
   }
 
   TenantState VerifyFilter(const Plan& p) {

@@ -60,6 +60,10 @@ enum class ViolationCode : uint8_t {
   kSortKeyOutOfRange,
   /// A LIMIT/OFFSET operator carries a negative bound.
   kNegativeLimit,
+  /// A pruned scan of a ttid-partitioned tenant table selects partitions
+  /// outside the image of the expected tenant set D' under the table's
+  /// routing function (or an out-of-range partition id).
+  kPartitionSetMismatch,
 };
 
 /// The stable machine-readable name, e.g. "TENANT_PREDICATE_MISSING".

@@ -413,6 +413,10 @@ Result<sql::CreateTableStmt> Rewriter::LowerCreateTable(
     }
     out.constraints.push_back(std::move(c));
   }
+  // Physical design passes through unchanged: the partition column resolves
+  // against the lowered layout, so tenant-specific tables may name the
+  // synthesized ttid column (PARTITION BY HASH (ttid) PARTITIONS n).
+  out.partition = ct.partition;
   return out;
 }
 

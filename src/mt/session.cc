@@ -510,6 +510,11 @@ Result<engine::ResultSet> Session::ExecuteStmt(const sql::Stmt& stmt) {
     case sql::Stmt::Kind::kCreateFunction:
       // Conversion functions pass through to the DBMS unchanged.
       return mw_->db()->ExecuteStmt(stmt);
+    case sql::Stmt::Kind::kCreateIndex:
+      // Physical-design DDL passes through: index keys name lowered physical
+      // columns (ttid included). The catalog version bump recompiles every
+      // prepared query's fingerprint, so new access paths are picked up.
+      return mw_->db()->ExecuteStmt(stmt);
     case sql::Stmt::Kind::kCreateTable: {
       MTB_RETURN_IF_ERROR(mw_->schema()->RegisterTable(*stmt.create_table));
       Rewriter rewriter(mw_->schema(), mw_->conversions(), client_, {client_},

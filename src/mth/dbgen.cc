@@ -357,7 +357,7 @@ Status LoadMth(engine::Database* db, mt::Middleware* mw, const MthData& data,
   // MTSQL schema via a data-modeller session so the middleware learns the
   // comparability metadata.
   mt::Session modeller(mw, 1);
-  MTB_RETURN_IF_ERROR(modeller.ExecuteScript(MthDdl()).status());
+  MTB_RETURN_IF_ERROR(modeller.ExecuteScript(MthDdl(config.partitions)).status());
 
   // Tenants, their formats and public read grants. Tenant 1 gets the
   // universal formats (paper section 5).

@@ -28,6 +28,10 @@ struct MthConfig {
   int64_t num_tenants = 10;
   enum class Distribution { kUniform, kZipf } distribution = Distribution::kUniform;
   uint64_t seed = 42;
+  /// When > 0, the tenant-specific tables (customer, orders, lineitem) are
+  /// created `PARTITION BY HASH (ttid) PARTITIONS n` so single-tenant scopes
+  /// prune to one partition. 0 = unpartitioned (the paper's layout).
+  int64_t partitions = 0;
 
   int64_t SupplierCount() const;
   int64_t PartCount() const;

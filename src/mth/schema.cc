@@ -58,10 +58,16 @@ CREATE TABLE partsupp (
 );
 )";
 
-std::string TenantTables(bool mtsql) {
+std::string TenantTables(bool mtsql, int64_t partitions) {
   // In the MTSQL variant: SPECIFIC tables; tenant-specific keys; convertible
   // monetary / phone attributes (paper section 5).
   auto spec = [&](const char* kw) { return mtsql ? std::string(" ") + kw : ""; };
+  // ttid hash partitioning only makes sense on the MTSQL side, where lowering
+  // synthesizes the ttid column the clause names.
+  std::string part_by =
+      mtsql && partitions > 0
+          ? " PARTITION BY HASH (ttid) PARTITIONS " + std::to_string(partitions)
+          : "";
   std::string currency =
       mtsql ? " CONVERTIBLE @currencyToUniversal @currencyFromUniversal" : "";
   std::string phone =
@@ -77,7 +83,7 @@ std::string TenantTables(bool mtsql) {
   out += "  c_mktsegment VARCHAR(10) NOT NULL" + spec("COMPARABLE") + ",\n";
   out += "  c_comment VARCHAR(117) NOT NULL" + spec("COMPARABLE") + ",\n";
   out += "  CONSTRAINT pk_customer PRIMARY KEY (c_custkey)\n";
-  out += ");\n";
+  out += ")" + part_by + ";\n";
   out += "CREATE TABLE orders" + spec("SPECIFIC") + " (\n";
   out += "  o_orderkey INTEGER NOT NULL" + spec("SPECIFIC") + ",\n";
   out += "  o_custkey INTEGER NOT NULL" + spec("SPECIFIC") + ",\n";
@@ -91,7 +97,7 @@ std::string TenantTables(bool mtsql) {
   out += "  CONSTRAINT pk_orders PRIMARY KEY (o_orderkey),\n";
   out += "  CONSTRAINT fk_orders_cust FOREIGN KEY (o_custkey) REFERENCES "
          "customer (c_custkey)\n";
-  out += ");\n";
+  out += ")" + part_by + ";\n";
   out += "CREATE TABLE lineitem" + spec("SPECIFIC") + " (\n";
   out += "  l_orderkey INTEGER NOT NULL" + spec("SPECIFIC") + ",\n";
   out += "  l_partkey INTEGER NOT NULL" + spec("COMPARABLE") + ",\n";
@@ -111,16 +117,18 @@ std::string TenantTables(bool mtsql) {
   out += "  l_comment VARCHAR(44) NOT NULL" + spec("COMPARABLE") + ",\n";
   out += "  CONSTRAINT fk_line_order FOREIGN KEY (l_orderkey) REFERENCES "
          "orders (o_orderkey)\n";
-  out += ");\n";
+  out += ")" + part_by + ";\n";
   return out;
 }
 
 }  // namespace
 
-std::string MthDdl() { return std::string(kGlobalTables) + TenantTables(true); }
+std::string MthDdl(int64_t partitions) {
+  return std::string(kGlobalTables) + TenantTables(true, partitions);
+}
 
 std::string TpchDdl() {
-  return std::string(kGlobalTables) + TenantTables(false);
+  return std::string(kGlobalTables) + TenantTables(false, 0);
 }
 
 std::string ConversionDdl() {

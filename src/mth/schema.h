@@ -18,8 +18,11 @@ namespace mtbase {
 namespace mth {
 
 /// MTSQL DDL for the eight MT-H tables (executed through a Session so the
-/// middleware learns the comparability metadata).
-std::string MthDdl();
+/// middleware learns the comparability metadata). When `partitions` > 0 the
+/// tenant-specific tables carry `PARTITION BY HASH (ttid) PARTITIONS n`; the
+/// ttid column is synthesized during lowering, so the clause resolves against
+/// the lowered layout.
+std::string MthDdl(int64_t partitions = 0);
 
 /// Plain-SQL DDL for the TPC-H baseline database (same tables, no ttid).
 std::string TpchDdl();

@@ -169,11 +169,28 @@ struct TableConstraint {
   ExprPtr check;                         // CHECK
 };
 
+/// PARTITION BY clause of CREATE TABLE. Hash partitioning names a bucket
+/// count; list partitioning enumerates the integer value groups, with an
+/// implicit overflow partition for values not in any group.
+struct PartitionSpec {
+  enum class Method : uint8_t { kNone, kHash, kList } method = Method::kNone;
+  std::string column;
+  int64_t count = 0;                          // kHash: PARTITIONS n
+  std::vector<std::vector<int64_t>> lists;    // kList: VALUES (..) groups
+};
+
 struct CreateTableStmt {
   std::string name;
   bool mt_specific = false;  // SPECIFIC => tenant-specific; default GLOBAL
   std::vector<ColumnDef> columns;
   std::vector<TableConstraint> constraints;
+  PartitionSpec partition;
+};
+
+struct CreateIndexStmt {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
 };
 
 struct CreateViewStmt {
@@ -232,7 +249,7 @@ struct SetScopeStmt {
 };
 
 struct DropStmt {
-  enum class What : uint8_t { kTable, kView } what = What::kTable;
+  enum class What : uint8_t { kTable, kView, kIndex } what = What::kTable;
   std::string name;
 };
 
@@ -242,6 +259,7 @@ struct Stmt {
     kCreateTable,
     kCreateView,
     kCreateFunction,
+    kCreateIndex,
     kInsert,
     kUpdate,
     kDelete,
@@ -253,6 +271,7 @@ struct Stmt {
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<CreateViewStmt> create_view;
+  std::unique_ptr<CreateIndexStmt> create_index;
   std::unique_ptr<CreateFunctionStmt> create_function;
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<UpdateStmt> update;

@@ -743,6 +743,68 @@ Result<Stmt> Parser::ParseCreate() {
       if (!MatchSym(",")) break;
     }
     MTB_RETURN_IF_ERROR(ExpectSym(")"));
+    if (MatchKw("PARTITION")) {
+      MTB_RETURN_IF_ERROR(ExpectKw("BY"));
+      auto& ps = ct.partition;
+      if (MatchKw("HASH")) {
+        ps.method = PartitionSpec::Method::kHash;
+        MTB_RETURN_IF_ERROR(ExpectSym("("));
+        MTB_ASSIGN_OR_RETURN(ps.column, ExpectIdentifier("partition column"));
+        MTB_RETURN_IF_ERROR(ExpectSym(")"));
+        MTB_RETURN_IF_ERROR(ExpectKw("PARTITIONS"));
+        if (Peek().kind != TokenKind::kInteger ||
+            !ParseInt64(Peek().text, &ps.count)) {
+          return Err("expected partition count");
+        }
+        Advance();
+        if (ps.count < 1) return Err("partition count must be positive");
+      } else if (MatchKw("LIST")) {
+        ps.method = PartitionSpec::Method::kList;
+        MTB_RETURN_IF_ERROR(ExpectSym("("));
+        MTB_ASSIGN_OR_RETURN(ps.column, ExpectIdentifier("partition column"));
+        MTB_RETURN_IF_ERROR(ExpectSym(")"));
+        MTB_RETURN_IF_ERROR(ExpectSym("("));
+        for (;;) {
+          MTB_RETURN_IF_ERROR(ExpectKw("VALUES"));
+          MTB_RETURN_IF_ERROR(ExpectSym("("));
+          std::vector<int64_t> group;
+          for (;;) {
+            bool neg = MatchSym("-");
+            int64_t v = 0;
+            if (Peek().kind != TokenKind::kInteger ||
+                !ParseInt64(Peek().text, &v)) {
+              return Err("expected integer partition list value");
+            }
+            Advance();
+            group.push_back(neg ? -v : v);
+            if (!MatchSym(",")) break;
+          }
+          MTB_RETURN_IF_ERROR(ExpectSym(")"));
+          ps.lists.push_back(std::move(group));
+          if (!MatchSym(",")) break;
+        }
+        MTB_RETURN_IF_ERROR(ExpectSym(")"));
+      } else {
+        return Err("expected HASH or LIST after PARTITION BY");
+      }
+    }
+    return stmt;
+  }
+  if (MatchKw("INDEX")) {
+    Stmt stmt;
+    stmt.kind = Stmt::Kind::kCreateIndex;
+    stmt.create_index = std::make_unique<CreateIndexStmt>();
+    auto& ci = *stmt.create_index;
+    MTB_ASSIGN_OR_RETURN(ci.name, ExpectIdentifier("index name"));
+    MTB_RETURN_IF_ERROR(ExpectKw("ON"));
+    MTB_ASSIGN_OR_RETURN(ci.table, ExpectIdentifier("table name"));
+    MTB_RETURN_IF_ERROR(ExpectSym("("));
+    for (;;) {
+      MTB_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+      ci.columns.push_back(col);
+      if (!MatchSym(",")) break;
+    }
+    MTB_RETURN_IF_ERROR(ExpectSym(")"));
     return stmt;
   }
   if (MatchKw("VIEW")) {
@@ -786,7 +848,7 @@ Result<Stmt> Parser::ParseCreate() {
     }
     return stmt;
   }
-  return Err("expected TABLE, VIEW or FUNCTION after CREATE");
+  return Err("expected TABLE, VIEW, INDEX or FUNCTION after CREATE");
 }
 
 Result<Stmt> Parser::ParseInsert() {
@@ -910,8 +972,10 @@ Result<Stmt> Parser::ParseDrop() {
     stmt.drop->what = DropStmt::What::kTable;
   } else if (MatchKw("VIEW")) {
     stmt.drop->what = DropStmt::What::kView;
+  } else if (MatchKw("INDEX")) {
+    stmt.drop->what = DropStmt::What::kIndex;
   } else {
-    return Err("expected TABLE or VIEW after DROP");
+    return Err("expected TABLE, VIEW or INDEX after DROP");
   }
   MTB_ASSIGN_OR_RETURN(stmt.drop->name, ExpectIdentifier("name"));
   return stmt;

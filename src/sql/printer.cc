@@ -264,7 +264,28 @@ std::string PrintStmt(const Stmt& s) {
         }
       }
       out += ")";
+      if (ct.partition.method == PartitionSpec::Method::kHash) {
+        out += " PARTITION BY HASH (" + ct.partition.column + ") PARTITIONS " +
+               std::to_string(ct.partition.count);
+      } else if (ct.partition.method == PartitionSpec::Method::kList) {
+        out += " PARTITION BY LIST (" + ct.partition.column + ") (";
+        for (size_t g = 0; g < ct.partition.lists.size(); ++g) {
+          if (g) out += ", ";
+          out += "VALUES (";
+          for (size_t i = 0; i < ct.partition.lists[g].size(); ++i) {
+            if (i) out += ", ";
+            out += std::to_string(ct.partition.lists[g][i]);
+          }
+          out += ")";
+        }
+        out += ")";
+      }
       return out;
+    }
+    case Stmt::Kind::kCreateIndex: {
+      const auto& ci = *s.create_index;
+      return "CREATE INDEX " + ci.name + " ON " + ci.table + " (" +
+             JoinStrings(ci.columns, ", ") + ")";
     }
     case Stmt::Kind::kCreateView:
       return "CREATE VIEW " + s.create_view->name + " AS " +
@@ -334,7 +355,9 @@ std::string PrintStmt(const Stmt& s) {
       return "SET SCOPE = \"" + s.set_scope->scope_text + "\"";
     case Stmt::Kind::kDrop:
       return std::string("DROP ") +
-             (s.drop->what == DropStmt::What::kTable ? "TABLE " : "VIEW ") +
+             (s.drop->what == DropStmt::What::kTable  ? "TABLE "
+              : s.drop->what == DropStmt::What::kView ? "VIEW "
+                                                      : "INDEX ") +
              s.drop->name;
   }
   return "?";

@@ -1,0 +1,60 @@
+// Self-tests for the shared gtest helpers — in particular the plan-shape
+// assertion layer (PlanLineMatches / PlanShapeMatches), which the partition
+// and index suites lean on: a matcher bug there would silently weaken every
+// EXPECT_PLAN_SHAPE in the tree.
+#include "tests/test_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mtbase {
+namespace {
+
+TEST(PlanLineMatches, LiteralMatchIsExact) {
+  EXPECT_TRUE(PlanLineMatches("Scan a", "Scan a"));
+  EXPECT_FALSE(PlanLineMatches("Scan a", "Scan b"));
+  EXPECT_FALSE(PlanLineMatches("Scan a", "  Scan a"));  // anchored
+  EXPECT_FALSE(PlanLineMatches("Scan a", "Scan a (filtered)"));
+}
+
+TEST(PlanLineMatches, StarMatchesAnyRun) {
+  EXPECT_TRUE(PlanLineMatches("*Scan a*", "  Scan a (filtered)"));
+  EXPECT_TRUE(PlanLineMatches("*Scan a*", "Scan a"));  // star matches empty
+  EXPECT_TRUE(PlanLineMatches("*[partitions: */4 pruned]*",
+                              "  Scan t (filtered) [partitions: 3/4 pruned]"));
+  EXPECT_FALSE(PlanLineMatches("*[partitions: */4 pruned]*",
+                               "  Scan t (filtered)"));
+}
+
+TEST(PlanLineMatches, MultipleStarsBacktrack) {
+  // The first star must not greedily swallow the text the second needs.
+  EXPECT_TRUE(PlanLineMatches("*a*b*c*", "xxaxxbxxcxx"));
+  EXPECT_TRUE(PlanLineMatches("*a*a*", "aa"));
+  EXPECT_FALSE(PlanLineMatches("*a*a*", "a"));
+  EXPECT_TRUE(PlanLineMatches("***", ""));
+}
+
+TEST(PlanShapeMatches, OrderedSubsequenceOfLines) {
+  const std::string plan =
+      "Sort (keys: 0)\n"
+      "  HashJoin INNER (1 keys)\n"
+      "    Scan a (filtered)\n"
+      "    Scan b\n";
+  EXPECT_TRUE(PlanShapeMatches(plan, {"*Sort*", "*Scan b*"}));
+  EXPECT_TRUE(PlanShapeMatches(
+      plan, {"*Sort*", "*HashJoin*", "*Scan a*", "*Scan b*"}));
+  // Out of order: Scan b renders after Scan a.
+  EXPECT_FALSE(PlanShapeMatches(plan, {"*Scan b*", "*Scan a*"}));
+  // A pattern consumed by one plan line is not reusable for the next.
+  EXPECT_FALSE(PlanShapeMatches(plan, {"*Scan b*", "*Scan b*"}));
+  EXPECT_FALSE(PlanShapeMatches(plan, {"*IndexScan*"}));
+}
+
+TEST(PlanShapeMatches, FailureNamesTheUnmatchedPattern) {
+  ::testing::AssertionResult r =
+      PlanShapeMatches("Scan a\n", {"*Scan a*", "*Scan b*"});
+  EXPECT_FALSE(r);
+  EXPECT_NE(std::string(r.message()).find("*Scan b*"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtbase

@@ -32,8 +32,7 @@ class ExplainTest : public ::testing::Test {
 
 TEST_F(ExplainTest, ScanWithFilter) {
   std::string plan = Explain("SELECT x FROM a WHERE y > 1");
-  EXPECT_NE(plan.find("Project"), std::string::npos);
-  EXPECT_NE(plan.find("Scan a (filtered)"), std::string::npos);
+  EXPECT_PLAN_SHAPE(plan, {"*Project*", "*Scan a (filtered)*"});
 }
 
 TEST_F(ExplainTest, HashJoinShowsKeys) {
@@ -52,10 +51,10 @@ TEST_F(ExplainTest, SemiJoinFromExists) {
 TEST_F(ExplainTest, AggregateAndSort) {
   std::string plan = Explain(
       "SELECT y, COUNT(*) AS c, SUM(x) FROM a GROUP BY y ORDER BY c DESC");
-  EXPECT_NE(plan.find("Aggregate (groups: 1, aggs: COUNT(*) SUM)"),
-            std::string::npos)
-      << plan;
-  EXPECT_NE(plan.find("Sort (keys: 1 DESC)"), std::string::npos) << plan;
+  // Shape-asserted top-down: the sort consumes the aggregate, which scans a.
+  EXPECT_PLAN_SHAPE(plan, {"*Sort (keys: 1 DESC)*",
+                           "*Aggregate (groups: 1, aggs: COUNT(*) SUM)*",
+                           "*Scan a*"});
 }
 
 TEST_F(ExplainTest, SortLimitFusesIntoTopN) {

@@ -194,6 +194,66 @@ TEST(ParserTest, CreateTableWithMtKeywords) {
   EXPECT_EQ(ct.constraints[1].ref_table, "Roles");
 }
 
+TEST(ParserTest, CreateTablePartitionBy) {
+  ASSERT_OK_AND_ASSIGN(
+      Stmt stmt,
+      ParseStatement("CREATE TABLE t (ttid INTEGER NOT NULL, a INTEGER) "
+                     "PARTITION BY HASH (ttid) PARTITIONS 8"));
+  ASSERT_EQ(stmt.kind, Stmt::Kind::kCreateTable);
+  const auto& hash = stmt.create_table->partition;
+  EXPECT_EQ(hash.method, PartitionSpec::Method::kHash);
+  EXPECT_EQ(hash.column, "ttid");
+  EXPECT_EQ(hash.count, 8);
+  // The clause survives a print-parse round trip byte-identically.
+  std::string printed = PrintStmt(stmt);
+  EXPECT_NE(printed.find("PARTITION BY HASH (ttid) PARTITIONS 8"),
+            std::string::npos)
+      << printed;
+  ASSERT_OK_AND_ASSIGN(Stmt again, ParseStatement(printed));
+  EXPECT_EQ(PrintStmt(again), printed);
+
+  ASSERT_OK_AND_ASSIGN(
+      stmt, ParseStatement("CREATE TABLE u (k INTEGER) "
+                           "PARTITION BY LIST (k) "
+                           "(VALUES (1, 2), VALUES (-3))"));
+  const auto& list = stmt.create_table->partition;
+  EXPECT_EQ(list.method, PartitionSpec::Method::kList);
+  ASSERT_EQ(list.lists.size(), 2u);
+  EXPECT_EQ(list.lists[0], (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(list.lists[1], (std::vector<int64_t>{-3}));
+  printed = PrintStmt(stmt);
+  ASSERT_OK_AND_ASSIGN(again, ParseStatement(printed));
+  EXPECT_EQ(PrintStmt(again), printed);
+
+  EXPECT_FALSE(
+      ParseStatement("CREATE TABLE t (a INTEGER) "
+                     "PARTITION BY HASH (a) PARTITIONS 0").ok());
+  EXPECT_FALSE(
+      ParseStatement("CREATE TABLE t (a INTEGER) PARTITION BY HASH (a)").ok());
+}
+
+TEST(ParserTest, CreateAndDropIndex) {
+  ASSERT_OK_AND_ASSIGN(
+      Stmt stmt, ParseStatement("CREATE INDEX ix_t ON t (ttid, a)"));
+  ASSERT_EQ(stmt.kind, Stmt::Kind::kCreateIndex);
+  EXPECT_EQ(stmt.create_index->name, "ix_t");
+  EXPECT_EQ(stmt.create_index->table, "t");
+  EXPECT_EQ(stmt.create_index->columns,
+            (std::vector<std::string>{"ttid", "a"}));
+  std::string printed = PrintStmt(stmt);
+  ASSERT_OK_AND_ASSIGN(Stmt again, ParseStatement(printed));
+  EXPECT_EQ(PrintStmt(again), printed);
+
+  ASSERT_OK_AND_ASSIGN(stmt, ParseStatement("DROP INDEX ix_t"));
+  ASSERT_EQ(stmt.kind, Stmt::Kind::kDrop);
+  EXPECT_EQ(stmt.drop->what, DropStmt::What::kIndex);
+  EXPECT_EQ(stmt.drop->name, "ix_t");
+  EXPECT_NE(PrintStmt(stmt).find("DROP INDEX ix_t"), std::string::npos);
+
+  EXPECT_FALSE(ParseStatement("CREATE INDEX ON t (a)").ok());
+  EXPECT_FALSE(ParseStatement("CREATE INDEX ix ON t ()").ok());
+}
+
 TEST(ParserTest, CreateFunction) {
   ASSERT_OK_AND_ASSIGN(
       Stmt stmt,
