@@ -30,10 +30,61 @@ Status Table::CheckRow(const Row& row) const {
 }
 
 Status Table::Insert(Row row) {
-  MTB_RETURN_IF_ERROR(CheckRow(row));
-  rows_.push_back(std::move(row));
-  ++data_version_;
+  std::vector<Row> staged;
+  staged.push_back(std::move(row));
+  return AppendRows(std::move(staged));
+}
+
+Table::RowsSnapshot Table::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  pins_->fetch_add(1, std::memory_order_relaxed);
+  // The snapshot aliases the current vector and keeps it alive via the
+  // captured shared_ptr; its deleter releases the pin with release ordering
+  // so a writer's acquire load of pins_ orders this reader's scans first.
+  std::shared_ptr<const std::vector<Row>> pinned(
+      rows_.get(), [keep = rows_, pins = pins_](const std::vector<Row>*) {
+        pins->fetch_sub(1, std::memory_order_release);
+      });
+  return RowsSnapshot{std::move(pinned),
+                      data_version_.load(std::memory_order_relaxed)};
+}
+
+size_t Table::row_count() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return rows_->size();
+}
+
+void Table::Reserve(size_t n) {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (pins_->load(std::memory_order_acquire) == 0) rows_->reserve(n);
+}
+
+Status Table::AppendRows(std::vector<Row> staged) {
+  for (const Row& row : staged) MTB_RETURN_IF_ERROR(CheckRow(row));
+  std::lock_guard<std::mutex> write(write_mu_);
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (pins_->load(std::memory_order_acquire) > 0) {
+    // A reader holds (or recently held and may still be draining) a pinned
+    // snapshot: copy-on-write so every pinned view stays immutable. With no
+    // pins (the common bulk-load case) append in place — no reader can
+    // acquire a new pin while we hold snap_mu_, and the acquire load orders
+    // every departed reader's scans before this append.
+    rows_ = std::make_shared<std::vector<Row>>(*rows_);
+  }
+  rows_->reserve(rows_->size() + staged.size());
+  for (Row& row : staged) rows_->push_back(std::move(row));
+  data_version_.fetch_add(staged.size(), std::memory_order_acq_rel);
   return Status::OK();
+}
+
+void Table::ReplaceRows(std::vector<Row> next) {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  rows_ = std::make_shared<std::vector<Row>>(std::move(next));
+  data_version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::unique_lock<std::mutex> Table::LockForWrite() const {
+  return std::unique_lock<std::mutex>(write_mu_);
 }
 
 int IndexKeyCompare(const Value& a, const Value& b) {
@@ -45,19 +96,25 @@ int IndexKeyCompare(const Value& a, const Value& b) {
   return static_cast<int>(a.type()) - static_cast<int>(b.type());
 }
 
-const std::vector<std::vector<uint32_t>>& Table::PartitionRows() const {
+std::shared_ptr<const std::vector<std::vector<uint32_t>>>
+Table::PartitionRowsAt(uint64_t* built_version) const {
   std::lock_guard<std::mutex> lock(phys_mu_);
-  const PartitionScheme& ps = schema_.partition;
-  if (!partitions_built_ || partitions_built_version_ != data_version_) {
-    partition_rows_.assign(static_cast<size_t>(ps.Count()), {});
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      int p = ps.RouteValue(rows_[i][static_cast<size_t>(ps.column)]);
-      partition_rows_[static_cast<size_t>(p)].push_back(
-          static_cast<uint32_t>(i));
+  if (!partitions_built_ ||
+      partitions_built_version_ != data_version()) {
+    RowsSnapshot snap = Snapshot();
+    const std::vector<Row>& rows = *snap.rows;
+    const PartitionScheme& ps = schema_.partition;
+    auto built = std::make_shared<std::vector<std::vector<uint32_t>>>(
+        static_cast<size_t>(ps.Count()));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      int p = ps.RouteValue(rows[i][static_cast<size_t>(ps.column)]);
+      (*built)[static_cast<size_t>(p)].push_back(static_cast<uint32_t>(i));
     }
-    partitions_built_version_ = data_version_;
+    partition_rows_ = std::move(built);
+    partitions_built_version_ = snap.version;
     partitions_built_ = true;
   }
+  if (built_version != nullptr) *built_version = partitions_built_version_;
   return partition_rows_;
 }
 
@@ -93,26 +150,31 @@ bool Table::RemoveIndex(const std::string& name) {
   return false;
 }
 
-const std::vector<uint32_t>& Table::IndexOrder(const TableIndex& index) const {
+std::shared_ptr<const std::vector<uint32_t>> Table::IndexOrderAt(
+    const TableIndex& index, uint64_t* built_version) const {
   std::lock_guard<std::mutex> lock(phys_mu_);
-  if (!index.built || index.built_version != data_version_) {
-    index.order.resize(rows_.size());
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      index.order[i] = static_cast<uint32_t>(i);
+  if (!index.built || index.built_version != data_version()) {
+    RowsSnapshot snap = Snapshot();
+    const std::vector<Row>& rows = *snap.rows;
+    auto order = std::make_shared<std::vector<uint32_t>>(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (*order)[i] = static_cast<uint32_t>(i);
     }
-    std::stable_sort(index.order.begin(), index.order.end(),
+    std::stable_sort(order->begin(), order->end(),
                      [&](uint32_t a, uint32_t b) {
                        for (int slot : index.slots) {
                          int c = IndexKeyCompare(
-                             rows_[a][static_cast<size_t>(slot)],
-                             rows_[b][static_cast<size_t>(slot)]);
+                             rows[a][static_cast<size_t>(slot)],
+                             rows[b][static_cast<size_t>(slot)]);
                          if (c != 0) return c < 0;
                        }
                        return false;  // stable: insertion order breaks ties
                      });
-    index.built_version = data_version_;
+    index.order = std::move(order);
+    index.built_version = snap.version;
     index.built = true;
   }
+  if (built_version != nullptr) *built_version = index.built_version;
   return index.order;
 }
 

@@ -1,7 +1,9 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <unordered_set>
 
@@ -15,6 +17,108 @@
 
 namespace mtbase {
 namespace engine {
+
+thread_local verify::VerifyContext Database::verify_ctx_;
+thread_local obs::StatementTrace* Database::active_trace_ = nullptr;
+thread_local Database::StatsFrame* Database::tl_stats_frame_ = nullptr;
+thread_local const Database* Database::tl_guard_owner_ = nullptr;
+thread_local int Database::tl_guard_depth_ = 0;
+thread_local int Database::tl_admission_depth_ = 0;
+
+Database::Database(DbmsProfile profile) : profile_(profile) {
+  if (const char* env = std::getenv("MTBASE_MAX_CONCURRENT_STATEMENTS")) {
+    admission_.set_limit(std::atoi(env));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statement-scope concurrency plumbing
+// ---------------------------------------------------------------------------
+
+Database::StatsFrame::StatsFrame(Database* db) : db_(db) {
+  for (StatsFrame* f = tl_stats_frame_; f != nullptr; f = f->prev_) {
+    if (f->db_ == db) return;  // nested statement: share the outer frame
+  }
+  prev_ = tl_stats_frame_;
+  tl_stats_frame_ = this;
+  active_ = true;
+}
+
+Database::StatsFrame::~StatsFrame() {
+  if (!active_) return;
+  tl_stats_frame_ = prev_;
+  std::lock_guard<std::mutex> lock(db_->stats_mu_);
+  db_->stats_.MergeStatement(local_);
+}
+
+ExecStats* Database::CurStats() {
+  for (StatsFrame* f = tl_stats_frame_; f != nullptr; f = f->prev_) {
+    if (f->db_ == this) return &f->local_;
+  }
+  return &stats_;
+}
+
+Database::StatementGuard::StatementGuard(Database* db, bool exclusive)
+    : db_(db) {
+  if (tl_guard_owner_ == db && tl_guard_depth_ > 0) {
+    // Nested statement on the same database: the outer guard's lock covers
+    // us. A nested exclusive request under a shared outer guard cannot occur
+    // by construction (DDL only nests inside DDL).
+    nested_ = true;
+    ++tl_guard_depth_;
+    return;
+  }
+  prev_owner_ = tl_guard_owner_;
+  prev_depth_ = tl_guard_depth_;
+  exclusive_ = exclusive;
+  if (exclusive) {
+    db->ddl_mu_.lock();
+  } else {
+    db->ddl_mu_.lock_shared();
+  }
+  tl_guard_owner_ = db;
+  tl_guard_depth_ = 1;
+}
+
+Database::StatementGuard::~StatementGuard() {
+  if (nested_) {
+    --tl_guard_depth_;
+    return;
+  }
+  if (exclusive_) {
+    db_->ddl_mu_.unlock();
+  } else {
+    db_->ddl_mu_.unlock_shared();
+  }
+  tl_guard_owner_ = prev_owner_;
+  tl_guard_depth_ = prev_depth_;
+}
+
+Database::AdmissionPass::AdmissionPass(Database* db) : db_(db) {
+  outermost_ = tl_admission_depth_ == 0;
+  ++tl_admission_depth_;
+  if (outermost_) {
+    status_ = db_->admission_.Acquire(ScopedCancelToken::Current());
+  }
+}
+
+Database::AdmissionPass::~AdmissionPass() {
+  --tl_admission_depth_;
+  if (outermost_ && status_.ok()) db_->admission_.Release();
+}
+
+bool Database::IsDdlStmt(const sql::Stmt& stmt) {
+  switch (stmt.kind) {
+    case sql::Stmt::Kind::kCreateTable:
+    case sql::Stmt::Kind::kCreateView:
+    case sql::Stmt::Kind::kCreateFunction:
+    case sql::Stmt::Kind::kCreateIndex:
+    case sql::Stmt::Kind::kDrop:
+      return true;
+    default:
+      return false;
+  }
+}
 
 std::string ResultSet::ToString(size_t max_rows) const {
   std::string out = JoinStrings(column_names, " | ") + "\n";
@@ -33,10 +137,17 @@ std::string ResultSet::ToString(size_t max_rows) const {
 
 ExecContext Database::MakeContext(const std::vector<Value>* params) {
   ExecContext ctx;
-  ctx.stats = &stats_;
+  ctx.stats = CurStats();
   ctx.profile = profile_;
   ctx.params = params;
-  ctx.max_threads = parallel::ResolveMaxThreads(planner_options_.max_threads);
+  ctx.snapshots = std::make_shared<TableSnapshots>();
+  // Inter-query scheduling: concurrent statements split the intra-query
+  // thread budget instead of each claiming the whole pool (in_flight counts
+  // this statement, so a lone statement keeps the full budget).
+  const int resolved =
+      parallel::ResolveMaxThreads(planner_options_.max_threads);
+  const int in_flight = std::max(1, admission_.in_flight());
+  ctx.max_threads = std::max(1, resolved / in_flight);
   ctx.min_parallel_rows = planner_options_.min_parallel_rows;
   if (shared_udf_cache_enabled_) {
     // The epoch is captured once per statement: DML executed by this very
@@ -115,17 +226,34 @@ struct BoundDmlPlan {
   std::vector<std::vector<BoundExprPtr>> value_rows; // INSERT ... VALUES
 };
 
+/// Immutable compiled form of a PreparedPlan. Re-compiles build a fresh
+/// block and swap it in under the handle mutex, so concurrent executions on
+/// one shared handle either see the complete old state or the complete new
+/// one — never a half-replaced plan.
+struct PreparedPlan::CompiledState {
+  uint64_t version = 0;
+  /// First execution after a compile is amortization, not a cache hit.
+  mutable std::atomic<bool> fresh{true};
+  // SELECT: the statement's plan. INSERT ... SELECT: the source plan.
+  std::shared_ptr<const Plan> plan;
+  // INSERT/UPDATE/DELETE: the statement's bound form.
+  std::unique_ptr<BoundDmlPlan> dml;
+  std::vector<std::string> column_names;
+};
+
 PreparedPlan::PreparedPlan(PreparedPlan&&) noexcept = default;
 PreparedPlan& PreparedPlan::operator=(PreparedPlan&&) noexcept = default;
 PreparedPlan::~PreparedPlan() = default;
 
-Status PreparedPlan::Compile() {
-  // Invalidate first: a failed recompile (e.g. against a dropped table) must
-  // not leave a handle that silently executes the stale plan.
-  compiled_ = false;
-  plan_.reset();
-  dml_.reset();
-  ++db_->stats_.prepare_count;
+Result<std::shared_ptr<const PreparedPlan::CompiledState>>
+PreparedPlan::CompileLocked() {
+  auto state = std::make_shared<CompiledState>();
+  // Snapshot the version before planning: a concurrent DDL that lands
+  // mid-compile yields a state stamped stale, forcing a recompile on the
+  // next execution instead of silently serving a half-old plan.
+  state->version = db_->compilation_version();
+  ExecStats* stats = db_->CurStats();
+  ++stats->prepare_count;
   const sql::SelectStmt* sel =
       stmt_.kind == sql::Stmt::Kind::kSelect ? stmt_.select.get()
       : stmt_.kind == sql::Stmt::Kind::kInsert ? stmt_.insert->select.get()
@@ -133,31 +261,34 @@ Status PreparedPlan::Compile() {
   if (sel != nullptr) {
     PlanPtr plan;
     {
-      obs::SpanTimer span(db_->active_trace_, "plan", &db_->stats_);
+      obs::SpanTimer span(db_->active_trace_, "plan", stats);
       Planner planner(&db_->catalog_, &db_->udfs_, db_->planner_options_);
       MTB_ASSIGN_OR_RETURN(plan, planner.PlanSelect(*sel));
-      ++db_->stats_.statements_planned;
+      ++stats->statements_planned;
     }
     MTB_RETURN_IF_ERROR(db_->VerifyPlan(plan.get()));
-    column_names_.clear();
-    for (const auto& c : plan->columns) column_names_.push_back(c.name);
-    plan_ = std::shared_ptr<const Plan>(std::move(plan));
+    for (const auto& c : plan->columns) state->column_names.push_back(c.name);
+    state->plan = std::shared_ptr<const Plan>(std::move(plan));
   }
   if (stmt_.kind == sql::Stmt::Kind::kInsert ||
       stmt_.kind == sql::Stmt::Kind::kUpdate ||
       stmt_.kind == sql::Stmt::Kind::kDelete) {
-    MTB_ASSIGN_OR_RETURN(dml_, db_->BindDml(stmt_));
+    MTB_ASSIGN_OR_RETURN(state->dml, db_->BindDml(stmt_));
     // The bind is this statement's compilation — unless the INSERT ... SELECT
     // source plan above already counted it.
-    if (sel == nullptr) ++db_->stats_.statements_planned;
+    if (sel == nullptr) ++stats->statements_planned;
   }
-  compiled_version_ = db_->compilation_version();
-  compiled_ = true;
-  fresh_compile_ = true;
-  return Status::OK();
+  return std::shared_ptr<const CompiledState>(std::move(state));
 }
 
 Result<ResultSet> PreparedPlan::Execute(const std::vector<Value>& params) {
+  // Admission first (blocking while holding no locks), then the stats frame
+  // and the statement-scope lock: shared for SELECT/DML, exclusive for DDL
+  // statement kinds executed through a prepared handle.
+  Database::AdmissionPass admission(db_);
+  if (!admission.status().ok()) return admission.status();
+  Database::StatsFrame frame(db_);
+  Database::StatementGuard guard(db_, Database::IsDdlStmt(stmt_));
   // Observability shell around the execution body: one engine-layer trace
   // record per statement (nested statements append to the enclosing record
   // via the Database slot), plus process-wide metrics. With tracing off
@@ -165,7 +296,7 @@ Result<ResultSet> PreparedPlan::Execute(const std::vector<Value>& params) {
   // mutex-guarded map bumps per statement.
   obs::TraceRecordScope trace(obs::Tracer::Global(), &db_->active_trace_,
                               "engine", sql_);
-  StatsScope scope(&db_->stats_);
+  StatsScope scope(db_->CurStats());
   const auto t0 = std::chrono::steady_clock::now();
   Result<ResultSet> result = ExecuteInternal(params);
   const double secs =
@@ -207,39 +338,53 @@ Result<ResultSet> PreparedPlan::ExecuteInternal(
         " parameter(s), got " + std::to_string(params.size()));
   }
   if (db_->udf_plans_stale_) db_->RefreshUdfPlans();
-  if (!compiled_ || compiled_version_ != db_->compilation_version()) {
-    MTB_RETURN_IF_ERROR(Compile());
+  std::shared_ptr<const CompiledState> st;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    st = state_;
+  }
+  if (st == nullptr || st->version != db_->compilation_version()) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (state_ == nullptr ||
+        state_->version != db_->compilation_version()) {
+      // Invalidate first: a failed recompile (e.g. against a dropped table)
+      // must not leave a handle that silently executes the stale plan.
+      state_.reset();
+      MTB_ASSIGN_OR_RETURN(auto compiled, CompileLocked());
+      column_names_ = compiled->column_names;
+      state_ = std::move(compiled);
+    }
+    st = state_;
   }
   // The first execution after a compile is amortization, not reuse.
-  if (fresh_compile_) {
-    fresh_compile_ = false;
-  } else {
-    ++db_->stats_.plan_cache_hits;
+  if (!st->fresh.exchange(false, std::memory_order_acq_rel)) {
+    ++db_->CurStats()->plan_cache_hits;
   }
-  obs::SpanTimer exec_span(db_->active_trace_, "execute", &db_->stats_);
+  obs::SpanTimer exec_span(db_->active_trace_, "execute", db_->CurStats());
   const std::vector<Value>* bound = params.empty() ? nullptr : &params;
   if (stmt_.kind == sql::Stmt::Kind::kSelect) {
     ExecContext ctx = db_->MakeContext(bound);
-    MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan_, &ctx));
+    MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*st->plan, &ctx));
     ResultSet rs;
-    rs.column_names = column_names_;
+    rs.column_names = st->column_names;
     rs.rows = std::move(rows);
     return rs;
   }
   // DML executes its bound form: no per-execution binder work.
   switch (stmt_.kind) {
     case sql::Stmt::Kind::kInsert:
-      MTB_RETURN_IF_ERROR(db_->ExecuteBoundInsert(*dml_, plan_.get(), bound));
+      MTB_RETURN_IF_ERROR(
+          db_->ExecuteBoundInsert(*st->dml, st->plan.get(), bound));
       return ResultSet();
     case sql::Stmt::Kind::kUpdate: {
-      MTB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteBoundUpdate(*dml_, bound));
+      MTB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteBoundUpdate(*st->dml, bound));
       ResultSet rs;
       rs.column_names = {"updated"};
       rs.rows.push_back({Value::Int(n)});
       return rs;
     }
     case sql::Stmt::Kind::kDelete: {
-      MTB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteBoundDelete(*dml_, bound));
+      MTB_ASSIGN_OR_RETURN(int64_t n, db_->ExecuteBoundDelete(*st->dml, bound));
       ResultSet rs;
       rs.column_names = {"deleted"};
       rs.rows.push_back({Value::Int(n)});
@@ -255,10 +400,11 @@ Result<ResultSet> PreparedPlan::ExecuteInternal(
 // ---------------------------------------------------------------------------
 
 Result<PreparedPlan> Database::Prepare(const std::string& sql) {
-  ++stats_.statements_parsed;
+  StatsFrame frame(this);
+  ++CurStats()->statements_parsed;
   sql::Stmt stmt;
   {
-    obs::SpanTimer span(active_trace_, "parse", &stats_);
+    obs::SpanTimer span(active_trace_, "parse", CurStats());
     MTB_ASSIGN_OR_RETURN(stmt, sql::ParseStatement(sql));
   }
   return PrepareStmt(std::move(stmt), sql);
@@ -270,12 +416,20 @@ Result<PreparedPlan> Database::PrepareStmt(sql::Stmt stmt,
     return Status::InvalidArgument(
         "SET SCOPE is an MTSQL statement; the engine only accepts SQL");
   }
+  StatsFrame frame(this);
+  // The compile reads the catalog/UDF registry: shared statement lock.
+  StatementGuard guard(this, /*exclusive=*/false);
   PreparedPlan plan;
   plan.db_ = this;
   plan.sql_ = std::move(sql_text);
   plan.param_count_ = sql::MaxParamIndex(stmt);
   plan.stmt_ = std::move(stmt);
-  MTB_RETURN_IF_ERROR(plan.Compile());
+  {
+    std::lock_guard<std::mutex> lock(*plan.mu_);
+    MTB_ASSIGN_OR_RETURN(auto compiled, plan.CompileLocked());
+    plan.column_names_ = compiled->column_names;
+    plan.state_ = std::move(compiled);
+  }
   return plan;
 }
 
@@ -295,8 +449,9 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
 }
 
 Result<ResultSet> Database::ExecuteScript(const std::string& sql) {
+  StatsFrame frame(this);
   MTB_ASSIGN_OR_RETURN(auto stmts, sql::ParseScript(sql));
-  stats_.statements_parsed += stmts.size();
+  CurStats()->statements_parsed += stmts.size();
   ResultSet last;
   for (size_t i = 0; i < stmts.size(); ++i) {
     auto r = ExecuteStmt(stmts[i]);
@@ -308,6 +463,14 @@ Result<ResultSet> Database::ExecuteScript(const std::string& sql) {
 
 Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt,
                                         const std::vector<Value>* params) {
+  AdmissionPass admission(this);
+  if (!admission.status().ok()) return admission.status();
+  StatsFrame frame(this);
+  // DDL takes the statement lock exclusive; everything else shared. DDL
+  // branches replan UDF bodies eagerly before releasing the exclusive lock,
+  // so statements running under the shared lock never observe a body plan
+  // mid-replan.
+  StatementGuard guard(this, IsDdlStmt(stmt));
   if (udf_plans_stale_) RefreshUdfPlans();
   ResultSet empty;
   switch (stmt.kind) {
@@ -315,12 +478,12 @@ Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt,
       return ExecuteSelect(*stmt.select, params);
     case sql::Stmt::Kind::kCreateTable:
       MTB_RETURN_IF_ERROR(ExecuteCreateTable(*stmt.create_table));
-      udf_plans_stale_ = true;
+      RefreshUdfPlans();
       return empty;
     case sql::Stmt::Kind::kCreateView:
       MTB_RETURN_IF_ERROR(catalog_.CreateView(stmt.create_view->name,
                                               stmt.create_view->select->Clone()));
-      udf_plans_stale_ = true;
+      RefreshUdfPlans();
       return empty;
     case sql::Stmt::Kind::kCreateFunction:
       MTB_RETURN_IF_ERROR(ExecuteCreateFunction(*stmt.create_function));
@@ -329,7 +492,7 @@ Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt,
       MTB_RETURN_IF_ERROR(catalog_.CreateIndex(stmt.create_index->name,
                                                stmt.create_index->table,
                                                stmt.create_index->columns));
-      udf_plans_stale_ = true;
+      RefreshUdfPlans();
       return empty;
     case sql::Stmt::Kind::kInsert:
       // Ad-hoc DML shares the prepared path's bound form; only the
@@ -377,6 +540,19 @@ Result<ResultSet> Database::ExecuteStmt(const sql::Stmt& stmt,
   return Status::Internal("unhandled statement kind");
 }
 
+void Database::EnsureUdfPlansFresh() {
+  if (!udf_plans_stale_.load(std::memory_order_acquire)) return;
+  StatementGuard guard(this, /*exclusive=*/true);
+  if (udf_plans_stale_) RefreshUdfPlans();
+}
+
+void Database::set_planner_options(const PlannerOptions& o) {
+  StatementGuard guard(this, /*exclusive=*/true);
+  planner_options_ = o;
+  options_version_.fetch_add(1, std::memory_order_acq_rel);
+  RefreshUdfPlans();
+}
+
 void Database::RefreshUdfPlans() {
   udf_plans_stale_ = false;
   for (Udf* udf : udfs_.All()) {
@@ -397,12 +573,13 @@ Status Database::VerifyPlan(Plan* plan) {
   // The verifier walks UDF body plans, which hold raw catalog pointers and
   // are only safe to dereference once replanned against the current catalog.
   if (udf_plans_stale_) RefreshUdfPlans();
-  obs::SpanTimer span(active_trace_, "verify", &stats_);
-  ++stats_.plans_verified;
+  ExecStats* stats = CurStats();
+  obs::SpanTimer span(active_trace_, "verify", stats);
+  ++stats->plans_verified;
   verify::PlanVerifier verifier(&verify_ctx_);
   verify::VerifyResult result = verifier.Verify(*plan);
   if (result.ok()) return Status::OK();
-  stats_.verify_violations += result.violations.size();
+  stats->verify_violations += result.violations.size();
   return Status::InvalidArgument("plan verification failed:\n" +
                                  result.Message());
 }
@@ -413,23 +590,28 @@ Result<ResultSet> Database::ExecuteSelect(const sql::SelectStmt& sel,
   // PreparedPlan, so this path carries its own observability shell. The
   // statement text only exists as an AST here; it is printed back to SQL
   // for the trace record only when tracing is actually on.
+  AdmissionPass admission(this);
+  if (!admission.status().ok()) return admission.status();
+  StatsFrame frame(this);
+  StatementGuard guard(this, /*exclusive=*/false);
+  ExecStats* stats = CurStats();
   obs::Tracer* tracer = obs::Tracer::Global();
   obs::TraceRecordScope trace(
       tracer, &active_trace_, "engine",
       tracer != nullptr && tracer->enabled() ? sql::PrintSelect(sel)
                                              : std::string());
-  StatsScope scope(&stats_);
+  StatsScope scope(stats);
   const auto t0 = std::chrono::steady_clock::now();
   auto result = [&]() -> Result<ResultSet> {
     PlanPtr plan;
     {
-      obs::SpanTimer span(active_trace_, "plan", &stats_);
+      obs::SpanTimer span(active_trace_, "plan", stats);
       Planner planner(&catalog_, &udfs_, planner_options_);
       MTB_ASSIGN_OR_RETURN(plan, planner.PlanSelect(sel));
-      ++stats_.statements_planned;
+      ++stats->statements_planned;
     }
     MTB_RETURN_IF_ERROR(VerifyPlan(plan.get()));
-    obs::SpanTimer span(active_trace_, "execute", &stats_);
+    obs::SpanTimer span(active_trace_, "execute", stats);
     ExecContext ctx = MakeContext(params);
     MTB_ASSIGN_OR_RETURN(auto rows, ExecutePlan(*plan, &ctx));
     ResultSet rs;
@@ -468,14 +650,18 @@ Result<ResultSet> Database::ExecuteSelect(const sql::SelectStmt& sel,
 Result<std::string> Database::ExplainAnalyzeSelect(
     const sql::SelectStmt& sel, const verify::VerifyContext* footer_verify_ctx,
     ResultSet* result_out) {
+  AdmissionPass admission(this);
+  if (!admission.status().ok()) return admission.status();
+  StatsFrame frame(this);
+  StatementGuard guard(this, /*exclusive=*/false);
   if (udf_plans_stale_) RefreshUdfPlans();
   Planner planner(&catalog_, &udfs_, planner_options_);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(sel));
-  ++stats_.statements_planned;
+  ++CurStats()->statements_planned;
   MTB_RETURN_IF_ERROR(VerifyPlan(plan.get()));
   // Instrumented execution: same context a plain run gets, plus a profiler.
   obs::PlanProfiler profiler;
-  StatsScope scope(&stats_);
+  StatsScope scope(CurStats());
   ExecContext ctx = MakeContext();
   ctx.profiler = &profiler;
   const auto t0 = std::chrono::steady_clock::now();
@@ -569,7 +755,7 @@ Status Database::ExecuteCreateFunction(const sql::CreateFunctionStmt& cf) {
   MTB_ASSIGN_OR_RETURN(auto body, sql::ParseSelect(cf.body_sql));
   Planner planner(&catalog_, &udfs_, planner_options_);
   MTB_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(*body));
-  ++stats_.statements_planned;
+  ++CurStats()->statements_planned;
   udf->body_plan = std::shared_ptr<const Plan>(std::move(plan));
   MTB_RETURN_IF_ERROR(udfs_.Register(std::move(udf)));
   RebuildUdfReadTables();
@@ -600,11 +786,9 @@ Status ApplyInsertRows(Table* table, const std::vector<int>& targets,
     MTB_RETURN_IF_ERROR(table->CheckRow(row));
     staged.push_back(std::move(row));
   }
-  table->Reserve(table->rows().size() + staged.size());
-  for (Row& row : staged) {
-    MTB_RETURN_IF_ERROR(table->Insert(std::move(row)));
-  }
-  return Status::OK();
+  // One publication: AppendRows re-checks, serializes against other DML on
+  // this table, and bumps the data version once for the whole batch.
+  return table->AppendRows(std::move(staged));
 }
 
 /// Resolve the INSERT target column list to schema slots.
@@ -722,13 +906,18 @@ Status Database::ExecuteBoundInsert(const BoundDmlPlan& dml,
 Result<int64_t> Database::ExecuteBoundUpdate(const BoundDmlPlan& dml,
                                              const std::vector<Value>* params) {
   ExecContext ctx = MakeContext(params);
-  auto* rows = dml.table->mutable_rows();
-  // Evaluate predicates and assignments over every row before touching any
-  // (same atomic shape as DELETE below): an expression error must leave the
-  // table — and therefore the shared-UDF-cache epoch — exactly as it was.
+  // DML on a table is serialized by its write lock; concurrent readers keep
+  // scanning the snapshot they pinned and flip to the new version only at
+  // their next statement. Evaluate predicates and assignments over every row
+  // before publishing anything (same atomic shape as DELETE below): an
+  // expression error must leave the table — and therefore the
+  // shared-UDF-cache epoch — exactly as it was.
+  auto write_lock = dml.table->LockForWrite();
+  auto snap = dml.table->Snapshot();
+  const std::vector<Row>& rows = *snap.rows;
   std::vector<std::pair<size_t, Row>> next_rows;
-  for (size_t i = 0; i < rows->size(); ++i) {
-    const Row& r = (*rows)[i];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
     if (dml.where) {
       MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*dml.where, r, &ctx));
       if (!IsTrue(v)) continue;
@@ -740,37 +929,41 @@ Result<int64_t> Database::ExecuteBoundUpdate(const BoundDmlPlan& dml,
     }
     next_rows.emplace_back(i, std::move(next));
   }
-  for (auto& [i, next] : next_rows) (*rows)[i] = std::move(next);
-  if (!next_rows.empty()) dml.table->BumpDataVersion();
+  if (!next_rows.empty()) {
+    std::vector<Row> updated(rows);
+    for (auto& [i, next] : next_rows) updated[i] = std::move(next);
+    dml.table->ReplaceRows(std::move(updated));
+  }
   return static_cast<int64_t>(next_rows.size());
 }
 
 Result<int64_t> Database::ExecuteBoundDelete(const BoundDmlPlan& dml,
                                              const std::vector<Value>* params) {
   ExecContext ctx = MakeContext(params);
-  auto* rows = dml.table->mutable_rows();
-  // Evaluate the predicate over every row before touching any: an
-  // expression error must leave the table (and the shared-UDF-cache epoch)
-  // exactly as it was, never with half the rows moved out.
-  std::vector<char> remove(rows->size(), 1);
+  // Same discipline as UPDATE: hold the table's write lock, evaluate the
+  // predicate over every row of a pinned snapshot before publishing, then
+  // swap in the surviving rows as one new version.
+  auto write_lock = dml.table->LockForWrite();
+  auto snap = dml.table->Snapshot();
+  const std::vector<Row>& rows = *snap.rows;
+  std::vector<char> remove(rows.size(), 1);
   if (dml.where) {
-    for (size_t i = 0; i < rows->size(); ++i) {
-      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*dml.where, (*rows)[i], &ctx));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      MTB_ASSIGN_OR_RETURN(Value v, EvalExpr(*dml.where, rows[i], &ctx));
       remove[i] = IsTrue(v) ? 1 : 0;
     }
   }
   std::vector<Row> kept;
-  kept.reserve(rows->size());
+  kept.reserve(rows.size());
   int64_t deleted = 0;
-  for (size_t i = 0; i < rows->size(); ++i) {
+  for (size_t i = 0; i < rows.size(); ++i) {
     if (remove[i]) {
       ++deleted;
     } else {
-      kept.push_back(std::move((*rows)[i]));
+      kept.push_back(rows[i]);
     }
   }
-  *rows = std::move(kept);
-  if (deleted > 0) dml.table->BumpDataVersion();
+  if (deleted > 0) dml.table->ReplaceRows(std::move(kept));
   return deleted;
 }
 
@@ -792,12 +985,16 @@ Status Database::ExecuteInsert(const sql::InsertStmt& ins,
 
 Status Database::ValidateTable(const Table& table) {
   const TableSchema& schema = table.schema();
+  // Validation reads one consistent snapshot of each table involved; DML
+  // racing with it lands in a later version.
+  const auto table_snap = table.Snapshot();
+  const std::vector<Row>& table_rows = *table_snap.rows;
   // Primary key uniqueness.
   if (!schema.primary_key.empty()) {
     std::vector<int> pk;
     for (const auto& c : schema.primary_key) pk.push_back(schema.FindColumn(c));
     std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq> seen;
-    for (const Row& r : table.rows()) {
+    for (const Row& r : table_rows) {
       std::vector<Value> key;
       for (int idx : pk) key.push_back(r[static_cast<size_t>(idx)]);
       if (!seen.insert(std::move(key)).second) {
@@ -819,12 +1016,13 @@ Status Database::ValidateTable(const Table& table) {
       remote.push_back(ref->schema().FindColumn(c));
     }
     std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq> keys;
-    for (const Row& r : ref->rows()) {
+    const auto ref_snap = ref->Snapshot();
+    for (const Row& r : *ref_snap.rows) {
       std::vector<Value> key;
       for (int idx : remote) key.push_back(r[static_cast<size_t>(idx)]);
       keys.insert(std::move(key));
     }
-    for (const Row& r : table.rows()) {
+    for (const Row& r : table_rows) {
       std::vector<Value> key;
       bool any_null = false;
       for (int idx : local) {

@@ -12,13 +12,17 @@
 #ifndef MTBASE_ENGINE_DATABASE_H_
 #define MTBASE_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "engine/admission.h"
 #include "engine/catalog.h"
 #include "engine/exec.h"
 #include "engine/obs/profile.h"
@@ -58,6 +62,12 @@ struct BoundDmlPlan;
 /// Execute() revalidates the handle against the database's compilation
 /// version and recompiles transparently when DDL moved it; every execution
 /// after the first one per compilation counts as ExecStats::plan_cache_hits.
+///
+/// Concurrency: Execute() is safe to call from many threads on one handle —
+/// the compiled form lives in an immutable state block swapped under a
+/// handle-level mutex, so the cross-session plan cache (src/mt/plan_cache.h)
+/// can share one PreparedPlan between sessions. The handle itself must not
+/// be moved while another thread is executing it.
 class PreparedPlan {
  public:
   PreparedPlan(PreparedPlan&&) noexcept;
@@ -71,7 +81,8 @@ class PreparedPlan {
   int param_count() const { return param_count_; }
   /// The SQL text this handle was prepared from.
   const std::string& sql() const { return sql_; }
-  /// Output column names (SELECT only; empty otherwise).
+  /// Output column names of the latest successful compile (SELECT only;
+  /// empty otherwise).
   const std::vector<std::string>& column_names() const {
     return column_names_;
   }
@@ -80,9 +91,14 @@ class PreparedPlan {
   friend class Database;
   PreparedPlan() = default;
 
-  /// (Re)compile from the stored AST; clears the stale plan first so a
-  /// failed recompile (e.g. a dropped table) cannot leave a usable handle.
-  Status Compile();
+  /// Immutable compiled form (plan / bound DML / version), defined in
+  /// database.cc; re-compiles swap a fresh block in under mu_.
+  struct CompiledState;
+
+  /// (Re)compile from the stored AST into a fresh state block; the caller
+  /// holds mu_ and has cleared state_ first so a failed recompile (e.g. a
+  /// dropped table) cannot leave a usable handle.
+  Result<std::shared_ptr<const CompiledState>> CompileLocked();
 
   /// The execution body. Execute() wraps it with the observability surface
   /// (statement trace record, execute span, metrics) so the wrapped path
@@ -93,20 +109,17 @@ class PreparedPlan {
   std::string sql_;
   sql::Stmt stmt_;
   int param_count_ = 0;
-  bool compiled_ = false;
-  bool fresh_compile_ = false;  // first Execute after Compile is not a hit
-  uint64_t compiled_version_ = 0;
-  // SELECT: the statement's plan. INSERT ... SELECT: the source plan.
-  std::shared_ptr<const Plan> plan_;
-  // INSERT/UPDATE/DELETE: the statement's bound form.
-  std::unique_ptr<BoundDmlPlan> dml_;
+  // Guards state_ swaps (shared_ptr so the handle stays movable).
+  std::shared_ptr<std::mutex> mu_ = std::make_shared<std::mutex>();
+  std::shared_ptr<const CompiledState> state_;
   std::vector<std::string> column_names_;
 };
 
 class Database {
  public:
-  explicit Database(DbmsProfile profile = DbmsProfile::kPostgres)
-      : profile_(profile) {}
+  /// Reads MTBASE_MAX_CONCURRENT_STATEMENTS into the admission limit
+  /// (0 / unset = unlimited).
+  explicit Database(DbmsProfile profile = DbmsProfile::kPostgres);
 
   /// Compile one statement for repeated execution.
   Result<PreparedPlan> Prepare(const std::string& sql);
@@ -161,18 +174,49 @@ class Database {
   /// Replan any UDF bodies invalidated by DDL. Callers that hand the
   /// registry to code dereferencing `Udf::body_plan` outside the execute
   /// path (e.g. `ExplainSelect` with a verify context) must call this first.
-  void EnsureUdfPlansFresh() {
-    if (udf_plans_stale_) RefreshUdfPlans();
-  }
+  /// Takes the exclusive statement lock when a refresh is actually needed.
+  void EnsureUdfPlansFresh();
+  /// Cumulative database-wide counters. Concurrent statements each count
+  /// into a private per-statement frame (see StatsFrame / CurStats) and
+  /// merge here once at statement end, so reading this between statements is
+  /// race-free and totals reconcile exactly.
   ExecStats* stats() { return &stats_; }
   DbmsProfile profile() const { return profile_; }
   void set_profile(DbmsProfile p) { profile_ = p; }
   const PlannerOptions& planner_options() const { return planner_options_; }
-  void set_planner_options(const PlannerOptions& o) {
-    planner_options_ = o;
-    ++options_version_;
-    udf_plans_stale_ = true;  // body plans embed the planner options too
-  }
+  /// Replaces the planner options and eagerly replans UDF bodies under the
+  /// exclusive statement lock (an options change is DDL-shaped: it moves the
+  /// compilation version and must not race in-flight statements).
+  void set_planner_options(const PlannerOptions& o);
+
+  /// The ExecStats sink for the current statement on this thread: the
+  /// innermost open StatsFrame for this database, or the cumulative stats_
+  /// when no frame is open (single-threaded embedder paths).
+  ExecStats* CurStats();
+
+  /// RAII per-statement stats frame: counters bump into a thread-local frame
+  /// and fold into Database::stats() (under its mutex) at destruction.
+  /// Opening a frame while one is already open for the same database on this
+  /// thread is a no-op, so nested statements share the outer frame.
+  class StatsFrame {
+   public:
+    explicit StatsFrame(Database* db);
+    ~StatsFrame();
+    StatsFrame(const StatsFrame&) = delete;
+    StatsFrame& operator=(const StatsFrame&) = delete;
+
+   private:
+    friend class Database;
+    Database* db_;
+    StatsFrame* prev_ = nullptr;
+    bool active_ = false;
+    ExecStats local_;
+  };
+
+  /// Inter-query admission gate (MTBASE_MAX_CONCURRENT_STATEMENTS); see
+  /// engine/admission.h. Exposed for the serving layer and tests.
+  AdmissionController* admission() { return &admission_; }
+  void set_max_concurrent_statements(int n) { admission_.set_limit(n); }
 
   /// Monotonic compilation version: moves on any DDL (tables, views, UDFs)
   /// or planner-option change. Prepared plans compiled at an older version
@@ -204,10 +248,12 @@ class Database {
   /// cache).
   UdfCacheEpoch CurrentUdfCacheEpoch() const;
 
-  /// Assumptions PlanVerifier may make about plans compiled from now on.
-  /// The MT middleware refreshes this before every statement compile with
-  /// the expected dataset D' (src/mt/session.cc); a plain-SQL embedder keeps
-  /// the default (engine-level checks only). See verify/verifier.h.
+  /// Assumptions PlanVerifier may make about plans compiled from now on —
+  /// on this thread: the context is thread-local so concurrent sessions
+  /// cannot cross-contaminate each other's expected datasets. The MT
+  /// middleware refreshes it before every statement compile with the
+  /// expected dataset D' (src/mt/session.cc); a plain-SQL embedder keeps the
+  /// default (engine-level checks only). See verify/verifier.h.
   void set_verify_context(verify::VerifyContext ctx) {
     verify_ctx_ = std::move(ctx);
   }
@@ -222,6 +268,50 @@ class Database {
 
  private:
   friend class PreparedPlan;
+
+  /// RAII statement-scope DDL guard over ddl_mu_: DDL and planner-option
+  /// changes take it exclusive, every other statement shared — so catalog /
+  /// UDF-registry / planner-option reads during compile and execution never
+  /// race a concurrent DDL. Re-entrant per thread: nested statements (UDF
+  /// body planning, complex-scope resolution, INSERT ... SELECT) piggyback
+  /// on the outer guard instead of self-deadlocking.
+  class StatementGuard {
+   public:
+    StatementGuard(Database* db, bool exclusive);
+    ~StatementGuard();
+    StatementGuard(const StatementGuard&) = delete;
+    StatementGuard& operator=(const StatementGuard&) = delete;
+
+   private:
+    Database* db_;
+    bool nested_ = false;
+    bool exclusive_ = false;
+    const Database* prev_owner_ = nullptr;
+    int prev_depth_ = 0;
+  };
+
+  /// RAII admission pass: the outermost engine statement on this thread
+  /// acquires an admission ticket (blocking when the limit is reached,
+  /// aborting via the thread's ScopedCancelToken); nested statements ride
+  /// the outer pass.
+  class AdmissionPass {
+   public:
+    explicit AdmissionPass(Database* db);
+    ~AdmissionPass();
+    AdmissionPass(const AdmissionPass&) = delete;
+    AdmissionPass& operator=(const AdmissionPass&) = delete;
+
+    const Status& status() const { return status_; }
+
+   private:
+    Database* db_;
+    bool outermost_ = false;
+    Status status_;
+  };
+
+  /// True for statement kinds that mutate catalog/UDF/option state and
+  /// therefore need the exclusive statement lock.
+  static bool IsDdlStmt(const sql::Stmt& stmt);
 
   Result<ResultSet> ExecuteSelect(const sql::SelectStmt& sel,
                                   const std::vector<Value>* params = nullptr);
@@ -245,11 +335,13 @@ class Database {
 
   /// Replan every UDF body: body plans hold raw Table pointers and embed
   /// planner options, so catalog DDL or an options change would otherwise
-  /// leave them dangling/stale. Mutations only mark `udf_plans_stale_`;
-  /// the refresh runs lazily before the next execution, so a schema script
-  /// with many DDL statements pays for one refresh, not one per statement.
-  /// Bodies that no longer plan (dropped objects) become null — executing
-  /// them errors cleanly — until a later DDL makes them valid again.
+  /// leave them dangling/stale. DDL statements refresh eagerly while still
+  /// holding the exclusive statement lock (concurrent statements under the
+  /// shared lock must never observe a body plan mid-replan); the lazy
+  /// `udf_plans_stale_` checks remain as a safety net for single-threaded
+  /// embedders that mutate the catalog directly. Bodies that no longer plan
+  /// (dropped objects) become null — executing them errors cleanly — until a
+  /// later DDL makes them valid again.
   void RefreshUdfPlans();
 
   /// Recollect the set of tables any UDF body plan scans (the shared-cache
@@ -267,29 +359,45 @@ class Database {
   Catalog catalog_;
   UdfRegistry udfs_;
   ExecStats stats_;
+  /// Guards stats_ merges (StatsFrame destructors from concurrent threads).
+  std::mutex stats_mu_;
   DbmsProfile profile_;
   PlannerOptions planner_options_;
-  uint64_t options_version_ = 0;
-  bool udf_plans_stale_ = false;
+  std::atomic<uint64_t> options_version_{0};
+  std::atomic<bool> udf_plans_stale_{false};
   SharedUdfCache shared_udf_cache_;
   bool shared_udf_cache_enabled_ = false;
-  uint64_t shared_udf_external_epoch_ = 0;
+  std::atomic<uint64_t> shared_udf_external_epoch_{0};
   /// Tables scanned by any UDF body plan (deduplicated). Raw pointers are
   /// safe for the same reason body plans' are: catalog DDL marks
   /// udf_plans_stale_, and the set is rebuilt with the plans before the
   /// next execution (CurrentUdfCacheEpoch falls back to the whole-catalog
   /// data version while stale).
   std::vector<const Table*> udf_read_tables_;
-  verify::VerifyContext verify_ctx_;
+  /// Thread-local: concurrent sessions compile under their own expected
+  /// datasets without contaminating each other (a thread that never set a
+  /// context verifies with engine-level checks only).
+  static thread_local verify::VerifyContext verify_ctx_;
   std::function<void(Plan*)> plan_mutation_hook_;
   /// Engine-layer trace slot (obs::TraceRecordScope): the active statement's
   /// trace record, or null outside a traced statement. Nested engine
   /// statements (e.g. UDF refresh inside Execute) append spans to the
-  /// enclosing record instead of emitting their own.
-  obs::StatementTrace* active_trace_ = nullptr;
+  /// enclosing record instead of emitting their own. Thread-local so
+  /// concurrent statements trace independently.
+  static thread_local obs::StatementTrace* active_trace_;
   /// Reused profiler for set_profile_execution (bench overhead knob).
   obs::PlanProfiler bench_profiler_;
   bool profile_execution_ = false;
+
+  /// Statement-scope reader/writer lock (see StatementGuard).
+  std::shared_mutex ddl_mu_;
+  AdmissionController admission_;
+
+  // Thread-local statement-nesting state (definitions in database.cc).
+  static thread_local StatsFrame* tl_stats_frame_;
+  static thread_local const Database* tl_guard_owner_;
+  static thread_local int tl_guard_depth_;
+  static thread_local int tl_admission_depth_;
 };
 
 }  // namespace engine

@@ -21,6 +21,30 @@ Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args, ExecContext* ctx)
 
 }  // namespace
 
+const TableSnapshots::Entry& TableSnapshots::Pin(const Table& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pinned_.find(&t);
+  if (it == pinned_.end()) {
+    Table::RowsSnapshot snap = t.Snapshot();
+    auto entry = std::make_unique<Entry>();
+    entry->rows = std::move(snap.rows);
+    entry->version = snap.version;
+    it = pinned_.emplace(&t, std::move(entry)).first;
+  }
+  return *it->second;
+}
+
+const std::vector<Row>& PinnedRows(ExecContext* ctx, const Table& t,
+                                   uint64_t* version_out) {
+  if (ctx == nullptr || ctx->snapshots == nullptr) {
+    if (version_out != nullptr) *version_out = t.data_version();
+    return t.rows();
+  }
+  const TableSnapshots::Entry& e = ctx->snapshots->Pin(t);
+  if (version_out != nullptr) *version_out = e.version;
+  return *e.rows;
+}
+
 int SortCompare(const Value& a, const Value& b) {
   if (a.is_null() && b.is_null()) return 0;
   if (a.is_null()) return 1;
@@ -561,27 +585,37 @@ Result<Value> EvalUdf(const Udf& udf, std::vector<Value> args,
 
 Result<std::vector<Row>> ExecScan(const Plan& p, ExecContext* ctx) {
   if (p.table == nullptr) return parallel::ScanExec(p, ctx, 1);
+  uint64_t pinned_version = 0;
+  const std::vector<Row>& rows = PinnedRows(ctx, *p.table, &pinned_version);
   // Partition pruning: scan only the surviving partitions' row ids, merged
   // back to ascending (insertion) order so output bytes match a full scan.
+  // Only usable when the derived lists were built at the statement's pinned
+  // data version; under concurrent DML they may describe a newer snapshot, in
+  // which case fall back to the full pinned scan — the partition cut is a
+  // superset cut with scan_filter fully re-applied, so bytes are identical.
   if (p.pruned) {
-    const auto& parts = p.table->PartitionRows();
-    std::vector<uint32_t> cand;
-    size_t total = 0;
-    for (uint32_t pid : p.partitions) {
-      if (pid < parts.size()) total += parts[pid].size();
-    }
-    cand.reserve(total);
-    for (uint32_t pid : p.partitions) {
-      if (pid < parts.size()) {
-        cand.insert(cand.end(), parts[pid].begin(), parts[pid].end());
+    uint64_t built_version = 0;
+    auto parts_ptr = p.table->PartitionRowsAt(&built_version);
+    if (built_version == pinned_version) {
+      const auto& parts = *parts_ptr;
+      std::vector<uint32_t> cand;
+      size_t total = 0;
+      for (uint32_t pid : p.partitions) {
+        if (pid < parts.size()) total += parts[pid].size();
       }
+      cand.reserve(total);
+      for (uint32_t pid : p.partitions) {
+        if (pid < parts.size()) {
+          cand.insert(cand.end(), parts[pid].begin(), parts[pid].end());
+        }
+      }
+      std::sort(cand.begin(), cand.end());
+      ctx->stats->partitions_pruned += parts.size() - p.partitions.size();
+      int workers = parallel::PlanWorkers(p, cand.size(), *ctx);
+      return parallel::ScanExec(p, ctx, workers, &cand);
     }
-    std::sort(cand.begin(), cand.end());
-    ctx->stats->partitions_pruned += parts.size() - p.partitions.size();
-    int workers = parallel::PlanWorkers(p, cand.size(), *ctx);
-    return parallel::ScanExec(p, ctx, workers, &cand);
   }
-  size_t n = p.table->rows().size();
+  size_t n = rows.size();
   return parallel::ScanExec(p, ctx, parallel::PlanWorkers(p, n, *ctx));
 }
 
@@ -596,8 +630,18 @@ Result<std::vector<Row>> ExecIndexScan(const Plan& p, ExecContext* ctx) {
     return Status::Internal("index " + p.index_name +
                             " disappeared under a compiled plan");
   }
-  const auto& order = p.table->IndexOrder(*ix);
-  const auto& rows = p.table->rows();
+  uint64_t pinned_version = 0;
+  const auto& rows = PinnedRows(ctx, *p.table, &pinned_version);
+  uint64_t built_version = 0;
+  auto order_ptr = p.table->IndexOrderAt(*ix, &built_version);
+  if (built_version != pinned_version) {
+    // The permutation describes a different data version than this
+    // statement's pinned snapshot (concurrent DML): fall back to a full scan
+    // of the snapshot. The index lookup is a superset cut with scan_filter
+    // re-applied below anyway, so the fallback is byte-identical.
+    return parallel::ScanExec(p, ctx, 1);
+  }
+  const auto& order = *order_ptr;
   const size_t slot = static_cast<size_t>(ix->slots[0]);
   std::vector<uint32_t> cand;
   for (int64_t k : p.index_keys) {

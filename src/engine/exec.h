@@ -3,6 +3,7 @@
 #define MTBASE_ENGINE_EXEC_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,6 +23,30 @@ struct OpProfile;
 }  // namespace obs
 
 namespace engine {
+
+class Table;
+
+/// Per-statement table snapshot pins. The first scan of each table pins its
+/// current copy-on-write row snapshot here; every later access within the
+/// same statement (including from morsel workers, which share the set via
+/// WorkerContext) reads the same pinned version, so one statement never sees
+/// two different versions of a table even while concurrent DML publishes new
+/// ones. Null `snapshots` in ExecContext means unsynchronized single-session
+/// execution straight off Table::rows() (embedder-built contexts).
+struct TableSnapshots {
+  struct Entry {
+    std::shared_ptr<const std::vector<Row>> rows;
+    uint64_t version = 0;
+  };
+
+  /// Returns the pinned entry for `t`, pinning the current snapshot on first
+  /// use. The reference stays valid for the lifetime of this set.
+  const Entry& Pin(const Table& t);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<const Table*, std::unique_ptr<Entry>> pinned_;
+};
 
 /// Per-statement execution state. Sub-query / UDF caches live here, so their
 /// lifetime matches one top-level statement (like PostgreSQL's per-query
@@ -47,6 +72,10 @@ struct ExecContext {
   /// `shared_udf_epoch` is the validity token captured at statement start.
   SharedUdfCache* shared_udf_cache = nullptr;
   UdfCacheEpoch shared_udf_epoch;
+
+  /// Pinned per-statement table snapshots (see TableSnapshots). Shared with
+  /// worker contexts so parallel morsels scan the same pinned versions.
+  std::shared_ptr<TableSnapshots> snapshots;
 
   /// EXPLAIN (ANALYZE) instrumentation (null = off, the plain hot path).
   /// Statement-thread only: WorkerContext deliberately never copies these
@@ -81,6 +110,13 @@ struct ExecContext {
 
 /// Execute a plan to a fully materialized row set.
 Result<std::vector<Row>> ExecutePlan(const Plan& plan, ExecContext* ctx);
+
+/// The statement's pinned rows of `t` (pinning on first use), or the live
+/// Table::rows() when the context carries no snapshot set. `version_out`
+/// (optional) receives the pinned data version, for comparing against derived
+/// structures built at a possibly different version.
+const std::vector<Row>& PinnedRows(ExecContext* ctx, const Table& t,
+                                   uint64_t* version_out = nullptr);
 
 /// Evaluate a bound expression against `row` (layout as bound).
 Result<Value> EvalExpr(const BoundExpr& e, const Row& row, ExecContext* ctx);

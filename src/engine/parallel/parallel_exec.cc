@@ -131,7 +131,7 @@ void MarkParallelSafe(Plan* p) {
 
 size_t EstimatePlanRows(const Plan& p) {
   if (p.kind == Plan::Kind::kScan || p.kind == Plan::Kind::kIndexScan) {
-    return p.table != nullptr ? p.table->rows().size() : 1;
+    return p.table != nullptr ? p.table->row_count() : 1;
   }
   size_t n = 0;
   if (p.left) n += EstimatePlanRows(*p.left);
@@ -201,6 +201,9 @@ ExecContext WorkerContext(const ExecContext& parent, ExecStats* stats) {
   // distinct key per worker) before executing a body.
   c.shared_udf_cache = parent.shared_udf_cache;
   c.shared_udf_epoch = parent.shared_udf_epoch;
+  // Workers share the statement's pinned table snapshots so every morsel
+  // scans the same row versions the statement thread pinned.
+  c.snapshots = parent.snapshots;
   // parent.profiler / parent.current_op are deliberately NOT copied: the
   // PlanProfiler map is statement-thread-only state. Worker counters reach
   // it via the MergeWorker fold below; worker CPU via RunPoolProfiled.
@@ -344,7 +347,7 @@ Result<std::vector<Row>> ScanExec(const Plan& p, ExecContext* ctx, int workers,
     out.emplace_back();  // one empty row (SELECT without FROM, dummy input)
     return out;
   }
-  const auto& rows = p.table->rows();
+  const auto& rows = PinnedRows(ctx, *p.table);
   const size_t n = candidates != nullptr ? candidates->size() : rows.size();
   ctx->stats->rows_scanned += n;
   if (workers <= 1) {

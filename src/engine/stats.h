@@ -121,6 +121,25 @@ struct ExecStats {
   /// Fold a worker's thread-local counters back into the statement's stats
   /// after a parallel region completes (threads_used is a high-water mark and
   /// is tracked by the region itself, not by workers).
+  /// Fold a per-statement stats frame back into the database-wide cumulative
+  /// counters (all fields; threads_used keeps gauge semantics). Used by the
+  /// serving layer so concurrent statements each count into a private frame
+  /// and merge once, under one lock, at statement end.
+  void MergeStatement(const ExecStats& s) {
+    MergeWorker(s);
+    statements_parsed += s.statements_parsed;
+    statements_rewritten += s.statements_rewritten;
+    statements_planned += s.statements_planned;
+    prepare_count += s.prepare_count;
+    plan_cache_hits += s.plan_cache_hits;
+    rewrite_cache_hits += s.rewrite_cache_hits;
+    threads_used = std::max(threads_used, s.threads_used);
+    plans_verified += s.plans_verified;
+    verify_violations += s.verify_violations;
+    rewrites_audited += s.rewrites_audited;
+    audit_violations += s.audit_violations;
+  }
+
   void MergeWorker(const ExecStats& w) {
     rows_scanned += w.rows_scanned;
     rows_joined += w.rows_joined;

@@ -8,6 +8,7 @@
 #ifndef MTBASE_ENGINE_UDF_H_
 #define MTBASE_ENGINE_UDF_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -51,12 +52,15 @@ class UdfRegistry {
   std::vector<Udf*> All();
 
   /// Monotonic registration counter; part of the Database compilation
-  /// version, so prepared plans recompile after CREATE FUNCTION.
-  uint64_t version() const { return version_; }
+  /// version, so prepared plans recompile after CREATE FUNCTION. Atomic:
+  /// concurrent statements read it unlocked while DDL (exclusive) bumps it.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
  private:
   std::unordered_map<std::string, std::unique_ptr<Udf>> udfs_;
-  uint64_t version_ = 0;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace engine

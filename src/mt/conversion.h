@@ -7,6 +7,7 @@
 #ifndef MTBASE_MT_CONVERSION_H_
 #define MTBASE_MT_CONVERSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -76,8 +77,9 @@ class ConversionRegistry {
 
   /// Monotonic counter bumped by every Register. Prepared MTSQL queries key
   /// their cached rewrite on it: conversion pairs drive the rewriter and
-  /// the optimizer, so late registration must invalidate.
-  uint64_t epoch() const { return epoch_; }
+  /// the optimizer, so late registration must invalidate. Atomic: sessions
+  /// read it unlocked on every fingerprint check.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// Invoked after every successful Register. The Middleware installs a
   /// hook that moves the engine's shared-UDF-cache epoch, so *every*
@@ -90,7 +92,7 @@ class ConversionRegistry {
  private:
   std::vector<ConversionPair> pairs_;
   std::unordered_map<std::string, std::pair<size_t, bool>> by_fn_;
-  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> epoch_{0};
   std::function<void()> on_register_;
 };
 

@@ -6,6 +6,7 @@
 #ifndef MTBASE_MT_MT_SCHEMA_H_
 #define MTBASE_MT_MT_SCHEMA_H_
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -63,12 +64,13 @@ class MTSchema {
 
   /// Monotonic counter bumped by every RegisterTable/DropTable. Prepared
   /// MTSQL queries key their cached rewrite on it, so MT DDL transparently
-  /// invalidates them.
-  uint64_t epoch() const { return epoch_; }
+  /// invalidates them. Atomic: sessions read it unlocked on every
+  /// fingerprint check while DDL mutates under the exclusive meta lock.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
  private:
   std::unordered_map<std::string, MTTableInfo> tables_;
-  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace mt

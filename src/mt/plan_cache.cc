@@ -1,0 +1,89 @@
+#include "mt/plan_cache.h"
+
+#include "engine/obs/metrics.h"
+
+namespace mtbase {
+namespace mt {
+
+SharedPlanCache::SharedPlanCache(size_t capacity) : capacity_(capacity) {}
+
+bool SharedPlanCache::Lookup(const std::string& key, CachedPlans* out) {
+  auto* metrics = obs::MetricsRegistry::Global();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    metrics->Add("mtbase_mt_plan_cache_misses_total");
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->second;
+  ++hits_;
+  metrics->Add("mtbase_mt_plan_cache_hits_total");
+  return true;
+}
+
+void SharedPlanCache::Insert(const std::string& key, CachedPlans entry) {
+  auto* metrics = obs::MetricsRegistry::Global();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = std::move(entry);
+  } else {
+    lru_.emplace_front(key, std::move(entry));
+    index_[key] = lru_.begin();
+    EvictOverCapacityLocked();
+  }
+  metrics->Add("mtbase_mt_plan_cache_inserts_total");
+}
+
+void SharedPlanCache::EvictOverCapacityLocked() {
+  auto* metrics = obs::MetricsRegistry::Global();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    metrics->Add("mtbase_mt_plan_cache_evictions_total");
+  }
+}
+
+size_t SharedPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t SharedPlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void SharedPlanCache::set_capacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n;
+  EvictOverCapacityLocked();
+}
+
+void SharedPlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+uint64_t SharedPlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t SharedPlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t SharedPlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace mt
+}  // namespace mtbase

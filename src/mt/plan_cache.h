@@ -1,0 +1,91 @@
+// Cross-session shared plan cache (serving layer).
+//
+// One Middleware serves many concurrent sessions, and sessions of the same
+// tenant routinely prepare the same MTSQL statements. Each PreparedQuery
+// already caches its own rewrite + engine plans keyed by a compilation
+// fingerprint; this cache shares those compiled artifacts *across* handles
+// and sessions, keyed by the serialized fingerprint plus the statement text.
+// A fresh session executing a statement some other session already compiled
+// under identical state (client, opt level, scope, dataset, all epochs,
+// engine catalog version) adopts the shared plans and skips the parser, the
+// rewriter, the optimizer, the auditor and the planner entirely.
+//
+// Invalidation is free: every epoch that invalidates a PreparedQuery's
+// private fingerprint (SET SCOPE, GRANT/REVOKE, MT DDL, tenant registration,
+// conversion registration, engine catalog/options version) is part of the
+// key, so state changes simply stop matching old entries, and the LRU sweep
+// retires them. Entries hold engine::PreparedPlan handles, which are
+// themselves concurrency-safe and self-recompiling, so a cached entry can be
+// executed by many sessions at once.
+#ifndef MTBASE_MT_PLAN_CACHE_H_
+#define MTBASE_MT_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace mtbase {
+namespace mt {
+
+/// One cached compilation: the printed SQL sent to the engine and the shared,
+/// immutable vector of prepared engine plans (one per rewritten statement).
+struct CachedPlans {
+  std::string sql;
+  std::shared_ptr<std::vector<engine::PreparedPlan>> plans;
+};
+
+/// Thread-safe LRU cache of compiled statements, shared by every session of
+/// one Middleware. Hit/miss/insert/evict counts feed the global
+/// MetricsRegistry (mtbase_mt_plan_cache_*_total).
+class SharedPlanCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit SharedPlanCache(size_t capacity = kDefaultCapacity);
+  SharedPlanCache(const SharedPlanCache&) = delete;
+  SharedPlanCache& operator=(const SharedPlanCache&) = delete;
+
+  /// Cache lookup; fills `out` and refreshes recency on a hit. Counts one
+  /// hit or miss either way.
+  bool Lookup(const std::string& key, CachedPlans* out);
+
+  /// Insert (or refresh) the entry under `key`, evicting the least recently
+  /// used entries beyond capacity.
+  void Insert(const std::string& key, CachedPlans entry);
+
+  size_t size() const;
+  size_t capacity() const;
+  /// Shrinking below the current size evicts immediately.
+  void set_capacity(size_t n);
+  void Clear();
+
+  // -- observability (cumulative, for tests; metrics mirror these) ----------
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  void EvictOverCapacityLocked();
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::pair<std::string, CachedPlans>> lru_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, CachedPlans>>::iterator>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace mt
+}  // namespace mtbase
+
+#endif  // MTBASE_MT_PLAN_CACHE_H_

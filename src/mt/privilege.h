@@ -6,6 +6,7 @@
 #ifndef MTBASE_MT_PRIVILEGE_H_
 #define MTBASE_MT_PRIVILEGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -50,7 +51,9 @@ class PrivilegeManager {
 
   /// Monotonic counter bumped by every Grant/Revoke. Prepared MTSQL queries
   /// key their cached rewrite on it, so DCL transparently invalidates them.
-  uint64_t epoch() const { return epoch_; }
+  /// Atomic: sessions read it unlocked on every fingerprint check while DCL
+  /// mutates under the middleware's exclusive meta lock.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
  private:
   struct Key {
@@ -64,7 +67,7 @@ class PrivilegeManager {
     }
   };
   std::map<Key, std::set<int64_t>> grants_;
-  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace mt

@@ -14,12 +14,57 @@
 namespace mtbase {
 namespace mt {
 
+thread_local const Middleware* Middleware::tl_meta_owner_ = nullptr;
+thread_local int Middleware::tl_meta_depth_ = 0;
+
+Middleware::MetaGuard::MetaGuard(const Middleware* mw, bool exclusive)
+    : mw_(mw) {
+  if (tl_meta_owner_ == mw) {
+    // Re-entrant: adopt the outer guard's mode. Nested exclusive requests
+    // under an outer shared guard do not occur (meta mutations are only
+    // initiated at statement top level).
+    ++tl_meta_depth_;
+    return;
+  }
+  prev_owner_ = tl_meta_owner_;
+  prev_depth_ = tl_meta_depth_;
+  if (exclusive) {
+    mw->meta_mu_.lock();
+  } else {
+    mw->meta_mu_.lock_shared();
+  }
+  owns_ = true;
+  exclusive_ = exclusive;
+  tl_meta_owner_ = mw;
+  tl_meta_depth_ = 1;
+}
+
+Middleware::MetaGuard::~MetaGuard() {
+  if (!owns_) {
+    --tl_meta_depth_;
+    return;
+  }
+  tl_meta_owner_ = prev_owner_;
+  tl_meta_depth_ = prev_depth_;
+  if (exclusive_) {
+    mw_->meta_mu_.unlock();
+  } else {
+    mw_->meta_mu_.unlock_shared();
+  }
+}
+
 void Middleware::RegisterTenant(int64_t ttid) {
+  MetaGuard guard(this, /*exclusive=*/true);
   auto it = std::lower_bound(tenants_.begin(), tenants_.end(), ttid);
   if (it == tenants_.end() || *it != ttid) {
     tenants_.insert(it, ttid);
-    ++tenant_epoch_;
+    tenant_epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
+}
+
+std::vector<int64_t> Middleware::tenants() const {
+  MetaGuard guard(this, /*exclusive=*/false);
+  return tenants_;
 }
 
 void Middleware::SetMaxThreads(int max_threads) {
@@ -29,6 +74,7 @@ void Middleware::SetMaxThreads(int max_threads) {
 }
 
 bool Middleware::IsAllTenants(const std::vector<int64_t>& dataset) const {
+  MetaGuard guard(this, /*exclusive=*/false);
   if (dataset.size() != tenants_.size()) return false;
   std::vector<int64_t> sorted = dataset;
   std::sort(sorted.begin(), sorted.end());
@@ -267,10 +313,11 @@ sql::SelectStmt* OptimizableSelect(sql::Stmt* s) {
 Result<std::vector<sql::Stmt>> Session::RewriteWithDataset(
     const sql::Stmt& stmt, const std::vector<int64_t>& dataset,
     audit::AuditReport* audit_out) {
-  ++mw_->db()->stats()->statements_rewritten;
+  engine::ExecStats* stats = mw_->db()->CurStats();
+  ++stats->statements_rewritten;
   std::vector<sql::Stmt> stmts;
   {
-    obs::SpanTimer span(active_trace_, "rewrite", mw_->db()->stats());
+    obs::SpanTimer span(active_trace_, "rewrite", stats);
     Rewriter rewriter(mw_->schema(), mw_->conversions(), client_, dataset,
                       OptionsFor(dataset));
     MTB_ASSIGN_OR_RETURN(stmts, rewriter.RewriteStatement(stmt));
@@ -291,7 +338,7 @@ Result<std::vector<sql::Stmt>> Session::RewriteWithDataset(
   if (auditing) {
     // Traced as "audit" even though it interleaves with optimization below:
     // repeated phases in one record sum to the phase total.
-    obs::SpanTimer span(active_trace_, "audit", mw_->db()->stats());
+    obs::SpanTimer span(active_trace_, "audit", stats);
     actx = MakeAuditContext(dataset);
     audit::RewriteAuditor auditor(&actx);
     report.statements.resize(stmts.size());
@@ -302,9 +349,9 @@ Result<std::vector<sql::Stmt>> Session::RewriteWithDataset(
         pre_opt[i] = sel->Clone();
       }
     }
-    mw_->db()->stats()->rewrites_audited += stmts.size();
+    stats->rewrites_audited += stmts.size();
     if (!report.ok() && audit_out == nullptr) {
-      mw_->db()->stats()->audit_violations += report.total_violations();
+      stats->audit_violations += report.total_violations();
       return Status::InvalidArgument("rewrite audit failed (" +
                                      report.Codes() + "):\n" +
                                      report.Message());
@@ -312,7 +359,7 @@ Result<std::vector<sql::Stmt>> Session::RewriteWithDataset(
   }
 
   {
-    obs::SpanTimer span(active_trace_, "rewrite", mw_->db()->stats());
+    obs::SpanTimer span(active_trace_, "rewrite", stats);
     Optimizer opt(mw_->conversions(), client_);
     for (auto& s : stmts) {
       if (sql::SelectStmt* sel = OptimizableSelect(&s)) {
@@ -322,14 +369,14 @@ Result<std::vector<sql::Stmt>> Session::RewriteWithDataset(
   }
 
   if (auditing) {
-    obs::SpanTimer span(active_trace_, "audit", mw_->db()->stats());
+    obs::SpanTimer span(active_trace_, "audit", stats);
     audit::RewriteAuditor auditor(&actx);
     for (size_t i = 0; i < stmts.size(); ++i) {
       if (!pre_opt[i]) continue;
       auditor.AuditOptimized(*pre_opt[i], *OptimizableSelect(&stmts[i]),
                              &report.statements[i]);
     }
-    mw_->db()->stats()->audit_violations += report.total_violations();
+    stats->audit_violations += report.total_violations();
     if (!report.ok() && audit_out == nullptr) {
       return Status::InvalidArgument("rewrite audit failed (" +
                                      report.Codes() + "):\n" +
@@ -369,6 +416,41 @@ CompilationKey Session::CurrentCompilationKey() const {
 // PreparedQuery
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Serialize everything a cached compilation's validity depends on into the
+/// cross-session cache key. Statement text is appended by the caller; all
+/// epochs are in the key, so state changes invalidate by ceasing to match
+/// (mt/plan_cache.h).
+std::string SerializeCompilationKey(const CompilationKey& key) {
+  std::string out;
+  out += std::to_string(key.client);
+  out += '|';
+  out += std::to_string(static_cast<int>(key.level));
+  out += '|';
+  out += std::to_string(static_cast<int>(key.scope_kind));
+  out += '|';
+  out += key.scope_text;
+  out += '|';
+  out += std::to_string(key.privilege_epoch);
+  out += '|';
+  out += std::to_string(key.schema_epoch);
+  out += '|';
+  out += std::to_string(key.tenant_epoch);
+  out += '|';
+  out += std::to_string(key.conversion_epoch);
+  out += '|';
+  out += std::to_string(key.engine_version);
+  out += '|';
+  for (int64_t t : key.dataset) {
+    out += std::to_string(t);
+    out += ',';
+  }
+  return out;
+}
+
+}  // namespace
+
 PreparedQuery::PreparedQuery(Session* session, sql::Stmt stmt,
                              std::string mtsql)
     : session_(session),
@@ -379,7 +461,7 @@ PreparedQuery::PreparedQuery(Session* session, sql::Stmt stmt,
 Status PreparedQuery::Recompile(const std::vector<int64_t>& dataset) {
   // Invalidate first so a failed compile cannot leave a usable stale handle.
   key_.valid = false;
-  plans_.clear();
+  plans_.reset();
   sql_.clear();
   CompilationKey key = session_->CurrentCompilationKey();
   key.dataset = dataset;
@@ -389,6 +471,7 @@ Status PreparedQuery::Recompile(const std::vector<int64_t>& dataset) {
   // below must restrict tenant-specific access to this dataset.
   session_->mw_->db()->set_verify_context(
       session_->MakeVerifyContext(dataset));
+  auto plans = std::make_shared<std::vector<engine::PreparedPlan>>();
   for (auto& s : stmts) {
     std::string text = sql::PrintStmt(s);
     if (!sql_.empty()) sql_ += ";\n";
@@ -396,26 +479,38 @@ Status PreparedQuery::Recompile(const std::vector<int64_t>& dataset) {
     MTB_ASSIGN_OR_RETURN(
         auto plan,
         session_->mw_->db()->PrepareStmt(std::move(s), std::move(text)));
-    plans_.push_back(std::move(plan));
+    plans->push_back(std::move(plan));
   }
+  plans_ = std::move(plans);
   key_ = std::move(key);
   return Status::OK();
 }
 
 Result<engine::ResultSet> PreparedQuery::Execute(
     const std::vector<Value>& params) {
-  // Observability shell around the execution body: one session-layer trace
-  // record per statement plus session metrics. Nested statements (e.g. a
-  // one-shot Session::Execute that already opened a record) append their
-  // spans to the enclosing record via the Session slot. The MTSQL text is
-  // empty on the one-shot path — print the AST back only when tracing is on.
+  if (session_->closed()) {
+    return Status::Internal("statement cancelled: session closed");
+  }
+  // Concurrency shell: the session's closed flag cancels admission waits,
+  // the stats frame keeps this statement's counters race-free until they
+  // merge into the database totals, and the shared meta lock holds the MT
+  // meta state (schema, privileges, conversions, tenants) still for the
+  // whole compile+execute path. Then the observability shell: one
+  // session-layer trace record per statement plus session metrics. Nested
+  // statements (e.g. a one-shot Session::Execute that already opened a
+  // record) append their spans to the enclosing record via the Session
+  // slot. The MTSQL text is empty on the one-shot path — print the AST
+  // back only when tracing is on.
+  engine::ScopedCancelToken cancel(session_->closed_.get());
+  engine::Database::StatsFrame frame(session_->mw_->db());
+  Middleware::MetaGuard meta(session_->mw_, /*exclusive=*/false);
   obs::Tracer* tracer = obs::Tracer::Global();
   obs::TraceRecordScope trace(
       tracer, &session_->active_trace_, "session",
       !mtsql_.empty() || tracer == nullptr || !tracer->enabled()
           ? mtsql_
           : sql::PrintStmt(stmt_));
-  engine::StatsScope scope(session_->mw_->db()->stats());
+  engine::StatsScope scope(session_->mw_->db()->CurStats());
   const auto t0 = std::chrono::steady_clock::now();
   Result<engine::ResultSet> result = ExecuteImpl(params);
   const double secs =
@@ -450,15 +545,36 @@ Result<engine::ResultSet> PreparedQuery::ExecuteImpl(
     if (!resolved) {
       MTB_ASSIGN_OR_RETURN(dataset, session_->ResolveDataset(stmt_));
     }
-    MTB_RETURN_IF_ERROR(Recompile(dataset));
+    // Cross-session cache: before recompiling, adopt another session's (or
+    // another handle's) compilation of this statement under identical state.
+    // The adopted plans were verified at their compile under the same
+    // context this session would install (same client, dataset, epochs).
+    CompilationKey key = session_->CurrentCompilationKey();
+    key.dataset = dataset;
+    std::string cache_key = SerializeCompilationKey(key);
+    cache_key += '\n';
+    cache_key += mtsql_.empty() ? sql::PrintStmt(stmt_) : mtsql_;
+    SharedPlanCache* cache = session_->mw_->plan_cache();
+    CachedPlans cached;
+    if (cache->Lookup(cache_key, &cached)) {
+      sql_ = cached.sql;
+      plans_ = cached.plans;
+      key_ = std::move(key);
+      // A shared hit skips the rewriter and the planner exactly like a
+      // private fingerprint hit does.
+      ++session_->mw_->db()->CurStats()->rewrite_cache_hits;
+    } else {
+      MTB_RETURN_IF_ERROR(Recompile(dataset));
+      cache->Insert(std::move(cache_key), {sql_, plans_});
+    }
   } else {
-    ++session_->mw_->db()->stats()->rewrite_cache_hits;
+    ++session_->mw_->db()->CurStats()->rewrite_cache_hits;
   }
   session_->last_sql_ = sql_;
   obs::SpanTimer span(session_->active_trace_, "execute",
-                      session_->mw_->db()->stats());
+                      session_->mw_->db()->CurStats());
   engine::ResultSet last;
-  for (auto& plan : plans_) {
+  for (auto& plan : *plans_) {
     MTB_ASSIGN_OR_RETURN(last, plan.Execute(params));
   }
   return last;
@@ -502,11 +618,15 @@ Result<engine::ResultSet> Session::ExecuteStmt(const sql::Stmt& stmt) {
   engine::ResultSet empty;
   switch (stmt.kind) {
     case sql::Stmt::Kind::kSetScope:
+      // Session-local state: a Session serves one client thread at a time.
       MTB_RETURN_IF_ERROR(SetScope(stmt.set_scope->scope_text));
       return empty;
-    case sql::Stmt::Kind::kGrant:
+    case sql::Stmt::Kind::kGrant: {
+      // DCL mutates the privilege matrix: exclusive over the MT meta state.
+      Middleware::MetaGuard meta(mw_, /*exclusive=*/true);
       MTB_RETURN_IF_ERROR(HandleGrant(*stmt.grant));
       return empty;
+    }
     case sql::Stmt::Kind::kCreateFunction:
       // Conversion functions pass through to the DBMS unchanged.
       return mw_->db()->ExecuteStmt(stmt);
@@ -516,6 +636,9 @@ Result<engine::ResultSet> Session::ExecuteStmt(const sql::Stmt& stmt) {
       // prepared query's fingerprint, so new access paths are picked up.
       return mw_->db()->ExecuteStmt(stmt);
     case sql::Stmt::Kind::kCreateTable: {
+      // MTSQL DDL mutates the MT schema registry: exclusive meta lock, then
+      // the engine's own exclusive statement lock nests inside.
+      Middleware::MetaGuard meta(mw_, /*exclusive=*/true);
       MTB_RETURN_IF_ERROR(mw_->schema()->RegisterTable(*stmt.create_table));
       Rewriter rewriter(mw_->schema(), mw_->conversions(), client_, {client_},
                         RewriteOptions{});
@@ -537,12 +660,14 @@ Result<engine::ResultSet> Session::ExecuteStmt(const sql::Stmt& stmt) {
       return rs;
     }
     case sql::Stmt::Kind::kDrop: {
+      Middleware::MetaGuard meta(mw_, /*exclusive=*/true);
       if (stmt.drop->what == sql::DropStmt::What::kTable) {
         (void)mw_->schema()->DropTable(stmt.drop->name);
       }
       return mw_->db()->ExecuteStmt(stmt);
     }
     default: {
+      Middleware::MetaGuard meta(mw_, /*exclusive=*/false);
       std::vector<int64_t> dataset;
       MTB_ASSIGN_OR_RETURN(auto stmts, RewriteStmt(stmt, &dataset));
       mw_->db()->set_verify_context(MakeVerifyContext(dataset));
@@ -575,8 +700,16 @@ Result<engine::ResultSet> Session::ExecuteOwned(sql::Stmt stmt) {
   }
 }
 
+void Session::Close() {
+  closed_->store(true, std::memory_order_release);
+  // Wake this session's statements queued at admission control so they
+  // observe the flag and abort instead of executing.
+  mw_->db()->admission()->NotifyAll();
+}
+
 Result<PreparedQuery> Session::Prepare(const std::string& mtsql) {
-  ++mw_->db()->stats()->statements_parsed;
+  engine::Database::StatsFrame frame(mw_->db());
+  ++mw_->db()->CurStats()->statements_parsed;
   MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
   switch (stmt.kind) {
     case sql::Stmt::Kind::kSelect:
@@ -595,13 +728,15 @@ Result<engine::ResultSet> Session::Execute(const std::string& mtsql) {
   // Open the session-layer trace record here so the parse span and the
   // rewrite/audit/execute spans of the nested prepared path all land in one
   // record for the one-shot surface.
+  engine::Database::StatsFrame frame(mw_->db());
   obs::TraceRecordScope trace(obs::Tracer::Global(), &active_trace_,
                               "session", mtsql);
   auto result = [&]() -> Result<engine::ResultSet> {
-    ++mw_->db()->stats()->statements_parsed;
+    engine::ExecStats* stats = mw_->db()->CurStats();
+    ++stats->statements_parsed;
     sql::Stmt stmt;
     {
-      obs::SpanTimer span(active_trace_, "parse", mw_->db()->stats());
+      obs::SpanTimer span(active_trace_, "parse", stats);
       MTB_ASSIGN_OR_RETURN(stmt, sql::ParseStatement(mtsql));
     }
     return ExecuteOwned(std::move(stmt));
@@ -611,8 +746,9 @@ Result<engine::ResultSet> Session::Execute(const std::string& mtsql) {
 }
 
 Result<engine::ResultSet> Session::ExecuteScript(const std::string& mtsql) {
+  engine::Database::StatsFrame frame(mw_->db());
   MTB_ASSIGN_OR_RETURN(auto stmts, sql::ParseScript(mtsql));
-  mw_->db()->stats()->statements_parsed += stmts.size();
+  mw_->db()->CurStats()->statements_parsed += stmts.size();
   engine::ResultSet last;
   for (size_t i = 0; i < stmts.size(); ++i) {
     auto r = ExecuteOwned(std::move(stmts[i]));
@@ -625,6 +761,8 @@ Result<engine::ResultSet> Session::ExecuteScript(const std::string& mtsql) {
 Result<std::string> Session::Explain(const std::string& mtsql,
                                      const ExplainOptions& options,
                                      engine::ResultSet* analyze_result) {
+  engine::Database::StatsFrame frame(mw_->db());
+  Middleware::MetaGuard meta(mw_, /*exclusive=*/false);
   MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
   MTB_ASSIGN_OR_RETURN(std::vector<int64_t> dataset, ResolveDataset(stmt));
   audit::AuditReport report;
@@ -671,6 +809,8 @@ Result<std::string> Session::Explain(const std::string& mtsql,
 }
 
 Result<std::string> Session::Rewrite(const std::string& mtsql) {
+  engine::Database::StatsFrame frame(mw_->db());
+  Middleware::MetaGuard meta(mw_, /*exclusive=*/false);
   MTB_ASSIGN_OR_RETURN(sql::Stmt stmt, sql::ParseStatement(mtsql));
   MTB_ASSIGN_OR_RETURN(auto stmts, RewriteStmt(stmt, nullptr));
   std::string out;

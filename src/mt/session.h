@@ -17,9 +17,11 @@
 #ifndef MTBASE_MT_SESSION_H_
 #define MTBASE_MT_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,7 @@
 #include "mt/conversion.h"
 #include "mt/mt_schema.h"
 #include "mt/optimizer.h"
+#include "mt/plan_cache.h"
 #include "mt/privilege.h"
 #include "mt/rewriter.h"
 #include "mt/scope.h"
@@ -82,14 +85,45 @@ class Middleware {
 
   /// Tenants known to the system (kept sorted). The empty simple scope
   /// ("IN ()") and o1's D-filter elision both resolve against this list.
+  /// Returns by value: registration from another session may mutate the
+  /// list concurrently; the copy is taken under the meta lock.
   void RegisterTenant(int64_t ttid);
-  const std::vector<int64_t>& tenants() const { return tenants_; }
+  std::vector<int64_t> tenants() const;
   bool IsAllTenants(const std::vector<int64_t>& dataset) const;
 
   /// Monotonic counter bumped by RegisterTenant; part of every prepared
   /// query's fingerprint (datasets like "IN ()" resolve against the
   /// registry, so registration must invalidate cached rewrites).
-  uint64_t tenant_epoch() const { return tenant_epoch_; }
+  uint64_t tenant_epoch() const {
+    return tenant_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Cross-session compiled-statement cache (see mt/plan_cache.h). Sessions
+  /// consult it on every fingerprint miss and publish every successful
+  /// compilation.
+  SharedPlanCache* plan_cache() { return &plan_cache_; }
+
+  /// RAII reader/writer lock over the MT meta state (schema, privileges,
+  /// conversions, tenant registry). Statement execution holds it shared;
+  /// meta mutations (GRANT/REVOKE, MTSQL DDL, tenant registration) hold it
+  /// exclusive. Re-entrant per thread: a nested guard on the same middleware
+  /// is a no-op adopting the outer mode, so nested statement machinery
+  /// (complex-scope resolution, GRANT TO ALL dataset resolution) never
+  /// self-deadlocks. Lock order: meta lock, then the engine statement lock.
+  class MetaGuard {
+   public:
+    MetaGuard(const Middleware* mw, bool exclusive);
+    ~MetaGuard();
+    MetaGuard(const MetaGuard&) = delete;
+    MetaGuard& operator=(const MetaGuard&) = delete;
+
+   private:
+    const Middleware* mw_;
+    bool owns_ = false;
+    bool exclusive_ = false;
+    const Middleware* prev_owner_ = nullptr;
+    int prev_depth_ = 0;
+  };
 
   /// Intra-query parallelism budget for the engine behind this middleware
   /// (PlannerOptions::max_threads; 0 = auto via MTBASE_THREADS /
@@ -112,12 +146,20 @@ class Middleware {
   }
 
  private:
+  friend class MetaGuard;
+
   engine::Database* db_;
   MTSchema schema_;
   ConversionRegistry conversions_;
   PrivilegeManager privileges_;
   std::vector<int64_t> tenants_;
-  uint64_t tenant_epoch_ = 0;
+  std::atomic<uint64_t> tenant_epoch_{0};
+  SharedPlanCache plan_cache_;
+  /// Guards schema_ / conversions_ / privileges_ / tenants_ structure (their
+  /// epochs are atomics readable without it). See MetaGuard.
+  mutable std::shared_mutex meta_mu_;
+  static thread_local const Middleware* tl_meta_owner_;
+  static thread_local int tl_meta_depth_;
   std::function<void(sql::Stmt*)> rewrite_mutation_hook_;
 };
 
@@ -184,7 +226,13 @@ class PreparedQuery {
   int param_count_ = 0;
   CompilationKey key_;  // invalid until the first successful compile
   std::string sql_;
-  std::vector<engine::PreparedPlan> plans_;
+  /// Compiled engine plans, shared with the middleware's cross-session plan
+  /// cache: a fingerprint miss first consults the cache (adopting another
+  /// session's compilation of the same statement under identical state)
+  /// before recompiling, and every successful recompile publishes here.
+  /// The vector is immutable once built; engine::PreparedPlan handles are
+  /// internally synchronized, so many sessions execute one entry at once.
+  std::shared_ptr<std::vector<engine::PreparedPlan>> plans_;
 };
 
 class Session {
@@ -194,6 +242,12 @@ class Session {
 
   int64_t client() const { return client_; }
   Middleware* middleware() { return mw_; }
+
+  /// Tear the session down: statements of this session queued at admission
+  /// control abort with a clean error instead of executing, and new
+  /// Execute() calls are refused. In-flight statements finish normally.
+  void Close();
+  bool closed() const { return closed_->load(std::memory_order_acquire); }
 
   void set_optimization_level(OptLevel level) { level_ = level; }
   OptLevel optimization_level() const { return level_; }
@@ -286,6 +340,12 @@ class Session {
   int64_t client_;
   Scope scope_ = Scope::Default();
   OptLevel level_ = OptLevel::kO4;
+  /// Set by Close(); installed as the admission-wait cancel token around
+  /// every statement this session executes. Shared so a PreparedQuery
+  /// blocked in an admission queue observes the flip even while Close()
+  /// runs on another thread.
+  std::shared_ptr<std::atomic<bool>> closed_ =
+      std::make_shared<std::atomic<bool>>(false);
   std::string last_sql_;
   /// Session-layer trace slot (obs::TraceRecordScope): the active MTSQL
   /// statement's trace record, or null outside a traced statement. Distinct

@@ -1,0 +1,359 @@
+// Engine-layer concurrency: many threads driving one Database.
+//
+// What these tests pin down, mirroring the serving-layer contract:
+//   - snapshot reads: a SELECT sees one atomically-published table version,
+//     never a torn mix of pre- and post-DML rows. The probe is a balanced
+//     workload (every write statement preserves SUM(bal)) under readers that
+//     assert the invariant on every observation.
+//   - serial equivalence: concurrent writers on disjoint key ranges leave
+//     exactly the bytes a serial replay of the same statements leaves.
+//   - DDL safety: CREATE TABLE / CREATE INDEX from one thread while others
+//     scan, under the exclusive statement guard.
+//   - accounting: the process metrics registry reconciles with the number of
+//     statements the threads actually issued.
+//
+// The *Stress* test is time-boxed by MTBASE_STRESS_SECONDS (default 1; the
+// CI TSan lane raises it) and registered separately under the `stress` ctest
+// label. All tests are designed to run clean under ThreadSanitizer.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "engine/obs/metrics.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace engine {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+/// Collects invariant violations from worker threads; gtest assertions are
+/// only safe on the main thread, so workers record and main asserts.
+class FailureLog {
+ public:
+  void Record(const std::string& msg) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+    if (first_.empty()) first_ = msg;
+  }
+  int count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  std::string first() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int count_ = 0;
+  std::string first_;
+};
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  static constexpr int kRows = 400;  // even: balanced updates split in half
+
+  void SetUp() override {
+    ASSERT_OK(db_.ExecuteScript(
+        "CREATE TABLE acct (id INTEGER NOT NULL, bal INTEGER NOT NULL)"));
+    std::string script;
+    for (int i = 0; i < kRows; ++i) {
+      script += "INSERT INTO acct VALUES (" + std::to_string(i) + ", 100);\n";
+    }
+    ASSERT_OK(db_.ExecuteScript(script));
+  }
+
+  std::string SumCanon() {
+    auto rs = db_.Execute("SELECT SUM(bal) FROM acct");
+    EXPECT_OK(rs);
+    return rs.ok() ? CanonRows(rs.value().rows) : std::string("<error>");
+  }
+
+  Database db_;
+};
+
+// Readers must never observe a torn table version: every write statement in
+// this workload preserves SUM(bal), so any reader observing a different sum
+// has seen a half-applied statement. Three writer shapes cover the three
+// DML publication paths: in-place UPDATE (ReplaceRows), paired INSERT
+// (AppendRows, both rows in one atomic publish), and paired INSERT+DELETE.
+TEST_F(ConcurrencyTest, ReadersNeverSeeTornWrites) {
+  const std::string expect = SumCanon();
+  ASSERT_NE(expect, "<error>");
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 5;
+  constexpr int kWriterIters = 40;
+  std::atomic<bool> done{false};
+  FailureLog failures;
+  std::atomic<uint64_t> observations{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kWriterIters; ++i) {
+        Status st = Status::OK();
+        switch ((w + i) % 3) {
+          case 0:
+            // Balanced: +1 to the low half, -1 to the high half. Confined
+            // to the seed rows so the transient pairs stay untouched.
+            st = db_.Execute("UPDATE acct SET bal = bal + CASE WHEN id < " +
+                             std::to_string(kRows / 2) +
+                             " THEN 1 ELSE -1 END WHERE id < " +
+                             std::to_string(kRows))
+                     .status();
+            break;
+          case 1:
+            // Paired rows summing to zero, one atomic INSERT.
+            st = db_.Execute("INSERT INTO acct VALUES (9000, 77), (9001, -77)")
+                     .status();
+            break;
+          default:
+            // Remove earlier pairs; each pair sums to zero, so any number of
+            // them leaves the invariant intact.
+            st = db_.Execute("DELETE FROM acct WHERE id >= 9000").status();
+            break;
+        }
+        if (!st.ok()) failures.Record("writer: " + st.ToString());
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        auto rs = db_.Execute("SELECT SUM(bal) FROM acct");
+        if (!rs.ok()) {
+          failures.Record("reader: " + rs.status().ToString());
+          continue;
+        }
+        ++observations;
+        const std::string got = CanonRows(rs.value().rows);
+        if (got != expect) {
+          failures.Record("torn read: SUM(bal) = " + got + ", want " + expect);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  done.store(true, std::memory_order_release);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(failures.count(), 0) << failures.first();
+  EXPECT_GT(observations.load(), 0u);
+  // Cleanup pairs may remain (writers race); the invariant must still hold
+  // on the quiesced database.
+  EXPECT_EQ(SumCanon(), expect);
+}
+
+// Concurrent writers confined to disjoint id ranges must commute: the final
+// table bytes equal a serial replay of every thread's statement list.
+TEST_F(ConcurrencyTest, DisjointWritersMatchSerialReplay) {
+  constexpr int kThreads = 8;
+  constexpr int kRangeWidth = kRows / kThreads;
+  // Build each thread's statement list up front so the concurrent run and
+  // the serial replay execute the exact same statements.
+  std::vector<std::vector<std::string>> scripts(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    const int lo = t * kRangeWidth;
+    const int hi = lo + kRangeWidth;
+    Rng rng(0xABCDu + static_cast<uint64_t>(t));
+    for (int i = 0; i < 30; ++i) {
+      switch (rng.Uniform(0, 2)) {
+        case 0:
+          scripts[static_cast<size_t>(t)].push_back(
+              "UPDATE acct SET bal = bal + " + std::to_string(t + 1) +
+              " WHERE id >= " + std::to_string(lo) + " AND id < " +
+              std::to_string(hi));
+          break;
+        case 1:
+          scripts[static_cast<size_t>(t)].push_back(
+              "INSERT INTO acct VALUES (" +
+              std::to_string(10000 + t * 1000 + i) + ", " +
+              std::to_string(rng.Uniform(-50, 50)) + ")");
+          break;
+        default:
+          scripts[static_cast<size_t>(t)].push_back(
+              "DELETE FROM acct WHERE id = " +
+              std::to_string(lo + rng.Uniform(0, kRangeWidth - 1)));
+          break;
+      }
+    }
+  }
+
+  FailureLog failures;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const std::string& sql : scripts[static_cast<size_t>(t)]) {
+        Status st = db_.Execute(sql).status();
+        if (!st.ok()) failures.Record(sql + ": " + st.ToString());
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ASSERT_EQ(failures.count(), 0) << failures.first();
+
+  Database serial;
+  ASSERT_OK(serial.ExecuteScript(
+      "CREATE TABLE acct (id INTEGER NOT NULL, bal INTEGER NOT NULL)"));
+  std::string seed_script;
+  for (int i = 0; i < kRows; ++i) {
+    seed_script += "INSERT INTO acct VALUES (" + std::to_string(i) +
+                   ", 100);\n";
+  }
+  ASSERT_OK(serial.ExecuteScript(seed_script));
+  for (const auto& script : scripts) {
+    for (const std::string& sql : script) {
+      ASSERT_TRUE(serial.Execute(sql).ok()) << sql;
+    }
+  }
+  const std::string order = "SELECT id, bal FROM acct ORDER BY id, bal";
+  ASSERT_OK_AND_ASSIGN(auto got, db_.Execute(order));
+  ASSERT_OK_AND_ASSIGN(auto want, serial.Execute(order));
+  EXPECT_EQ(CanonRows(got.rows), CanonRows(want.rows));
+}
+
+// DDL from one thread while others scan: CREATE TABLE / CREATE INDEX take
+// the exclusive statement guard, reads take it shared. Nothing may crash,
+// fail, or observe a half-registered catalog entry.
+TEST_F(ConcurrencyTest, DdlConcurrentWithScans) {
+  constexpr int kDdlThreads = 4;
+  constexpr int kReaders = 4;
+  std::atomic<bool> done{false};
+  FailureLog failures;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kDdlThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string tbl = "side" + std::to_string(t);
+      Status st = db_.Execute("CREATE TABLE " + tbl +
+                              " (k INTEGER, v INTEGER)")
+                      .status();
+      if (!st.ok()) failures.Record(st.ToString());
+      for (int i = 0; i < 20; ++i) {
+        st = db_.Execute("INSERT INTO " + tbl + " VALUES (" +
+                         std::to_string(i) + ", " + std::to_string(i * t) +
+                         ")")
+                 .status();
+        if (!st.ok()) failures.Record(st.ToString());
+      }
+      st = db_.Execute("CREATE INDEX " + tbl + "_k ON " + tbl + " (k)")
+               .status();
+      if (!st.ok()) failures.Record(st.ToString());
+      auto rs = db_.Execute("SELECT COUNT(*) FROM " + tbl + " WHERE k >= 0");
+      if (!rs.ok()) {
+        failures.Record(rs.status().ToString());
+      } else if (CanonRows(rs.value().rows) != CanonRows({{Value::Int(20)}})) {
+        failures.Record(tbl + ": wrong count " + CanonRows(rs.value().rows));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        auto rs = db_.Execute("SELECT COUNT(*), SUM(bal) FROM acct");
+        if (!rs.ok()) failures.Record(rs.status().ToString());
+      }
+    });
+  }
+  for (int t = 0; t < kDdlThreads; ++t) threads[static_cast<size_t>(t)].join();
+  done.store(true, std::memory_order_release);
+  for (size_t i = kDdlThreads; i < threads.size(); ++i) threads[i].join();
+  EXPECT_EQ(failures.count(), 0) << failures.first();
+}
+
+// Statement accounting must reconcile across threads: the process-wide
+// metrics counter moves by exactly the number of statements issued.
+TEST_F(ConcurrencyTest, MetricsReconcileAcrossThreads) {
+  obs::MetricsRegistry* metrics = obs::MetricsRegistry::Global();
+  const uint64_t before =
+      metrics->CounterValue("mtbase_engine_statements_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  FailureLog failures;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto rs = db_.Execute("SELECT COUNT(*) FROM acct");
+        if (!rs.ok()) failures.Record(rs.status().ToString());
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ASSERT_EQ(failures.count(), 0) << failures.first();
+  EXPECT_EQ(metrics->CounterValue("mtbase_engine_statements_total") - before,
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+// Time-boxed stress mix (ctest label `stress`; the TSan CI lane raises
+// MTBASE_STRESS_SECONDS). Eight threads hammer the balanced workload plus
+// periodic index DDL while every reader checks the SUM invariant.
+TEST_F(ConcurrencyTest, StressMixedWorkloadInvariants) {
+  const uint64_t budget_s = EnvU64("MTBASE_STRESS_SECONDS", 1);
+  const std::string expect = SumCanon();
+  ASSERT_NE(expect, "<error>");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(budget_s);
+  constexpr int kThreads = 8;
+  FailureLog failures;
+  std::atomic<uint64_t> statements{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x57E55u + static_cast<uint64_t>(t) * 131);
+      int iter = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        ++iter;
+        Status st = Status::OK();
+        if (t % 2 == 0) {
+          // Reader half: snapshot invariant on every observation.
+          auto rs = db_.Execute("SELECT SUM(bal) FROM acct");
+          st = rs.status();
+          if (rs.ok() && CanonRows(rs.value().rows) != expect) {
+            failures.Record("stress torn read: " + CanonRows(rs.value().rows));
+          }
+        } else if (iter % 37 == 0) {
+          // Occasional DDL: an index on the hot table mid-update.
+          st = db_.Execute("CREATE INDEX stress_ix_" + std::to_string(t) +
+                           "_" + std::to_string(iter) + " ON acct (id)")
+                   .status();
+        } else if (rng.Chance(0.5)) {
+          st = db_.Execute("UPDATE acct SET bal = bal + CASE WHEN id < " +
+                           std::to_string(kRows / 2) +
+                           " THEN 1 ELSE -1 END WHERE id < " +
+                           std::to_string(kRows))
+                   .status();
+        } else if (rng.Chance(0.5)) {
+          st = db_.Execute("INSERT INTO acct VALUES (9100, 13), (9101, -13)")
+                   .status();
+        } else {
+          st = db_.Execute("DELETE FROM acct WHERE id >= 9100").status();
+        }
+        ++statements;
+        if (!st.ok()) failures.Record(st.ToString());
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.count(), 0) << failures.first();
+  EXPECT_GT(statements.load(), 0u);
+  EXPECT_EQ(SumCanon(), expect);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace mtbase

@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -430,6 +431,65 @@ TEST_F(DifferentialTest, PartitionedAndIndexedTwinMatchesFlat) {
   // both physical access paths at least once, or this test guards nothing.
   EXPECT_GT(twin_stats.Delta().partitions_pruned, 0u) << "seed=" << seed;
   EXPECT_GT(twin_stats.Delta().index_scans, 0u) << "seed=" << seed;
+}
+
+// Concurrent differential batch: one seeded sequence of generated read-only
+// queries, executed once serially (the oracle) and then by K concurrent
+// streams over the same database with intra-query parallelism enabled. Every
+// stream must reproduce the oracle byte-for-byte on every query — inter-
+// statement concurrency, like intra-statement parallelism, is a perf knob,
+// never a semantics knob. Replay any failure with MTBASE_DIFF_SEED (and
+// MTBASE_DIFF_QUERIES); the failure message carries seed, stream and query.
+TEST_F(DifferentialTest, ConcurrentStreamsMatchSerialOracle) {
+  const uint64_t seed = EnvU64("MTBASE_DIFF_SEED", 0xFACEull);
+  const uint64_t count = EnvU64("MTBASE_DIFF_QUERIES", 60);
+  constexpr int kStreams = 8;
+  QueryGen single(seed, /*join=*/false);
+  QueryGen joined(seed ^ 0x9E3779B97F4A7C15ull, /*join=*/true);
+  Rng pick(seed + 1);
+  std::vector<std::string> queries;
+  for (uint64_t i = 0; i < count; ++i) {
+    queries.push_back((pick.Chance(0.4) ? joined : single).Generate());
+  }
+  // Serial oracle at 1 thread.
+  SetParallelism(1, 4096);
+  std::vector<std::string> oracle;
+  for (const std::string& sql : queries) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " oracle: " + sql);
+    auto rs = db_.Execute(sql);
+    ASSERT_OK(rs);
+    oracle.push_back(Canon(rs.value()));
+  }
+  // K concurrent streams, parallel operators on.
+  SetParallelism(4, 48);
+  std::vector<std::string> errors(kStreams);
+  std::vector<std::thread> streams;
+  for (int s = 0; s < kStreams; ++s) {
+    streams.emplace_back([&, s] {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        auto rs = db_.Execute(queries[i]);
+        if (!rs.ok()) {
+          errors[static_cast<size_t>(s)] =
+              "seed=" + std::to_string(seed) + " stream " +
+              std::to_string(s) + " query#" + std::to_string(i) + " " +
+              queries[i] + ": " + rs.status().ToString();
+          return;
+        }
+        if (Canon(rs.value()) != oracle[i]) {
+          errors[static_cast<size_t>(s)] =
+              "seed=" + std::to_string(seed) + " stream " +
+              std::to_string(s) + " diverged on query#" + std::to_string(i) +
+              ": " + queries[i];
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : streams) th.join();
+  SetParallelism(1, 4096);
+  for (const std::string& err : errors) {
+    EXPECT_TRUE(err.empty()) << err;
+  }
 }
 
 // Time-boxed sweep over fresh seeds (ctest label `long`). Each round is a

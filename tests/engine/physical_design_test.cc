@@ -109,7 +109,8 @@ TEST_F(PhysicalDesignTest, PartitionRowsCoverEveryRowExactlyOnce) {
   ASSERT_NE(t, nullptr);
   ASSERT_TRUE(t->partition().partitioned());
   EXPECT_EQ(t->partition().Count(), kParts);
-  const auto& parts = t->PartitionRows();
+  const auto parts_ptr = t->PartitionRowsAt();
+  const auto& parts = *parts_ptr;
   ASSERT_EQ(parts.size(), static_cast<size_t>(kParts));
   std::vector<bool> seen(t->rows().size(), false);
   for (const auto& ids : parts) {
@@ -138,7 +139,8 @@ TEST_F(PhysicalDesignTest, ListPartitioningRoutesOverflowToLastPartition) {
   ASSERT_OK(db_.ExecuteScript(
       "INSERT INTO lp VALUES (1); INSERT INTO lp VALUES (3); "
       "INSERT INTO lp VALUES (42)"));
-  const auto& parts = t->PartitionRows();
+  const auto parts_ptr = t->PartitionRowsAt();
+  const auto& parts = *parts_ptr;
   ASSERT_EQ(parts.size(), 3u);
   EXPECT_EQ(parts[0].size(), 1u);
   EXPECT_EQ(parts[1].size(), 1u);
@@ -150,7 +152,8 @@ TEST_F(PhysicalDesignTest, IndexOrderIsSortedWithInsertionOrderTieBreak) {
   ASSERT_NE(t, nullptr);
   const TableIndex* ix = t->FindIndex("part_ttid");
   ASSERT_NE(ix, nullptr);
-  const auto& order = t->IndexOrder(*ix);
+  const auto order_ptr = t->IndexOrderAt(*ix);
+  const auto& order = *order_ptr;
   ASSERT_EQ(order.size(), t->rows().size());
   for (size_t i = 1; i < order.size(); ++i) {
     const Row& a = t->rows()[order[i - 1]];
@@ -272,7 +275,7 @@ TEST_F(PhysicalDesignTest, AbortedMultiRowInsertLeavesTableUnchanged) {
   EXPECT_EQ(t->data_version(), version);
   // Derived physical state is trivially consistent: same coverage as before.
   size_t covered = 0;
-  for (const auto& ids : t->PartitionRows()) covered += ids.size();
+  for (const auto& ids : *t->PartitionRowsAt()) covered += ids.size();
   EXPECT_EQ(covered, before);
   ASSERT_OK_AND_ASSIGN(auto rs,
                        db_.Execute("SELECT id FROM part WHERE id = 900"));

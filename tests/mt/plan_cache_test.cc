@@ -1,0 +1,294 @@
+// Cross-session shared plan cache: sharing, every invalidation edge, LRU.
+//
+// The cache key is the serialized compilation fingerprint (client, opt
+// level, scope, dataset, privilege/schema/tenant/conversion epochs, engine
+// compilation version) plus the MTSQL text, so "invalidation" is key
+// non-match: any state change that must not serve stale plans produces a
+// different key. Each edge test proves three things — the mutation forces a
+// recompile (miss, not hit), the recompiled result is byte-identical to a
+// completely fresh session's, and an unchanged statement afterwards hits
+// again. The LRU tests drive SharedPlanCache directly.
+#include "mt/plan_cache.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/obs/metrics.h"
+#include "mt/mtbase.h"
+#include "mt/session.h"
+#include "tests/test_util.h"
+
+namespace mtbase {
+namespace mt {
+namespace {
+
+std::string Canon(const engine::ResultSet& rs) { return CanonRows(rs.rows); }
+
+/// The session_test running-example environment (two tenants, a convertible
+/// salary column, currency meta tables) — rich enough that every epoch edge
+/// is reachable.
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>();
+    mw_ = std::make_unique<Middleware>(db_.get());
+    mw_->RegisterTenant(0);
+    mw_->RegisterTenant(1);
+    ASSERT_OK(db_->ExecuteScript(R"(
+      CREATE TABLE Tenant (T_tenant_key INTEGER NOT NULL, T_currency_key INTEGER NOT NULL);
+      CREATE TABLE CurrencyTransform (CT_currency_key INTEGER NOT NULL,
+        CT_to_universal DECIMAL(15,6) NOT NULL, CT_from_universal DECIMAL(15,6) NOT NULL);
+      INSERT INTO Tenant VALUES (0, 0), (1, 1);
+      INSERT INTO CurrencyTransform VALUES (0, 1, 1), (1, 0.5, 2);
+      CREATE FUNCTION currencyToUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+        AS 'SELECT CT_to_universal*$1 FROM Tenant, CurrencyTransform WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key' LANGUAGE SQL IMMUTABLE;
+      CREATE FUNCTION currencyFromUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+        AS 'SELECT CT_from_universal*$1 FROM Tenant, CurrencyTransform WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key' LANGUAGE SQL IMMUTABLE;
+    )"));
+    ConversionPair currency;
+    currency.name = "currency";
+    currency.to_universal = "currencyToUniversal";
+    currency.from_universal = "currencyFromUniversal";
+    currency.cls = ConversionClass::kMultiplicative;
+    currency.inline_spec.kind = InlineSpec::Kind::kMultiplicative;
+    currency.inline_spec.tenant_fk = "T_currency_key";
+    currency.inline_spec.meta_table = "CurrencyTransform";
+    currency.inline_spec.meta_key = "CT_currency_key";
+    currency.inline_spec.to_col = "CT_to_universal";
+    currency.inline_spec.from_col = "CT_from_universal";
+    ASSERT_OK(mw_->conversions()->Register(currency));
+
+    Session admin(mw_.get(), 0);
+    ASSERT_OK(admin.Execute(R"(CREATE TABLE Employees SPECIFIC (
+        E_emp_id INTEGER NOT NULL SPECIFIC,
+        E_name VARCHAR(25) NOT NULL COMPARABLE,
+        E_salary DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+        E_age INTEGER NOT NULL COMPARABLE))"));
+    ASSERT_OK(admin.Execute(
+        "INSERT INTO Employees VALUES (0,'Patrick',50000,30),"
+        "(1,'John',70000,28),(2,'Alice',150000,46)"));
+    Session t1(mw_.get(), 1);
+    ASSERT_OK(t1.Execute(
+        "INSERT INTO Employees VALUES (0,'Allan',160000,25),"
+        "(1,'Nancy',400000,72),(2,'Ed',2000000,46)"));
+  }
+
+  uint64_t Hits() { return mw_->plan_cache()->hits(); }
+  uint64_t Misses() { return mw_->plan_cache()->misses(); }
+
+  /// Execute `sql` on a brand-new session for tenant 0 at `scope` ("" =
+  /// default) and return the canonical bytes — the from-scratch baseline an
+  /// adopted or recompiled plan must match exactly.
+  std::string FreshBytes(const std::string& sql,
+                         const std::string& scope = "") {
+    Session fresh(mw_.get(), 0);
+    if (!scope.empty()) {
+      EXPECT_OK(fresh.Execute("SET SCOPE = \"" + scope + "\""));
+    }
+    auto rs = fresh.Execute(sql);
+    EXPECT_OK(rs);
+    return rs.ok() ? Canon(rs.value()) : std::string("<error>");
+  }
+
+  /// Run `sql` on a new session and report whether it was served from the
+  /// shared cache, plus its bytes.
+  struct RunOutcome {
+    bool hit = false;
+    std::string bytes;
+  };
+  RunOutcome Run(const std::string& sql, const std::string& scope = "") {
+    const uint64_t hits_before = Hits();
+    RunOutcome out;
+    Session s(mw_.get(), 0);
+    if (!scope.empty()) {
+      EXPECT_OK(s.Execute("SET SCOPE = \"" + scope + "\""));
+    }
+    auto rs = s.Execute(sql);
+    EXPECT_OK(rs);
+    out.bytes = rs.ok() ? Canon(rs.value()) : std::string("<error>");
+    out.hit = Hits() > hits_before;
+    return out;
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<Middleware> mw_;
+};
+
+constexpr const char* kQuery =
+    "SELECT E_name, E_salary FROM Employees ORDER BY E_emp_id";
+
+TEST_F(PlanCacheTest, SecondSessionAdoptsPlansByteIdentically) {
+  const uint64_t misses_before = Misses();
+  RunOutcome first = Run(kQuery);
+  EXPECT_FALSE(first.hit);
+  EXPECT_EQ(Misses(), misses_before + 1);
+  RunOutcome second = Run(kQuery);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(second.bytes, first.bytes);
+  EXPECT_EQ(first.bytes, FreshBytes(kQuery));  // fresh = also a hit now
+  // The cache's own counters are mirrored into the process-wide registry.
+  EXPECT_GE(obs::MetricsRegistry::Global()->CounterValue(
+                "mtbase_mt_plan_cache_hits_total"),
+            2u);
+}
+
+TEST_F(PlanCacheTest, GrantAndRevokeEachInvalidate) {
+  Run(kQuery, "IN (0, 1)");  // populate (prunes to {0}: no grant yet)
+  Session t1(mw_.get(), 1);
+  ASSERT_OK(t1.Execute("GRANT READ ON DATABASE TO 0"));
+  RunOutcome after_grant = Run(kQuery, "IN (0, 1)");
+  EXPECT_FALSE(after_grant.hit);  // privilege epoch moved: recompile
+  EXPECT_EQ(after_grant.bytes, FreshBytes(kQuery, "IN (0, 1)"));
+  RunOutcome warm = Run(kQuery, "IN (0, 1)");
+  EXPECT_TRUE(warm.hit);
+  ASSERT_OK(t1.Execute("REVOKE READ ON DATABASE FROM 0"));
+  RunOutcome after_revoke = Run(kQuery, "IN (0, 1)");
+  EXPECT_FALSE(after_revoke.hit);
+  EXPECT_EQ(after_revoke.bytes, FreshBytes(kQuery, "IN (0, 1)"));
+  EXPECT_NE(after_grant.bytes, after_revoke.bytes);  // D' actually changed
+}
+
+TEST_F(PlanCacheTest, MtsqlDdlInvalidates) {
+  RunOutcome before = Run(kQuery);
+  EXPECT_FALSE(before.hit);
+  Session admin(mw_.get(), 0);
+  ASSERT_OK(admin.Execute(R"(CREATE TABLE Projects SPECIFIC (
+      P_id INTEGER NOT NULL SPECIFIC,
+      P_name VARCHAR(25) NOT NULL COMPARABLE))"));
+  RunOutcome after = Run(kQuery);
+  EXPECT_FALSE(after.hit);  // schema epoch + engine version moved
+  EXPECT_EQ(after.bytes, before.bytes);  // unrelated DDL: same data
+  EXPECT_TRUE(Run(kQuery).hit);
+}
+
+TEST_F(PlanCacheTest, TenantRegistrationInvalidates) {
+  // "IN ()" resolves against the tenant registry, so registration must
+  // force a recompile under the new dataset.
+  Session t1(mw_.get(), 1);
+  ASSERT_OK(t1.Execute("GRANT READ ON DATABASE TO 0"));
+  RunOutcome before = Run(kQuery, "IN ()");
+  EXPECT_FALSE(before.hit);
+  mw_->RegisterTenant(7);
+  RunOutcome after = Run(kQuery, "IN ()");
+  EXPECT_FALSE(after.hit);  // tenant epoch moved
+  EXPECT_EQ(after.bytes, FreshBytes(kQuery, "IN ()"));
+  EXPECT_TRUE(Run(kQuery, "IN ()").hit);
+}
+
+TEST_F(PlanCacheTest, ConversionRegistrationInvalidates) {
+  RunOutcome before = Run(kQuery);
+  EXPECT_FALSE(before.hit);
+  ConversionPair phone;
+  phone.name = "phone";
+  phone.to_universal = "phoneToUniversal";
+  phone.from_universal = "phoneFromUniversal";
+  phone.cls = ConversionClass::kMultiplicative;
+  phone.inline_spec.kind = InlineSpec::Kind::kMultiplicative;
+  phone.inline_spec.tenant_fk = "T_currency_key";
+  phone.inline_spec.meta_table = "CurrencyTransform";
+  phone.inline_spec.meta_key = "CT_currency_key";
+  phone.inline_spec.to_col = "CT_to_universal";
+  phone.inline_spec.from_col = "CT_from_universal";
+  ASSERT_OK(mw_->conversions()->Register(phone));
+  RunOutcome after = Run(kQuery);
+  EXPECT_FALSE(after.hit);  // conversion epoch moved
+  EXPECT_EQ(after.bytes, before.bytes);
+  EXPECT_TRUE(Run(kQuery).hit);
+}
+
+// Scope is part of the key, not an epoch: changing it selects a different
+// entry, and changing back re-hits the old one — no invalidation, two live
+// entries.
+TEST_F(PlanCacheTest, ScopeSelectsDistinctEntries) {
+  RunOutcome own = Run(kQuery);  // default scope
+  EXPECT_FALSE(own.hit);
+  RunOutcome scoped = Run(kQuery, "IN (0)");
+  EXPECT_FALSE(scoped.hit);  // different scope text: different key
+  EXPECT_EQ(own.bytes, scoped.bytes);  // same D' = {0} either way
+  EXPECT_TRUE(Run(kQuery).hit);
+  EXPECT_TRUE(Run(kQuery, "IN (0)").hit);
+}
+
+// A conversion-rate refresh is DML on the meta table. The cached plan reads
+// rates through a join at execution time (snapshot-pinned per statement), so
+// the entry legitimately *survives* — and must serve the new rates, byte-
+// identical to a from-scratch session.
+TEST_F(PlanCacheTest, RateRefreshServesFreshRatesFromCachedPlan) {
+  Session t1(mw_.get(), 1);
+  ASSERT_OK(t1.Execute("GRANT READ ON DATABASE TO 0"));
+  const std::string q =
+      "SELECT MAX(E_salary) FROM Employees";  // converts tenant 1's salaries
+  RunOutcome before = Run(q, "IN (1)");
+  EXPECT_FALSE(before.hit);
+  ASSERT_OK(db_->Execute(
+      "UPDATE CurrencyTransform SET CT_to_universal = 0.25, "
+      "CT_from_universal = 4 WHERE CT_currency_key = 1"));
+  RunOutcome after = Run(q, "IN (1)");
+  EXPECT_TRUE(after.hit);  // plan unchanged: rates live in table data
+  EXPECT_NE(after.bytes, before.bytes);  // but the output moved with the rate
+  EXPECT_EQ(after.bytes, FreshBytes(q, "IN (1)"));
+}
+
+// -- SharedPlanCache unit level: LRU order, eviction, counters --------------
+
+CachedPlans Entry(const std::string& sql) {
+  CachedPlans e;
+  e.sql = sql;
+  e.plans = std::make_shared<std::vector<engine::PreparedPlan>>();
+  return e;
+}
+
+TEST(SharedPlanCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  SharedPlanCache cache(/*capacity=*/2);
+  cache.Insert("a", Entry("SELECT a"));
+  cache.Insert("b", Entry("SELECT b"));
+  CachedPlans out;
+  ASSERT_TRUE(cache.Lookup("a", &out));  // refresh a: b is now LRU
+  EXPECT_EQ(out.sql, "SELECT a");
+  cache.Insert("c", Entry("SELECT c"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_TRUE(cache.Lookup("c", &out));
+  EXPECT_FALSE(cache.Lookup("b", &out));  // the stale one went
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SharedPlanCacheTest, ShrinkingCapacityEvictsImmediately) {
+  SharedPlanCache cache(/*capacity=*/8);
+  for (int i = 0; i < 6; ++i) {
+    cache.Insert("k" + std::to_string(i), Entry("q" + std::to_string(i)));
+  }
+  ASSERT_EQ(cache.size(), 6u);
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.capacity(), 2u);
+  EXPECT_EQ(cache.evictions(), 4u);
+  CachedPlans out;
+  EXPECT_TRUE(cache.Lookup("k5", &out));  // most recent survive
+  EXPECT_TRUE(cache.Lookup("k4", &out));
+  EXPECT_FALSE(cache.Lookup("k0", &out));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SharedPlanCacheTest, InsertRefreshesExistingKey) {
+  SharedPlanCache cache(/*capacity=*/2);
+  cache.Insert("a", Entry("v1"));
+  cache.Insert("b", Entry("SELECT b"));
+  cache.Insert("a", Entry("v2"));  // refresh, not duplicate
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Insert("c", Entry("SELECT c"));  // evicts b (a was refreshed)
+  CachedPlans out;
+  ASSERT_TRUE(cache.Lookup("a", &out));
+  EXPECT_EQ(out.sql, "v2");
+  EXPECT_FALSE(cache.Lookup("b", &out));
+}
+
+}  // namespace
+}  // namespace mt
+}  // namespace mtbase
